@@ -1,0 +1,51 @@
+"""Experiment E10 — §6 "Modifications to the existing networks".
+
+Prints the comparison matrix with every row mechanically verified
+against the implementation (class introspection + behavioural probes),
+plus live behavioural evidence: a stock GSM handset completes a VoIP
+call in the vGPRS network, while the 3G TR network requires the
+H.323-capable handset.
+"""
+
+from repro.analysis.modifications import modification_matrix
+from repro.analysis.report import format_table
+from repro.core import scenarios
+from repro.core.baseline_3gtr import H323MobileStation, build_3gtr_network
+from repro.core.network import build_vgprs_network
+from repro.gsm.ms import MobileStation
+
+
+def vgprs_call_with_stock_handset():
+    nw = build_vgprs_network()
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.3)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+    scenarios.call_ms_to_terminal(nw, ms, term)
+    return nw, ms
+
+
+def test_e10_modifications(benchmark, report):
+    nw, ms = benchmark.pedantic(
+        vgprs_call_with_stock_handset, rounds=3, iterations=1
+    )
+    # Behavioural proof: the handset that just completed a VoIP call is a
+    # plain GSM MobileStation (no vocoder changes, no H.323 stack).
+    assert type(ms) is MobileStation
+    assert ms.state == "in-call"
+
+    nw3 = build_3gtr_network()
+    ms3 = nw3.add_ms("MS1", "466920000000001", "+886935000001")
+    assert isinstance(ms3, H323MobileStation)
+
+    rows = modification_matrix()
+    assert all(r.verified for r in rows)
+    report(format_table(
+        ["component", "vGPRS", "3G TR 23.923", "verified check"],
+        [(r.component, r.vgprs, r.tgtr, r.check) for r in rows],
+        title="E10 / Section 6: required modifications, verified against "
+              "the implementation",
+    ))
+    report("VERDICT: all Section-6 modification claims hold in code — "
+           "standard MS + standard gatekeeper in vGPRS; the only new "
+           "element is the VMSC, whose GSM interfaces equal an MSC's.")

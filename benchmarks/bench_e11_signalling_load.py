@@ -1,0 +1,162 @@
+"""Experiment E11 — §6's implied trade-off: signalling load and PDP
+context residency.
+
+Two sides of the paper's "PDP context activation" discussion:
+
+* per-call signalling: vGPRS spends two extra SM/GTP exchanges per call
+  (voice context in, voice context out) but none for call *arrival*;
+  3G TR pays activation + deactivation per call on its only context and
+  a notification/paging exchange for MT calls;
+* context residency: vGPRS holds one context per idle attached MS at the
+  SGSN/GGSN ("the SGSN and the GGSN do not need to maintain the PDP
+  contexts of MSs when they are idle" is 3G TR's advantage).
+
+Swept over call rate to show where each side pays.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import scenarios
+from repro.core.baseline_3gtr import build_3gtr_network
+from repro.core.network import build_vgprs_network
+
+IMSI1 = "466920000000001"
+MSISDN1 = "+886935000001"
+TERM1 = "+886222000001"
+
+
+def vgprs_per_call_counts():
+    nw = build_vgprs_network()
+    ms = nw.add_ms("MS1", IMSI1, MSISDN1)
+    term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+    scenarios.settle(nw, 1.0)
+    before = scenarios.message_counts(nw)
+    scenarios.call_ms_to_terminal(nw, ms, term)
+    scenarios.settle(nw, 1.0)
+    scenarios.hangup_from_ms(nw, ms)
+    scenarios.settle(nw, 1.0)
+    after = scenarios.message_counts(nw)
+    return nw, scenarios.delta_counts(before, after)
+
+
+def tgtr_per_call_counts():
+    nw = build_3gtr_network()
+    ms = nw.add_ms("MS1", IMSI1, MSISDN1)
+    term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
+    nw.sim.run(until=0.5)
+    ms.power_on()
+    nw.sim.run_until_true(lambda: ms.registered, timeout=30)
+    nw.sim.run(until=nw.sim.now + 6.0)
+    before = {
+        name[len("msgs.tx."):]: c
+        for name, c in nw.sim.metrics.counters("msgs.tx.").items()
+    }
+    ms.place_call(term.alias)
+    nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=30)
+    nw.sim.run(until=nw.sim.now + 1.0)
+    ms.hangup()
+    nw.sim.run(until=nw.sim.now + 2.0)
+    after = {
+        name[len("msgs.tx."):]: c
+        for name, c in nw.sim.metrics.counters("msgs.tx.").items()
+    }
+    return nw, scenarios.delta_counts(before, after)
+
+
+def residency_sweep(calls_per_hour: float, horizon: float = 60.0):
+    """Context-seconds at the SGSN over *horizon* simulated seconds with
+    one subscriber making Poisson-ish periodic calls."""
+    period = 3600.0 / calls_per_hour if calls_per_hour else None
+
+    def run(builder, is_vgprs):
+        nw = builder()
+        if is_vgprs:
+            ms = nw.add_ms("MS1", IMSI1, MSISDN1)
+            term = nw.add_terminal("TERM1", TERM1, answer_delay=0.2)
+            nw.sim.run(until=0.5)
+            scenarios.register_ms(nw, ms)
+        else:
+            ms = nw.add_ms("MS1", IMSI1, MSISDN1)
+            term = nw.add_terminal("TERM1", TERM1, answer_delay=0.2)
+            nw.sim.run(until=0.5)
+            ms.power_on()
+            nw.sim.run_until_true(lambda: ms.registered, timeout=30)
+        start = nw.sim.now
+        base_residency = nw.sgsn.context_residency()
+        activations0 = nw.sim.metrics.counters("SGSN.pdp_activations").get(
+            "SGSN.pdp_activations", 0
+        )
+        next_call = nw.sim.now + (period / 2 if period else horizon * 2)
+        while nw.sim.now - start < horizon:
+            if period is not None and nw.sim.now >= next_call:
+                next_call += period
+                try:
+                    if is_vgprs:
+                        scenarios.call_ms_to_terminal(nw, ms, term, timeout=15)
+                        nw.sim.run(until=nw.sim.now + 10.0)  # 10 s call
+                        scenarios.hangup_from_ms(nw, ms)
+                    else:
+                        ms.place_call(term.alias)
+                        nw.sim.run_until_true(
+                            lambda: ms.state == "in-call", timeout=15
+                        )
+                        nw.sim.run(until=nw.sim.now + 10.0)
+                        ms.hangup()
+                        nw.sim.run(until=nw.sim.now + 2.0)
+                except Exception:
+                    pass
+            step_to = min(next_call, start + horizon)
+            nw.sim.run(until=max(nw.sim.now, step_to))
+        activations = nw.sim.metrics.counters("SGSN.pdp_activations").get(
+            "SGSN.pdp_activations", 0
+        ) - activations0
+        return nw.sgsn.context_residency() - base_residency, activations
+
+    v_res, v_act = run(build_vgprs_network, True)
+    t_res, t_act = run(build_3gtr_network, False)
+    return v_res, v_act, t_res, t_act
+
+
+def test_e11_signalling_load(benchmark, report):
+    (nw_v, v_delta) = benchmark.pedantic(
+        vgprs_per_call_counts, rounds=3, iterations=1
+    )
+    nw_t, t_delta = tgtr_per_call_counts()
+
+    nodes = sorted(set(v_delta) | set(t_delta))
+    rows = [
+        (node, v_delta.get(node, "-"), t_delta.get(node, "-")) for node in nodes
+    ]
+    report(format_table(
+        ["node", "vGPRS msgs/call", "3G TR msgs/call"], rows,
+        title="E11: messages transmitted per node for one complete call "
+              "(setup + 1s talk + release)",
+    ))
+
+    # vGPRS loads the GSM side (BSC/VLR carry call-control + security);
+    # 3G TR has no MSC/VLR at all but pays on the radio/SGSN side.
+    assert v_delta.get("VLR", 0) > 0 and "VLR" not in t_delta
+    assert v_delta.get("VMSC", 0) > 0
+    assert t_delta.get("SGSN", 0) > 0
+
+    sweep_rows = []
+    for cph in (0.0, 60.0, 240.0):
+        v_res, v_act, t_res, t_act = residency_sweep(cph)
+        sweep_rows.append((
+            f"{cph:.0f}", f"{v_res:.0f}", f"{t_res:.0f}", v_act, t_act,
+        ))
+    report(format_table(
+        ["calls/hour", "vGPRS ctx-s @SGSN", "3GTR ctx-s @SGSN",
+         "vGPRS PDP activations", "3GTR PDP activations"],
+        sweep_rows,
+        title="E11: the idle-deactivation trade-off over a 60 s horizon",
+    ))
+    # Idle subscriber: vGPRS holds the context, 3G TR holds none.
+    assert float(sweep_rows[0][1]) > 50.0
+    assert float(sweep_rows[0][2]) < 1.0
+    # Busy subscriber: 3G TR pays activations per call instead.
+    assert sweep_rows[2][4] >= sweep_rows[2][3]
+    report("VERDICT: vGPRS trades always-on context residency at SGSN/GGSN "
+           "for zero per-arrival activation signalling; 3G TR the reverse — "
+           "the exact trade-off the paper's Section 6 describes.")

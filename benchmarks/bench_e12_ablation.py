@@ -1,0 +1,88 @@
+"""Experiment E12 — ablation: the idle-deactivation vGPRS variant.
+
+The paper, §6: "vGPRS registration and call procedures can be easily
+modified to deactivate the PDP contexts when the MSs are idle.  However,
+this approach may significantly increase the call setup time and is not
+considered in the current vGPRS implementation."
+
+This ablation implements exactly that variant (``idle_deactivate_after``
+on the VMSC + released-binding retention at the GGSN) and measures what
+the paper predicted: setup-path delay rises sharply, in exchange for
+zero idle context residency at the SGSN/GGSN.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import scenarios
+from repro.core.network import build_vgprs_network
+
+IMSI1 = "466920000000001"
+MSISDN1 = "+886935000001"
+TERM1 = "+886222000001"
+IDLE_S = 3.0
+
+
+def _prepare(idle):
+    nw = build_vgprs_network(idle_deactivate_after=idle)
+    ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
+    term = nw.add_terminal("TERM1", TERM1)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+    nw.sim.run(until=nw.sim.now + IDLE_S + 2.0)  # long idle period
+    return nw, ms, term
+
+
+def mt_setup_path(idle):
+    nw, ms, term = _prepare(idle)
+    nw.sim.trace.clear()
+    t0 = nw.sim.now
+    term.place_call(ms.msisdn)
+    trace = nw.sim.trace
+    assert nw.sim.run_until_true(
+        lambda: trace.first("Q931_Call_Proceeding") is not None,
+        timeout=60,
+    )
+    setups = trace.messages(name="Q931_Setup", since=t0)
+    residency = nw.sgsn.context_residency()
+    return setups[-1].time - setups[0].time, residency
+
+
+def mo_dial_to_admission(idle):
+    nw, ms, term = _prepare(idle)
+    term.answer_delay = 0.3
+    since = nw.sim.now
+    scenarios.call_ms_to_terminal(nw, ms, term)
+    trace = nw.sim.trace
+    a_setup = trace.messages(name="A_Setup", since=since)[0]
+    acf = trace.messages(name="RAS_ACF", dst="VMSC", since=since)[0]
+    return acf.time - a_setup.time
+
+
+def test_e12_idle_deactivation_ablation(benchmark, report):
+    benchmark.pedantic(lambda: mt_setup_path(None), rounds=3, iterations=1)
+
+    mt_keep, res_keep = mt_setup_path(None)
+    mt_drop, res_drop = mt_setup_path(IDLE_S)
+    mo_keep = mo_dial_to_admission(None)
+    mo_drop = mo_dial_to_admission(IDLE_S)
+
+    report(format_table(
+        ["variant", "MT setup-path ms", "MO dial->ACF ms",
+         "idle ctx residency (ctx-s)"],
+        [("vGPRS (paper: keep context)", mt_keep * 1000, mo_keep * 1000,
+          f"{res_keep:.1f}"),
+         ("vGPRS + idle deactivation", mt_drop * 1000, mo_drop * 1000,
+          f"{res_drop:.1f}")],
+        title="E12: the paper's rejected variant, measured "
+              f"(idle timer {IDLE_S:.0f} s)",
+    ))
+
+    # "may significantly increase the call setup time" — quantified.
+    assert mt_drop > 2 * mt_keep
+    assert mo_drop > mo_keep
+    # The compensation: contexts are not held while idle.
+    assert res_drop < res_keep
+    report(f"VERDICT: deactivating idle contexts multiplies the MT "
+           f"setup path by {mt_drop / mt_keep:.1f}x and adds "
+           f"{(mo_drop - mo_keep) * 1000:.0f} ms to MO admission — the "
+           "paper was right to reject the variant; the saved residency "
+           f"({res_keep:.0f} -> {res_drop:.0f} ctx-s) is the only gain.")

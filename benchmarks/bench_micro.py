@@ -1,0 +1,83 @@
+"""Micro-benchmarks: engineering throughput numbers (not paper figures).
+
+* packet build/parse throughput for the scapy-style codec;
+* discrete-event kernel throughput;
+* end-to-end simulated call throughput (full signalling per call).
+"""
+
+from repro.identities import IMSI, E164Number, IPv4Address, TunnelId
+from repro.core import scenarios
+from repro.core.network import build_vgprs_network
+from repro.packets.base import Packet
+from repro.packets.gtp import GtpHeader, MSG_T_PDU
+from repro.packets.ip import IPv4, UDP
+from repro.packets.q931 import Q931Setup
+from repro.sim.kernel import Simulator
+
+IP_A = IPv4Address.parse("10.0.0.1")
+IP_B = IPv4Address.parse("10.0.0.2")
+NUM = E164Number("886", "935000001")
+TID = TunnelId(IMSI("466920000000001"), 5)
+
+SAMPLE = (
+    IPv4(src=IP_A, dst=IP_B)
+    / UDP(sport=3386, dport=3386)
+    / GtpHeader(msg_type=MSG_T_PDU, seq=1, tid=TID)
+    / Q931Setup(
+        call_ref=7, called=NUM, calling=NUM,
+        signal_address=IP_A, signal_port=1720,
+        media_address=IP_A, media_port=5004,
+    )
+)
+WIRE = SAMPLE.build()
+
+
+def test_micro_packet_build(benchmark):
+    wire = benchmark(SAMPLE.build)
+    assert wire == WIRE
+
+
+def test_micro_packet_parse(benchmark):
+    pkt = benchmark(Packet.parse, WIRE)
+    assert pkt == SAMPLE
+
+
+def test_micro_packet_roundtrip(benchmark):
+    def roundtrip():
+        return Packet.parse(SAMPLE.build())
+
+    assert benchmark(roundtrip) == SAMPLE
+
+
+def test_micro_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count["n"]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_micro_end_to_end_call(benchmark):
+    """One fully signalled MO call (registration amortised outside)."""
+    nw = build_vgprs_network()
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.2)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+
+    def one_call():
+        scenarios.call_ms_to_terminal(nw, ms, term)
+        scenarios.hangup_from_ms(nw, ms)
+        scenarios.settle(nw, 1.0)
+
+    benchmark.pedantic(one_call, rounds=20, iterations=1)
+    assert len(nw.gk.call_records) >= 20

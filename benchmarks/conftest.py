@@ -1,0 +1,23 @@
+"""Benchmark fixtures.
+
+Each ``bench_eNN`` module regenerates one paper artifact (figure or
+Section-6 claim): it *asserts* the reproduced shape and *prints* the
+table/series so ``pytest benchmarks/ --benchmark-only`` leaves a
+human-readable record in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print through pytest's capture so experiment tables always reach
+    the console/tee'd output file."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return emit

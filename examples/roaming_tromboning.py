@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Tromboning and its elimination (paper Figures 7 and 8).
+
+A UK subscriber roams to Hong Kong.  A local Hong Kong phone calls their
+UK mobile number:
+
+* classic GSM routes the call to the UK GMSC and back — two
+  international trunks;
+* vGPRS terminates it locally through the H.323 gateway and the visited
+  VMSC — zero international trunks.
+
+Run:  python examples/roaming_tromboning.py
+"""
+
+from repro.core.baseline_gsm import build_classic_roaming_network
+from repro.core.tromboning import build_vgprs_roaming_network
+
+ROAMER = ("MS-X", "234150000000001", "+447700900123")
+
+
+def classic() -> None:
+    print("=== Figure 7: classic GSM (tromboning) ===")
+    nw = build_classic_roaming_network(seed=0)
+    x = nw.add_roamer(*ROAMER, answer_delay=0.5)
+    y = nw.add_phone("PHONE-Y", "+85221234567")
+
+    x.power_on()
+    nw.sim.run_until_true(lambda: x.registered, timeout=30)
+    print(f"roamer {x.msisdn} registered at {nw.vlr_hk.name} "
+          f"(home HLR: {nw.hlr_uk.name})")
+
+    since = nw.sim.now
+    y.place_call(x.msisdn)
+    nw.sim.run_until_true(
+        lambda: x.state == "in-call" and y.state == "in-call", timeout=30
+    )
+    print("circuit legs seized:")
+    for r in nw.ledger.records:
+        kind = "INTERNATIONAL" if r.international else "local"
+        print(f"  {r.from_switch:>8} -> {r.to_switch:<8} {kind}  "
+              f"(called {r.called})")
+    print(f"international trunks: "
+          f"{nw.ledger.international_count(since=since)}  <-- the trombone")
+
+    y.start_talking(duration=1.0)
+    nw.sim.run(until=nw.sim.now + 2.0)
+    m2e = nw.sim.metrics.get_histogram("MS-X.mouth_to_ear")
+    print(f"voice mouth-to-ear: {m2e.mean * 1000:.0f} ms "
+          "(crosses the HK-UK trunk twice)\n")
+
+
+def vgprs() -> None:
+    print("=== Figure 8: vGPRS (tromboning eliminated) ===")
+    nw = build_vgprs_roaming_network(seed=0)
+    x = nw.add_roamer(*ROAMER, answer_delay=0.5)
+    nw.sim.run(until=1.0)
+
+    x.power_on()
+    nw.sim.run_until_true(lambda: x.registered, timeout=30)
+    reg = nw.vgprs.gk.resolve(x.msisdn)
+    print(f"roamer {x.msisdn} registered at the LOCAL gatekeeper "
+          f"(address {reg.signal_address})")
+
+    since = nw.sim.now
+    y = nw.phone_y
+    y.place_call(x.msisdn)
+    nw.sim.run_until_true(
+        lambda: x.state == "in-call" and y.state == "in-call", timeout=30
+    )
+    print("circuit legs seized:")
+    for r in nw.ledger.records:
+        if r.seized_at < since:
+            continue
+        kind = "INTERNATIONAL" if r.international else "local"
+        print(f"  {r.from_switch:>8} -> {r.to_switch:<8} {kind}")
+    print(f"international trunks: "
+          f"{nw.ledger.international_count(since=since)}  <-- local call")
+
+    y.start_talking(duration=1.0)
+    nw.sim.run(until=nw.sim.now + 2.0)
+    m2e = nw.sim.metrics.get_histogram("MS-X.mouth_to_ear")
+    print(f"voice mouth-to-ear: {m2e.mean * 1000:.0f} ms (stays in Hong Kong)")
+
+
+if __name__ == "__main__":
+    classic()
+    vgprs()

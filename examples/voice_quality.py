@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Voice quality under load: circuit TCH (vGPRS) vs. shared packet
+channel (3G TR 23.923) — the paper's Section-6 real-time argument.
+
+Run:  python examples/voice_quality.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core import scenarios
+from repro.core.baseline_3gtr import build_3gtr_network
+from repro.core.network import build_vgprs_network
+
+TALK_S = 2.0
+
+
+def vgprs_row(num_calls: int):
+    nw = build_vgprs_network()
+    pairs = []
+    for i in range(num_calls):
+        ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}")
+        term = nw.add_terminal(f"TERM{i}", f"+88622200010{i}",
+                               answer_delay=0.2)
+        pairs.append((ms, term))
+    nw.sim.run(until=0.5)
+    for ms, term in pairs:
+        scenarios.register_ms(nw, ms)
+        scenarios.call_ms_to_terminal(nw, ms, term)
+        ms.start_talking(duration=TALK_S)
+    nw.sim.run(until=nw.sim.now + TALK_S + 1.0)
+    delays = [
+        nw.sim.metrics.get_histogram(f"TERM{i}.mouth_to_ear").mean
+        for i in range(num_calls)
+    ]
+    jitter = max(
+        nw.sim.metrics.get_histogram(f"TERM{i}.jitter").maximum
+        for i in range(num_calls)
+    )
+    return 1000 * sum(delays) / len(delays), 1000 * jitter
+
+
+def tgtr_row(num_calls: int):
+    nw = build_3gtr_network(packet_channel_bps=40_000.0)
+    pairs = []
+    for i in range(num_calls):
+        ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}",
+                       answer_delay=0.2)
+        term = nw.add_terminal(f"TERM{i}", f"+88622200010{i}",
+                               answer_delay=0.2)
+        pairs.append((ms, term))
+    nw.sim.run(until=0.5)
+    for ms, _ in pairs:
+        ms.power_on()
+        nw.sim.run_until_true(lambda m=ms: m.registered, timeout=30)
+    nw.sim.run(until=nw.sim.now + 1.0)
+    for ms, term in pairs:
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda m=ms: m.state == "in-call", timeout=20)
+    for ms, _ in pairs:
+        ms.start_talking(duration=TALK_S)
+    nw.sim.run(until=nw.sim.now + TALK_S + 3.0)
+    delays, jitters = [], []
+    for i in range(num_calls):
+        h = nw.sim.metrics.get_histogram(f"TERM{i}.mouth_to_ear")
+        j = nw.sim.metrics.get_histogram(f"TERM{i}.jitter")
+        if h and h.count:
+            delays.append(h.mean)
+        if j and j.count:
+            jitters.append(j.maximum)
+    return (
+        1000 * sum(delays) / len(delays) if delays else float("nan"),
+        1000 * max(jitters) if jitters else float("nan"),
+    )
+
+
+def main() -> None:
+    rows = []
+    for n in (1, 2, 4):
+        v_delay, v_jitter = vgprs_row(n)
+        t_delay, t_jitter = tgtr_row(n)
+        rows.append((n, f"{v_delay:.1f}", f"{v_jitter:.2f}",
+                     f"{t_delay:.1f}", f"{t_jitter:.2f}"))
+    print(format_table(
+        ["concurrent calls", "vGPRS m2e ms", "vGPRS jitter ms",
+         "3G TR m2e ms", "3G TR jitter ms"],
+        rows,
+        title="Voice quality vs. cell load "
+              "(circuit air interface vs shared packet channel)",
+    ))
+    print("\nThe circuit path is flat and jitter-free at every load; the "
+          "packet channel saturates — the paper's 'VoIP with required "
+          "quality can not be satisfied' claim, measured.")
+
+
+if __name__ == "__main__":
+    main()

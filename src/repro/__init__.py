@@ -1,0 +1,23 @@
+"""vGPRS — a complete reproduction of "vGPRS: A Mechanism for Voice over
+GPRS" (Chang, Lin, Pang; ICDCS 2001 / Wireless Networks 9, 2003).
+
+Public API entry points:
+
+* :func:`repro.core.network.build_vgprs_network` — the Figure 2(b)
+  network (VMSC + GSM/GPRS/H.323 substrates);
+* :mod:`repro.core.scenarios` — registration/call/release drivers;
+* :func:`repro.core.baseline_gsm.build_classic_roaming_network` and
+  :func:`repro.core.tromboning.build_vgprs_roaming_network` — the
+  Figure 7/8 roaming worlds;
+* :func:`repro.core.baseline_3gtr.build_3gtr_network` — the 3G TR 23.923
+  comparison system;
+* :func:`repro.core.handoff.build_handoff_network` — the Figure 9
+  inter-system handoff world;
+* :mod:`repro.core.flows` — the golden message flows of Figures 4-6.
+
+Run ``python -m repro`` for a self-contained demonstration.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,156 @@
+"""Self-contained demonstration: ``python -m repro [scenario]``.
+
+Scenarios:
+
+* ``call`` (default) — register a GSM handset and complete a VoIP call
+  (Figures 4 and 5);
+* ``tromboning``     — classic-GSM vs vGPRS roamer call (Figures 7-8);
+* ``handoff``        — mid-call inter-system handoff (Figure 9);
+* ``flows``          — print all three message-flow figures as charts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def demo_call() -> None:
+    from repro.core import scenarios
+    from repro.core.network import build_vgprs_network
+
+    nw = build_vgprs_network()
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
+    nw.sim.run(until=0.5)
+    latency = scenarios.register_ms(nw, ms)
+    entry = nw.vmsc.ms_table.get(ms.imsi)
+    print(f"registered in {latency * 1000:.0f} ms; MS address {entry.ip}")
+    outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+    print(f"call answered after {outcome.answer_delay * 1000:.0f} ms")
+    ms.start_talking(duration=1.0)
+    nw.sim.run(until=nw.sim.now + 1.5)
+    print(f"{term.frames_received} voice frames delivered")
+    scenarios.hangup_from_ms(nw, ms)
+    nw.sim.run(until=nw.sim.now + 1.0)
+    print(f"released; {len(nw.gk.call_records)} charging record(s)")
+
+
+def demo_tromboning() -> None:
+    from repro.core.baseline_gsm import build_classic_roaming_network
+    from repro.core.tromboning import build_vgprs_roaming_network
+
+    roamer = ("MS-X", "234150000000001", "+447700900123")
+    print("=== classic GSM (Figure 7) ===")
+    nw = build_classic_roaming_network()
+    x = nw.add_roamer(*roamer, answer_delay=0.5)
+    y = nw.add_phone("PHONE-Y", "+85221234567")
+    x.power_on()
+    nw.sim.run_until_true(lambda: x.registered, timeout=30)
+    since = nw.sim.now
+    y.place_call(x.msisdn)
+    nw.sim.run_until_true(lambda: x.state == "in-call", timeout=30)
+    print(f"international trunks: {nw.ledger.international_count(since=since)}")
+
+    print("=== vGPRS (Figure 8) ===")
+    nw2 = build_vgprs_roaming_network()
+    x2 = nw2.add_roamer(*roamer, answer_delay=0.5)
+    nw2.sim.run(until=1.0)
+    x2.power_on()
+    nw2.sim.run_until_true(lambda: x2.registered, timeout=30)
+    since = nw2.sim.now
+    nw2.phone_y.place_call(x2.msisdn)
+    nw2.sim.run_until_true(lambda: x2.state == "in-call", timeout=30)
+    print(f"international trunks: {nw2.ledger.international_count(since=since)}")
+
+
+def demo_handoff() -> None:
+    from repro.core import scenarios
+    from repro.core.handoff import build_handoff_network
+
+    nw = build_handoff_network()
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.vgprs.add_terminal("TERM1", "+886222000001", answer_delay=0.4)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw.vgprs, ms)
+    scenarios.call_ms_to_terminal(nw.vgprs, ms, term)
+    print("before:", " -> ".join(nw.voice_path()))
+    nw.trigger_handoff()
+    nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+    print("after: ", " -> ".join(nw.voice_path()))
+
+
+def demo_flows() -> None:
+    from repro.analysis.msc_chart import render_msc
+    from repro.core import scenarios
+    from repro.core.flows import (
+        NodeNames,
+        match_flow,
+        origination_flow,
+        registration_flow,
+        termination_flow,
+    )
+    from repro.core.network import build_vgprs_network
+
+    nodes = ["MS1", "BTS1", "BSC", "VMSC", "VLR", "HLR", "SGSN", "GGSN",
+             "IPNET", "GK", "TERM1"]
+    names = NodeNames()
+    nw = build_vgprs_network()
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001",
+                   answer_delay=0.6)
+    term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
+    nw.sim.run(until=0.5)
+    for title, action, flow in (
+        ("Figure 4: registration",
+         lambda: scenarios.register_ms(nw, ms), registration_flow(names)),
+        ("Figure 5: origination",
+         lambda: scenarios.call_ms_to_terminal(nw, ms, term),
+         origination_flow(names)),
+    ):
+        since = nw.sim.now
+        action()
+        match_flow(nw.sim.trace, flow, since=since)
+        print(f"\n=== {title} ===")
+        entries = [e for e in nw.sim.trace.entries if e.time >= since]
+        print(render_msc(entries, nodes,
+                         include={s.message for s in flow},
+                         col_width=13, max_label=11))
+    scenarios.hangup_from_ms(nw, ms)
+    nw.sim.run(until=nw.sim.now + 1.0)
+    since = nw.sim.now
+    scenarios.call_terminal_to_ms(nw, term, ms)
+    match_flow(nw.sim.trace, termination_flow(names), since=since)
+    print("\n=== Figure 6: termination ===")
+    entries = [e for e in nw.sim.trace.entries if e.time >= since]
+    print(render_msc(entries, nodes,
+                     include={s.message for s in termination_flow(names)},
+                     col_width=13, max_label=11))
+
+
+SCENARIOS = {
+    "call": demo_call,
+    "tromboning": demo_tromboning,
+    "handoff": demo_handoff,
+    "flows": demo_flows,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="vGPRS reproduction demos",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="call",
+        choices=sorted(SCENARIOS),
+        help="which demonstration to run (default: call)",
+    )
+    args = parser.parse_args(argv)
+    SCENARIOS[args.scenario]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

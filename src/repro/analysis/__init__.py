@@ -1,0 +1,19 @@
+"""Analysis and reporting helpers.
+
+* :mod:`~repro.analysis.msc_chart` — ASCII message-sequence charts from
+  recorded traces (how the benches print the paper's figures);
+* :mod:`~repro.analysis.latency` — setup-delay decomposition;
+* :mod:`~repro.analysis.report` — aligned-table printing for the
+  experiment harnesses.
+"""
+
+from repro.analysis.msc_chart import render_msc
+from repro.analysis.latency import SetupBreakdown, breakdown_registration
+from repro.analysis.report import format_table
+
+__all__ = [
+    "render_msc",
+    "SetupBreakdown",
+    "breakdown_registration",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""ASCII message-sequence charts.
+
+Renders a recorded trace in the style of the paper's Figures 4-6: one
+column per node, one line per message, arrows between the columns.  The
+E2-E5 benches print these so the reproduced figures can be compared to
+the paper by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.trace import TraceEntry
+
+
+def render_msc(
+    entries: Iterable[TraceEntry],
+    nodes: Sequence[str],
+    include: Optional[Iterable[str]] = None,
+    max_label: int = 38,
+    col_width: int = 12,
+) -> str:
+    """Render *entries* as a message-sequence chart over *nodes*.
+
+    Parameters
+    ----------
+    nodes:
+        Column order, left to right.
+    include:
+        Optional whitelist of message names; others are skipped (used to
+        project a full trace onto a figure's alphabet).
+    """
+    allowed = set(include) if include is not None else None
+    index = {name: i for i, name in enumerate(nodes)}
+    lines: List[str] = []
+
+    header = "".join(name.center(col_width) for name in nodes)
+    lines.append(" " * 9 + header)
+    ruler = "".join("|".center(col_width) for _ in nodes)
+
+    for entry in entries:
+        if entry.kind != "msg":
+            continue
+        if allowed is not None and entry.message not in allowed:
+            continue
+        if entry.src not in index or entry.dst not in index:
+            continue
+        src_i, dst_i = index[entry.src], index[entry.dst]
+        if src_i == dst_i:
+            continue
+        lines.append(" " * 9 + ruler)
+        lo, hi = sorted((src_i, dst_i))
+        left_pad = lo * col_width + col_width // 2
+        span = (hi - lo) * col_width
+        label = entry.message[:max_label]
+        inner = span - 2
+        if src_i < dst_i:
+            body = label.center(inner, "-")[:inner] + ">"
+            arrow = "|" + body
+        else:
+            body = label.center(inner, "-")[:inner]
+            arrow = "<" + body + "|"
+        lines.append(f"{entry.time:8.3f} " + " " * left_pad + arrow)
+    lines.append(" " * 9 + ruler)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Plain-text experiment reporting.
+
+The benches print paper-shaped tables with these helpers; keeping the
+formatting in one place makes ``bench_output.txt`` consistent across all
+eleven experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    text_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_experiment(exp_id: str, claim: str, table: str, verdict: str) -> None:
+    """Standard experiment banner used by every bench."""
+    bar = "#" * 72
+    print(f"\n{bar}")
+    print(f"# Experiment {exp_id}")
+    print(f"# Paper claim: {claim}")
+    print(bar)
+    print(table)
+    print(f"VERDICT: {verdict}")

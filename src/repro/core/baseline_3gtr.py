@@ -1,0 +1,655 @@
+"""The 3G TR 23.923 baseline — VoIP over GPRS *without* a VMSC.
+
+The comparison system of the paper's §6: the handset itself is an H.323
+terminal with a vocoder, speaking RAS/Q.931/RTP over the GPRS packet
+radio.  Faithful to the paper's description of the approach:
+
+* after gatekeeper registration the PDP context is **deactivated** "due
+  to the network resource consideration" (3G TR 23.923 fig. 7 step 6),
+  so every call first re-activates a context;
+* MT calls need **network-requested PDP context activation**, which
+  requires a *static* PDP address provisioned at the GGSN;
+* all signalling and voice cross the shared packet channel on the air
+  interface — the "non-real-time packet switching nature in the radio
+  interface" the paper blames for degraded voice quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CallSetupError, ProtocolError
+from repro.identities import IMSI, E164Number, IPv4Address
+from repro.core.network import GK_IP, LatencyProfile, TERMINAL_IP_BASE
+from repro.gprs.gb import GbUnitdata
+from repro.gprs.ggsn import Ggsn
+from repro.gprs.pdp import NSAPI_SIGNALLING
+from repro.gprs.sgsn import Sgsn
+from repro.gsm.bsc import Bsc
+from repro.gsm.bts import Bts
+from repro.h323.gatekeeper import Gatekeeper
+from repro.h323.terminal import H323Terminal
+from repro.net.interfaces import Interface
+from repro.net.ip import IPCloud
+from repro.net.node import Network, Node, handles
+from repro.net.transactions import Sequencer
+from repro.sim.kernel import Simulator
+from repro.sim.process import spawn
+from repro.packets.base import Packet
+from repro.packets.gmm import (
+    ActivatePdpContextAccept,
+    ActivatePdpContextReject,
+    ActivatePdpContextRequest,
+    DeactivatePdpContextAccept,
+    DeactivatePdpContextRequest,
+    GprsAttachAccept,
+    GprsAttachRequest,
+    GprsPaging,
+    GprsPagingResponse,
+    RequestPdpContextActivation,
+    RoutingAreaUpdateAccept,
+    RoutingAreaUpdateRequest,
+)
+from repro.packets.ip import IPv4, PORT_H225_CS, PORT_H225_RAS, PORT_RTP, TCPLite, UDP
+from repro.packets.q931 import (
+    CAUSE_NORMAL_CLEARING,
+    Q931Alerting,
+    Q931CallProceeding,
+    Q931Connect,
+    Q931ReleaseComplete,
+    Q931Setup,
+)
+from repro.packets.ras import (
+    RasAcf,
+    RasArj,
+    RasArq,
+    RasDcf,
+    RasDrq,
+    RasRcf,
+    RasRrq,
+)
+from repro.packets.rtp import PT_GSM, RtpPacket
+
+#: Static PDP address pool for 3G TR handsets.
+STATIC_IP_BASE = IPv4Address.parse("10.2.0.0")
+
+
+@dataclass
+class _H323MsCall:
+    call_ref: int
+    direction: str
+    state: str = "pdp"
+    remote_alias: Optional[E164Number] = None
+    remote_signal: Optional[Tuple[IPv4Address, int]] = None
+    remote_media: Optional[Tuple[IPv4Address, int]] = None
+    dialled_at: float = 0.0
+    alerting_at: Optional[float] = None
+    connected_at: Optional[float] = None
+    rtp_seq: int = 0
+
+
+class H323MobileStation(Node):
+    """An H.323-terminal-capable GPRS handset (the MS 3G TR requires)."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        imsi: IMSI,
+        msisdn: E164Number,
+        static_ip: IPv4Address,
+        serving_bts: str,
+        gk_ip: IPv4Address,
+        answer_delay: float = 1.0,
+    ) -> None:
+        super().__init__(sim, name)
+        self.imsi = imsi
+        self.msisdn = msisdn
+        self.static_ip = static_ip
+        self.serving_bts = serving_bts
+        self.gk_ip = gk_ip
+        self.answer_delay = answer_delay
+        self.attached = False
+        self.pdp_active = False
+        self._pdp_deactivating = False
+        self.registered = False
+        self.routing_area = "RA-1"
+        self.state = "off"
+        self.call: Optional[_H323MsCall] = None
+        self._ras_seq = Sequencer()
+        self._pdp_waiters: List[Callable[[], None]] = []
+        self._voice_proc = None
+        self.frames_received = 0
+        self._last_rx_time: Optional[float] = None
+        self.on_registered: Optional[Callable[[], None]] = None
+        self.on_connected: Optional[Callable[[], None]] = None
+        self.on_released: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # GPRS plumbing (everything rides the shared packet channel)
+    # ------------------------------------------------------------------
+    def _tx(self, packet: Packet) -> None:
+        self.send(self.serving_bts, packet)
+
+    def _send_h323(
+        self, message: Packet, dst: IPv4Address, dport: int, sport: int,
+        tcp: bool = False,
+    ) -> None:
+        transport = (
+            TCPLite(sport=sport, dport=dport) if tcp else UDP(sport=sport, dport=dport)
+        )
+        frame = GbUnitdata(imsi=self.imsi, nsapi=NSAPI_SIGNALLING)
+        frame.payload = IPv4(src=self.static_ip, dst=dst) / transport / message
+        self._tx(frame)
+
+    @handles(GbUnitdata)
+    def on_gb(self, frame: GbUnitdata, src: Node, interface: str) -> None:
+        packet = frame.payload
+        if not isinstance(packet, IPv4):
+            return
+        inner = packet.payload
+        while isinstance(inner, (UDP, TCPLite)):
+            inner = inner.payload
+        if inner is not None:
+            self._on_h323(inner)
+
+    # ------------------------------------------------------------------
+    # Attach + registration (3G TR: deactivate the context afterwards)
+    # ------------------------------------------------------------------
+    def power_on(self) -> None:
+        if self.state != "off":
+            raise ProtocolError(f"{self.name}: power_on in state {self.state}")
+        self.state = "attaching"
+        self._tx(GprsAttachRequest(imsi=self.imsi))
+
+    @handles(GprsAttachAccept)
+    def on_attach_accept(self, msg: GprsAttachAccept, src: Node, interface: str) -> None:
+        self.attached = True
+        self.state = "registering"
+        self._with_pdp(self._send_rrq)
+
+    def _send_rrq(self) -> None:
+        self._send_h323(
+            RasRrq(
+                seq=self._ras_seq.next(),
+                alias=self.msisdn,
+                signal_address=self.static_ip,
+                signal_port=PORT_H225_CS,
+                endpoint_type="3gtr-ms",
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    # ------------------------------------------------------------------
+    # PDP context lifecycle (activated per use, 3G TR style)
+    # ------------------------------------------------------------------
+    def _with_pdp(self, action: Callable[[], None]) -> None:
+        """Run *action* once a PDP context is active, activating one if
+        needed — the per-call activation step the paper criticises.  A
+        deactivation still in flight defers the action until it settles
+        (then reactivates), so call attempts never race the teardown."""
+        if self.pdp_active and not self._pdp_deactivating:
+            action()
+            return
+        self._pdp_waiters.append(action)
+        if not self._pdp_deactivating and len(self._pdp_waiters) == 1:
+            self._request_activation()
+
+    def _request_activation(self) -> None:
+        self._tx(
+            ActivatePdpContextRequest(
+                imsi=self.imsi,
+                nsapi=NSAPI_SIGNALLING,
+                static_pdp_address=self.static_ip,
+            )
+        )
+
+    @handles(ActivatePdpContextAccept)
+    def on_pdp_accept(self, msg: ActivatePdpContextAccept, src: Node, interface: str) -> None:
+        self.pdp_active = True
+        waiters, self._pdp_waiters = self._pdp_waiters, []
+        for action in waiters:
+            action()
+
+    @handles(ActivatePdpContextReject)
+    def on_pdp_reject(self, msg: ActivatePdpContextReject, src: Node, interface: str) -> None:
+        self._pdp_waiters.clear()
+        self.sim.metrics.counter(f"{self.name}.pdp_rejects").inc()
+
+    def _deactivate_pdp(self) -> None:
+        if not self.pdp_active or self._pdp_deactivating:
+            return
+        self._pdp_deactivating = True
+        self._tx(DeactivatePdpContextRequest(imsi=self.imsi, nsapi=NSAPI_SIGNALLING))
+
+    @handles(DeactivatePdpContextAccept)
+    def on_pdp_deactivated(self, msg: DeactivatePdpContextAccept, src: Node, interface: str) -> None:
+        self.pdp_active = False
+        self._pdp_deactivating = False
+        if self._pdp_waiters:
+            # Something queued while the teardown was in flight.
+            self._request_activation()
+
+    def move_to(self, bts_name: str, routing_area: str) -> None:
+        """Camp on a new cell; if it belongs to a different routing
+        area, run a routing-area update through the new SGSN (which pulls
+        the contexts from the old one when necessary)."""
+        old_ra = self.routing_area
+        self.serving_bts = bts_name
+        self.routing_area = routing_area
+        self._tx(
+            RoutingAreaUpdateRequest(
+                imsi=self.imsi,
+                routing_area=routing_area,
+                old_routing_area=old_ra,
+            )
+        )
+
+    @handles(RoutingAreaUpdateAccept)
+    def on_rau_accept(self, msg: RoutingAreaUpdateAccept, src: Node, interface: str) -> None:
+        self.sim.metrics.counter(f"{self.name}.rau_accepted").inc()
+
+    @handles(GprsPaging)
+    def on_gprs_paging(self, msg: GprsPaging, src: Node, interface: str) -> None:
+        """Answer GPRS paging so the SGSN can deliver buffered downlink
+        traffic (part of the 3G TR MT-call latency)."""
+        if msg.imsi == self.imsi:
+            self._tx(GprsPagingResponse(imsi=self.imsi))
+
+    @handles(RequestPdpContextActivation)
+    def on_network_requested_activation(
+        self, msg: RequestPdpContextActivation, src: Node, interface: str
+    ) -> None:
+        """Network-requested activation: a downlink PDU (the incoming
+        call's Setup) is waiting at the GGSN."""
+        self.sim.metrics.counter(f"{self.name}.network_requested_pdp").inc()
+        self._with_pdp(lambda: None)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def place_call(self, called: E164Number) -> None:
+        if self.state != "idle" or self.call is not None:
+            raise CallSetupError(f"{self.name}: busy ({self.state})")
+        call = _H323MsCall(
+            call_ref=self.sim.call_refs.next(),
+            direction="out",
+            remote_alias=called,
+            dialled_at=self.sim.now,
+        )
+        self.call = call
+        self.state = "calling"
+        # 3G TR MO: PDP activation precedes admission.
+        self._with_pdp(lambda: self._send_arq(call))
+
+    def _send_arq(self, call: _H323MsCall) -> None:
+        call.state = "admission"
+        self._send_h323(
+            RasArq(
+                seq=self._ras_seq.next(),
+                call_ref=call.call_ref,
+                endpoint_alias=self.msisdn,
+                called_alias=call.remote_alias,
+                answer_call=0,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    def hangup(self) -> None:
+        call = self.call
+        if call is None:
+            raise CallSetupError(f"{self.name}: no active call")
+        self.stop_talking()
+        if call.remote_signal is not None:
+            self._send_h323(
+                Q931ReleaseComplete(
+                    call_ref=call.call_ref, cause=CAUSE_NORMAL_CLEARING
+                ),
+                dst=call.remote_signal[0],
+                dport=call.remote_signal[1],
+                sport=PORT_H225_CS,
+                tcp=True,
+            )
+        self._finish_release(call)
+
+    def _finish_release(self, call: _H323MsCall) -> None:
+        self._send_h323(
+            RasDrq(
+                seq=self._ras_seq.next(),
+                call_ref=call.call_ref,
+                endpoint_alias=self.msisdn,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+        self.call = None
+        self.state = "idle"
+        # 3G TR: the context is torn down again after the call.  A short
+        # grace period lets the release signalling drain through the
+        # still-active context first.
+        self.sim.schedule(0.5, self._deactivate_if_idle)
+        if self.on_released is not None:
+            self.on_released()
+
+    def _deactivate_if_idle(self) -> None:
+        if self.call is None and self.state == "idle":
+            self._deactivate_pdp()
+
+    # ------------------------------------------------------------------
+    # H.323 message handling
+    # ------------------------------------------------------------------
+    def _on_h323(self, message: Packet) -> None:
+        call = self.call
+        if isinstance(message, RasRcf):
+            if not self.registered:
+                self.registered = True
+                self.state = "idle"
+                # 3G TR fig. 7 step 6: deactivate after registration.
+                self._deactivate_pdp()
+                if self.on_registered is not None:
+                    self.on_registered()
+        elif isinstance(message, RasAcf):
+            if call is None:
+                return
+            if call.direction == "out" and call.state == "admission":
+                if message.dest_signal_address is None:
+                    self._finish_release(call)
+                    return
+                call.remote_signal = (
+                    message.dest_signal_address,
+                    message.dest_signal_port or PORT_H225_CS,
+                )
+                call.state = "setup-sent"
+                self._send_h323(
+                    Q931Setup(
+                        call_ref=call.call_ref,
+                        called=call.remote_alias,
+                        calling=self.msisdn,
+                        signal_address=self.static_ip,
+                        signal_port=PORT_H225_CS,
+                        media_address=self.static_ip,
+                        media_port=PORT_RTP,
+                    ),
+                    dst=call.remote_signal[0],
+                    dport=call.remote_signal[1],
+                    sport=PORT_H225_CS,
+                    tcp=True,
+                )
+            elif call.direction == "in" and call.state == "admission":
+                call.state = "ringing"
+                call.alerting_at = self.sim.now
+                self._send_q931(call, Q931Alerting(call_ref=call.call_ref))
+                self.sim.schedule(self.answer_delay, self._answer, call.call_ref)
+        elif isinstance(message, RasArj):
+            if call is not None:
+                self.sim.metrics.counter(f"{self.name}.call_rejects").inc()
+                self._finish_release(call)
+        elif isinstance(message, Q931Setup):
+            self._on_incoming_setup(message)
+        elif isinstance(message, Q931CallProceeding):
+            pass
+        elif isinstance(message, Q931Alerting):
+            if call is not None:
+                call.alerting_at = self.sim.now
+                call.state = "alerting"
+        elif isinstance(message, Q931Connect):
+            if call is not None:
+                call.remote_media = (message.media_address, message.media_port)
+                call.connected_at = self.sim.now
+                call.state = "in-call"
+                self.state = "in-call"
+                if self.on_connected is not None:
+                    self.on_connected()
+        elif isinstance(message, Q931ReleaseComplete):
+            if call is not None:
+                self.stop_talking()
+                self._finish_release(call)
+        elif isinstance(message, RtpPacket):
+            self._on_rtp(message)
+        elif isinstance(message, (RasDcf,)):
+            pass
+
+    def _on_incoming_setup(self, msg: Q931Setup) -> None:
+        if self.call is not None:
+            self._send_h323(
+                Q931ReleaseComplete(call_ref=msg.call_ref, cause=17),
+                dst=msg.signal_address,
+                dport=msg.signal_port,
+                sport=PORT_H225_CS,
+                tcp=True,
+            )
+            return
+        call = _H323MsCall(
+            call_ref=msg.call_ref,
+            direction="in",
+            state="admission",
+            remote_alias=msg.calling,
+            remote_signal=(msg.signal_address, msg.signal_port),
+            remote_media=(msg.media_address, msg.media_port),
+            dialled_at=self.sim.now,
+        )
+        self.call = call
+        self.state = "ringing"
+        self._send_q931(call, Q931CallProceeding(call_ref=call.call_ref))
+        self._send_h323(
+            RasArq(
+                seq=self._ras_seq.next(),
+                call_ref=call.call_ref,
+                endpoint_alias=self.msisdn,
+                answer_call=1,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    def _answer(self, call_ref: int) -> None:
+        call = self.call
+        if call is None or call.call_ref != call_ref or call.state != "ringing":
+            return
+        call.state = "in-call"
+        call.connected_at = self.sim.now
+        self.state = "in-call"
+        self._send_q931(
+            call,
+            Q931Connect(
+                call_ref=call_ref,
+                media_address=self.static_ip,
+                media_port=PORT_RTP,
+            ),
+        )
+        if self.on_connected is not None:
+            self.on_connected()
+
+    def _send_q931(self, call: _H323MsCall, message: Packet) -> None:
+        assert call.remote_signal is not None
+        self._send_h323(
+            message,
+            dst=call.remote_signal[0],
+            dport=call.remote_signal[1],
+            sport=PORT_H225_CS,
+            tcp=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Voice over the packet radio
+    # ------------------------------------------------------------------
+    def start_talking(self, frame_interval: float = 0.020, duration: Optional[float] = None) -> None:
+        if self.call is None or self.call.state != "in-call":
+            raise CallSetupError(f"{self.name}: start_talking outside a call")
+        self.stop_talking()
+        self._voice_proc = spawn(self.sim, self._talk(self.call, frame_interval, duration))
+
+    def _talk(self, call: _H323MsCall, interval: float, duration: Optional[float]):
+        started = self.sim.now
+        while call.state == "in-call" and call.remote_media is not None:
+            if duration is not None and self.sim.now - started >= duration:
+                break
+            call.rtp_seq += 1
+            self._send_h323(
+                RtpPacket(
+                    payload_type=PT_GSM,
+                    seq=call.rtp_seq & 0xFFFF,
+                    timestamp=int(self.sim.now * 8000) & 0xFFFFFFFF,
+                    ssrc=call.call_ref & 0xFFFFFFFF,
+                    gen_time_us=int(self.sim.now * 1e6),
+                    frame=b"\x00" * 33,
+                ),
+                dst=call.remote_media[0],
+                dport=call.remote_media[1],
+                sport=PORT_RTP,
+            )
+            yield interval
+
+    def stop_talking(self) -> None:
+        if self._voice_proc is not None:
+            self._voice_proc.interrupt()
+            self._voice_proc = None
+
+    def _on_rtp(self, packet: RtpPacket) -> None:
+        self.frames_received += 1
+        now = self.sim.now
+        self.sim.metrics.histogram(f"{self.name}.mouth_to_ear").observe(
+            now - packet.gen_time_us / 1e6
+        )
+        if self._last_rx_time is not None:
+            self.sim.metrics.histogram(f"{self.name}.jitter").observe(
+                abs((now - self._last_rx_time) - 0.020)
+            )
+        self._last_rx_time = now
+
+
+@dataclass
+class Tgtr3Network:
+    """A constructed 3G TR 23.923 network."""
+
+    sim: Simulator
+    net: Network
+    latencies: LatencyProfile
+    cloud: IPCloud
+    gk: Gatekeeper
+    ggsn: Ggsn
+    sgsn: Sgsn
+    bsc: Bsc
+    btss: List[Bts] = field(default_factory=list)
+    mss: Dict[str, H323MobileStation] = field(default_factory=dict)
+    terminals: Dict[str, H323Terminal] = field(default_factory=dict)
+    #: routing-area name -> its SGSN (the default area is "RA-1").
+    areas: Dict[str, Sgsn] = field(default_factory=dict)
+    _terminal_count: int = 0
+    _static_count: int = 0
+
+    def add_ms(
+        self,
+        name: str,
+        imsi: str,
+        msisdn: str,
+        bts: Optional[Bts] = None,
+        answer_delay: float = 1.0,
+    ) -> H323MobileStation:
+        """An H.323-capable GPRS handset with a static PDP address
+        provisioned at the GGSN (required for MT calls)."""
+        bts = bts if bts is not None else self.btss[0]
+        self._static_count += 1
+        static_ip = IPv4Address(STATIC_IP_BASE.value + self._static_count)
+        ms = H323MobileStation(
+            self.sim,
+            name,
+            imsi=IMSI(imsi),
+            msisdn=E164Number.parse(msisdn),
+            static_ip=static_ip,
+            serving_bts=bts.name,
+            gk_ip=self.gk.ip,
+            answer_delay=answer_delay,
+        )
+        self.net.add(ms)
+        self.net.connect(ms, bts, Interface.UM, self.latencies.um,
+                         wire_fidelity=True)
+        self.ggsn.provision_static(ms.imsi, static_ip, self.sgsn.name)
+        self.mss[name] = ms
+        return ms
+
+    def add_routing_area(
+        self, name: str, packet_channel_bps: Optional[float] = 4 * 13_400.0
+    ) -> Tuple[Sgsn, Bsc, Bts]:
+        """Add a routing area: its own SGSN/BSC/BTS, wired to the GGSN
+        and cross-wired to every existing SGSN so inter-SGSN routing-area
+        updates can pull contexts over Gn."""
+        sgsn = self.net.add(Sgsn(self.sim, f"SGSN-{name}", ready_timeout=5.0))
+        bsc = self.net.add(Bsc(self.sim, f"BSC-{name}"))
+        bts = self.net.add(
+            Bts(self.sim, f"BTS-{name}", packet_channel_bps=packet_channel_bps)
+        )
+        lat = self.latencies
+        self.net.connect(bts, bsc, Interface.ABIS, lat.abis, wire_fidelity=True)
+        self.net.connect(bsc, sgsn, Interface.GB, lat.gb, wire_fidelity=True)
+        self.net.connect(sgsn, self.ggsn, Interface.GN, lat.gn, wire_fidelity=True)
+        for other_name, other in self.areas.items():
+            self.net.connect(sgsn, other, Interface.GN, lat.gn,
+                             wire_fidelity=True)
+            other.rai_map[name] = sgsn.name
+            sgsn.rai_map[other_name] = other.name
+        self.areas[name] = sgsn
+        return sgsn, bsc, bts
+
+    def add_terminal(self, name: str, alias: str, answer_delay: float = 1.0) -> H323Terminal:
+        self._terminal_count += 1
+        ip = IPv4Address(TERMINAL_IP_BASE.value + self._terminal_count)
+        terminal = H323Terminal(
+            self.sim, name, ip=ip, alias=E164Number.parse(alias),
+            gk_ip=self.gk.ip, answer_delay=answer_delay,
+        )
+        self.net.add(terminal)
+        self.net.connect(terminal, self.cloud, Interface.IP, self.latencies.ip,
+                         wire_fidelity=True)
+        terminal.register()
+        self.terminals[name] = terminal
+        return terminal
+
+
+def build_3gtr_network(
+    seed: int = 0,
+    latencies: Optional[LatencyProfile] = None,
+    num_bts: int = 1,
+    packet_channel_bps: Optional[float] = 4 * 13_400.0,
+) -> Tgtr3Network:
+    """Build the 3G TR 23.923 comparison network (no VMSC; the BSC's PCU
+    connects straight to the SGSN)."""
+    lat = latencies if latencies is not None else LatencyProfile()
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+
+    cloud = net.add(IPCloud(sim, "IPNET"))
+    gk = Gatekeeper(sim, "GK", ip=GK_IP)
+    net.add(gk)
+    net.connect(gk, cloud, Interface.IP, lat.ip, wire_fidelity=True)
+    gk.attach_to_cloud()
+
+    ggsn = net.add(Ggsn(sim, "GGSN"))
+    # Radio-served subscribers fall back to STANDBY and must be paged
+    # for downlink traffic (GSM 03.60); the vGPRS builder leaves the
+    # timeout off because its Gb peer is the always-reachable VMSC.
+    sgsn = net.add(Sgsn(sim, "SGSN", ready_timeout=5.0))
+    net.connect(ggsn, cloud, Interface.GI, lat.gi, wire_fidelity=True)
+    net.connect(sgsn, ggsn, Interface.GN, lat.gn, wire_fidelity=True)
+
+    bsc = net.add(Bsc(sim, "BSC"))
+    net.connect(bsc, sgsn, Interface.GB, lat.gb, wire_fidelity=True)
+
+    network = Tgtr3Network(
+        sim=sim, net=net, latencies=lat, cloud=cloud, gk=gk,
+        ggsn=ggsn, sgsn=sgsn, bsc=bsc,
+    )
+    network.areas["RA-1"] = sgsn
+    for i in range(num_bts):
+        bts = Bts(sim, f"BTS{i + 1}", packet_channel_bps=packet_channel_bps)
+        net.add(bts)
+        net.connect(bts, bsc, Interface.ABIS, lat.abis, wire_fidelity=True)
+        network.btss.append(bts)
+    return network

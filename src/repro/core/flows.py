@@ -1,0 +1,269 @@
+"""Golden message flows transcribed from the paper's Figures 4-6.
+
+Each figure becomes a list of :class:`FlowStep` entries — one per message
+arrow, carrying the paper's step number.  Steps form a *partial* order:
+by default each step follows the previous one, but branches the figures
+draw as parallel (e.g. the Call Proceeding returning to the VMSC while
+the terminal's own ARQ goes to the gatekeeper, steps 2.4/2.5) declare
+their true causal predecessor explicitly via ``after``.
+
+:func:`match_flow` verifies a recorded trace against a flow: every step
+must appear, each no earlier than the steps it depends on.  Integration
+tests and the E2-E5 benches run it on live simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.sim.trace import TraceEntry, TraceRecorder
+
+
+class FlowMismatch(ReproError):
+    """The simulated trace does not contain the paper's message flow."""
+
+
+@dataclass(frozen=True)
+class FlowStep:
+    """One arrow of a message-flow figure.
+
+    ``src``/``dst`` of ``None`` match any node — used for tunnelled
+    messages where the figure draws a logical arrow and the simulation
+    records several hops (the step then pins only the interesting end).
+    """
+
+    step: str                      # the paper's step label, e.g. "2.4"
+    message: str
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    after: Tuple[str, ...] = ()    # explicit causal predecessors
+
+    def matches(self, entry: TraceEntry) -> bool:
+        if entry.message != self.message:
+            return False
+        if self.src is not None and entry.src != self.src:
+            return False
+        if self.dst is not None and entry.dst != self.dst:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class NodeNames:
+    """Node names the flows are expressed against."""
+
+    ms: str = "MS1"
+    bts: str = "BTS1"
+    bsc: str = "BSC"
+    vmsc: str = "VMSC"
+    vlr: str = "VLR"
+    hlr: str = "HLR"
+    sgsn: str = "SGSN"
+    ggsn: str = "GGSN"
+    ipnet: str = "IPNET"
+    gk: str = "GK"
+    term: str = "TERM1"
+
+
+def match_flow(
+    trace: TraceRecorder,
+    steps: Sequence[FlowStep],
+    since: float = 0.0,
+) -> Dict[str, TraceEntry]:
+    """Verify *steps* against the recorded trace.
+
+    Greedy causal matching: steps are processed in list order; each
+    consumes the earliest unconsumed entry matching it whose delivery
+    time is >= the times of all its predecessors (the previous step by
+    default).  Returns ``{step label: matched entry}``; raises
+    :class:`FlowMismatch` with a readable diagnosis otherwise.
+    """
+    entries = [e for e in trace.entries if e.kind == "msg" and e.time >= since]
+    consumed = [False] * len(entries)
+    matched: Dict[str, TraceEntry] = {}
+    previous: Optional[str] = None
+    for step in steps:
+        deps = step.after if step.after else ((previous,) if previous else ())
+        not_before = 0.0
+        for dep in deps:
+            if dep is None:
+                continue
+            if dep not in matched:
+                raise FlowMismatch(
+                    f"step {step.step} depends on {dep!r}, which is not an "
+                    "earlier step in the flow"
+                )
+            not_before = max(not_before, matched[dep].time)
+        found = None
+        for i, entry in enumerate(entries):
+            if consumed[i] or entry.time < not_before:
+                continue
+            if step.matches(entry):
+                found = i
+                break
+        if found is None:
+            near = [
+                f"{e.time:.4f} {e.message} {e.src}->{e.dst}"
+                for e in entries
+                if e.message == step.message
+            ]
+            raise FlowMismatch(
+                f"step {step.step} ({step.message} "
+                f"{step.src or '*'}->{step.dst or '*'}) not found after "
+                f"t={not_before:.4f}; same-name entries: {near or 'none'}"
+            )
+        consumed[found] = True
+        matched[step.step] = entries[found]
+        previous = step.step
+    return matched
+
+
+# ----------------------------------------------------------------------
+# Figure 4: vGPRS registration (steps 1.1 - 1.6)
+# ----------------------------------------------------------------------
+def registration_flow(n: NodeNames = NodeNames()) -> List[FlowStep]:
+    return [
+        FlowStep("1.1-um", "Um_Location_Update_Request", n.ms, n.bts),
+        FlowStep("1.1-abis", "Abis_Location_Update", n.bts, n.bsc),
+        FlowStep("1.1-a", "A_Location_Update", n.bsc, n.vmsc),
+        FlowStep("1.1-map", "MAP_Update_Location_Area", n.vmsc, n.vlr),
+        # Standard GSM authentication runs here; the figure omits it.
+        FlowStep("1.2-ul", "MAP_Update_Location", n.vlr, n.hlr),
+        FlowStep("1.2-isd", "MAP_Insert_Subs_Data", n.hlr, n.vlr),
+        FlowStep("1.2-isd-ack", "MAP_Insert_Subs_Data_ack", n.vlr, n.hlr),
+        FlowStep("1.2-ul-ack", "MAP_Update_Location_ack", n.hlr, n.vlr),
+        # Ciphering runs here (figure: "the VLR then sets up ... ciphering").
+        FlowStep("1.2-ula-ack", "MAP_Update_Location_Area_ack", n.vlr, n.vmsc),
+        FlowStep("1.3-attach", "GPRS_Attach_Request", n.vmsc, n.sgsn),
+        FlowStep("1.3-attach-ack", "GPRS_Attach_Accept", n.sgsn, n.vmsc),
+        FlowStep("1.3-pdp", "Activate_PDP_Context_Request", n.vmsc, n.sgsn),
+        FlowStep("1.3-gtp", "Create_PDP_Context_Request", n.sgsn, n.ggsn),
+        FlowStep("1.3-gtp-rsp", "Create_PDP_Context_Response", n.ggsn, n.sgsn),
+        FlowStep("1.3-pdp-ack", "Activate_PDP_Context_Accept", n.sgsn, n.vmsc),
+        # Steps 1.4/1.5 tunnel through SGSN/GGSN; pin origin and ends.
+        FlowStep("1.4-rrq", "RAS_RRQ", n.vmsc, n.sgsn),
+        FlowStep("1.4-rrq-gk", "RAS_RRQ", None, n.gk),
+        FlowStep("1.5-rcf", "RAS_RCF", n.gk, n.ipnet),
+        FlowStep("1.5-rcf-vmsc", "RAS_RCF", None, n.vmsc),
+        FlowStep("1.6-a", "A_Location_Update_Accept", n.vmsc, n.bsc),
+        FlowStep("1.6-abis", "Abis_Location_Update_Accept", n.bsc, n.bts),
+        FlowStep("1.6-um", "Um_Location_Update_Accept", n.bts, n.ms),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 5 (top): MS call origination (steps 2.1 - 2.9)
+# ----------------------------------------------------------------------
+def origination_flow(n: NodeNames = NodeNames()) -> List[FlowStep]:
+    return [
+        # Step 2.1: channel assignment/auth/ciphering elided by the
+        # figure, then the dialled digits travel up.
+        FlowStep("2.1-um", "Um_Setup", n.ms, n.bts),
+        FlowStep("2.1-abis", "Abis_Setup", n.bts, n.bsc),
+        FlowStep("2.1-a", "A_Setup", n.bsc, n.vmsc),
+        FlowStep("2.2-sifoc", "MAP_Send_Info_For_Outgoing_Call", n.vmsc, n.vlr),
+        FlowStep("2.2-ack", "MAP_Send_Info_For_Outgoing_Call_ack", n.vlr, n.vmsc),
+        FlowStep("2.3-arq", "RAS_ARQ", n.vmsc, n.sgsn),
+        FlowStep("2.3-arq-gk", "RAS_ARQ", None, n.gk),
+        FlowStep("2.3-acf", "RAS_ACF", n.gk, n.ipnet),
+        FlowStep("2.3-acf-vmsc", "RAS_ACF", None, n.vmsc),
+        FlowStep("2.4-setup", "Q931_Setup", n.vmsc, n.sgsn),
+        FlowStep("2.4-setup-term", "Q931_Setup", None, n.term),
+        FlowStep("2.4-proceeding", "Q931_Call_Proceeding", n.term, n.ipnet,
+                 after=("2.4-setup-term",)),
+        FlowStep("2.4-proceeding-vmsc", "Q931_Call_Proceeding", None, n.vmsc),
+        # Step 2.5: the terminal's own admission, parallel to 2.4's
+        # Call Proceeding travelling back.
+        FlowStep("2.5-arq", "RAS_ARQ", n.term, n.ipnet, after=("2.4-setup-term",)),
+        FlowStep("2.5-arq-gk", "RAS_ARQ", n.ipnet, n.gk),
+        FlowStep("2.5-acf", "RAS_ACF", None, n.term),
+        FlowStep("2.6-alerting", "Q931_Alerting", n.term, n.ipnet),
+        FlowStep("2.6-alerting-vmsc", "Q931_Alerting", None, n.vmsc),
+        FlowStep("2.7-a", "A_Alerting", n.vmsc, n.bsc),
+        FlowStep("2.7-abis", "Abis_Alerting", n.bsc, n.bts),
+        FlowStep("2.7-um", "Um_Alerting", n.bts, n.ms),
+        FlowStep("2.8-connect", "Q931_Connect", n.term, n.ipnet, after=("2.5-acf",)),
+        FlowStep("2.8-connect-vmsc", "Q931_Connect", None, n.vmsc),
+        FlowStep("2.8-a", "A_Connect", n.vmsc, n.bsc),
+        FlowStep("2.8-abis", "Abis_Connect", n.bsc, n.bts),
+        FlowStep("2.8-um", "Um_Connect", n.bts, n.ms),
+        FlowStep("2.9-pdp", "Activate_PDP_Context_Request", n.vmsc, n.sgsn,
+                 after=("2.8-connect-vmsc",)),
+        FlowStep("2.9-gtp", "Create_PDP_Context_Request", n.sgsn, n.ggsn),
+        FlowStep("2.9-gtp-rsp", "Create_PDP_Context_Response", n.ggsn, n.sgsn),
+        FlowStep("2.9-pdp-ack", "Activate_PDP_Context_Accept", n.sgsn, n.vmsc),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 5 (bottom): call release (steps 3.1 - 3.4)
+# ----------------------------------------------------------------------
+def release_flow(n: NodeNames = NodeNames()) -> List[FlowStep]:
+    return [
+        FlowStep("3.1-um", "Um_Disconnect", n.ms, n.bts),
+        FlowStep("3.1-abis", "Abis_Disconnect", n.bts, n.bsc),
+        FlowStep("3.1-a", "A_Disconnect", n.bsc, n.vmsc),
+        FlowStep("3.2-release", "Q931_Release_Complete", n.vmsc, n.sgsn),
+        FlowStep("3.2-release-term", "Q931_Release_Complete", None, n.term),
+        # Step 3.3: both ends disengage; the VMSC's DRQ races the
+        # Release Complete still in flight toward the terminal.
+        FlowStep("3.3-drq-vmsc", "RAS_DRQ", n.vmsc, n.sgsn, after=("3.1-a",)),
+        FlowStep("3.3-dcf-vmsc", "RAS_DCF", None, n.vmsc),
+        FlowStep("3.3-drq-term", "RAS_DRQ", n.term, n.ipnet,
+                 after=("3.2-release-term",)),
+        FlowStep("3.3-dcf-term", "RAS_DCF", None, n.term),
+        FlowStep("3.4-pdp", "Deactivate_PDP_Context_Request", n.vmsc, n.sgsn,
+                 after=("3.1-a",)),
+        FlowStep("3.4-gtp", "Delete_PDP_Context_Request", n.sgsn, n.ggsn),
+        FlowStep("3.4-gtp-rsp", "Delete_PDP_Context_Response", n.ggsn, n.sgsn),
+        FlowStep("3.4-pdp-ack", "Deactivate_PDP_Context_Accept", n.sgsn, n.vmsc),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 6: MS call termination (steps 4.1 - 4.8)
+# ----------------------------------------------------------------------
+def termination_flow(n: NodeNames = NodeNames()) -> List[FlowStep]:
+    return [
+        FlowStep("4.1-arq", "RAS_ARQ", n.term, n.ipnet),
+        FlowStep("4.1-acf", "RAS_ACF", None, n.term),
+        FlowStep("4.2-setup", "Q931_Setup", n.term, n.ipnet),
+        FlowStep("4.2-setup-ggsn", "Q931_Setup", n.ipnet, n.ggsn),
+        FlowStep("4.2-setup-sgsn", "Q931_Setup", n.ggsn, n.sgsn),
+        FlowStep("4.2-setup-vmsc", "Q931_Setup", n.sgsn, n.vmsc),
+        FlowStep("4.2-proceeding", "Q931_Call_Proceeding", n.vmsc, n.sgsn),
+        FlowStep("4.2-proceeding-term", "Q931_Call_Proceeding", None, n.term),
+        # Step 4.3: the VMSC's answer-side admission, parallel to 4.2's
+        # Call Proceeding travelling back to the terminal.
+        FlowStep("4.3-arq", "RAS_ARQ", n.vmsc, n.sgsn, after=("4.2-setup-vmsc",)),
+        FlowStep("4.3-arq-gk", "RAS_ARQ", None, n.gk),
+        FlowStep("4.3-acf", "RAS_ACF", n.gk, n.ipnet),
+        FlowStep("4.3-acf-vmsc", "RAS_ACF", None, n.vmsc),
+        FlowStep("4.4-a", "A_Paging", n.vmsc, n.bsc),
+        FlowStep("4.4-abis", "Abis_Paging", n.bsc, n.bts),
+        FlowStep("4.4-um", "Um_Paging", n.bts, n.ms),
+        FlowStep("4.5-um", "Um_Paging_Response", n.ms, n.bts),
+        FlowStep("4.5-abis", "Abis_Paging_Response", n.bts, n.bsc),
+        FlowStep("4.5-a", "A_Paging_Response", n.bsc, n.vmsc),
+        # Authentication, ciphering and TCH assignment run here (4.5).
+        FlowStep("4.5-setup-a", "A_Setup", n.vmsc, n.bsc),
+        FlowStep("4.5-setup-abis", "Abis_Setup", n.bsc, n.bts),
+        FlowStep("4.5-setup-um", "Um_Setup", n.bts, n.ms),
+        FlowStep("4.6-um", "Um_Alerting", n.ms, n.bts),
+        FlowStep("4.6-abis", "Abis_Alerting", n.bts, n.bsc),
+        FlowStep("4.6-a", "A_Alerting", n.bsc, n.vmsc),
+        FlowStep("4.6-q931", "Q931_Alerting", n.vmsc, n.sgsn),
+        FlowStep("4.6-q931-term", "Q931_Alerting", None, n.term),
+        FlowStep("4.7-um", "Um_Connect", n.ms, n.bts, after=("4.6-a",)),
+        FlowStep("4.7-abis", "Abis_Connect", n.bts, n.bsc),
+        FlowStep("4.7-a", "A_Connect", n.bsc, n.vmsc),
+        FlowStep("4.7-q931", "Q931_Connect", n.vmsc, n.sgsn),
+        FlowStep("4.7-q931-term", "Q931_Connect", None, n.term),
+        FlowStep("4.8-pdp", "Activate_PDP_Context_Request", n.vmsc, n.sgsn,
+                 after=("4.7-a",)),
+        FlowStep("4.8-gtp", "Create_PDP_Context_Request", n.sgsn, n.ggsn),
+        FlowStep("4.8-gtp-rsp", "Create_PDP_Context_Response", n.ggsn, n.sgsn),
+        FlowStep("4.8-pdp-ack", "Activate_PDP_Context_Accept", n.sgsn, n.vmsc),
+    ]

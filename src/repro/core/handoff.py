@@ -1,0 +1,159 @@
+"""Inter-system handoff scenario — Figure 9.
+
+A vGPRS network whose VMSC neighbours a classic GSM MSC.  A call is
+established through the VMSC (Figure 9a); the MS then moves into the
+MSC's cell.  The standard GSM inter-system handoff runs over the MAP E
+interface, an inter-MSC circuit trunk is set up, and afterwards the VMSC
+remains the **anchor** in the call path (Figure 9b) — voice now flows
+MS -> BTS2 -> BSC2 -> MSC -> (E trunk) -> VMSC -> GPRS -> H.323 network.
+
+"Inter-system handoff between two VMSCs follows the same procedure"
+(paper §7): pass ``target="vmsc"`` to build the two-VMSC variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.network import LatencyProfile, VgprsNetwork, build_vgprs_network
+from repro.core.vmsc import Vmsc
+from repro.gsm.bsc import Bsc
+from repro.gsm.bts import Bts
+from repro.gsm.ms import MobileStation
+from repro.gsm.msc import GsmMsc
+from repro.gsm.msc_base import MscBase
+from repro.net.interfaces import Interface
+
+SERVING_CELL = "cell-1"
+TARGET_CELL = "cell-2"
+
+
+@dataclass
+class HandoffNetwork:
+    """The Figure 9 topology: vGPRS PLMN + neighbouring target system."""
+
+    vgprs: VgprsNetwork
+    target_msc: MscBase
+    target_bsc: Bsc
+    target_bts: Bts
+    ms: Optional[MobileStation] = None
+
+    @property
+    def sim(self):
+        return self.vgprs.sim
+
+    def add_ms(self, name: str, imsi: str, msisdn: str,
+               answer_delay: float = 1.0) -> MobileStation:
+        """An MS with radio visibility of both systems' cells."""
+        ms = self.vgprs.add_ms(name, imsi, msisdn, answer_delay=answer_delay)
+        self.vgprs.net.connect(
+            ms, self.target_bts, Interface.UM, self.vgprs.latencies.um,
+            wire_fidelity=True,
+        )
+        ms.cells = {
+            SERVING_CELL: self.vgprs.btss[0].name,
+            TARGET_CELL: self.target_bts.name,
+        }
+        self.ms = ms
+        return ms
+
+    def add_system(self, cell: str, name: str) -> GsmMsc:
+        """Add a third (or Nth) classic-MSC system serving *cell*, wired
+        to the anchor over the E interface — for chained subsequent
+        handoffs."""
+        sim, net = self.sim, self.vgprs.net
+        msc = net.add(GsmMsc(sim, name, cic_start=550000 + len(net.nodes)))
+        bsc = net.add(Bsc(sim, f"BSC-{name}"))
+        bts = net.add(Bts(sim, f"BTS-{name}"))
+        lat = self.vgprs.latencies
+        net.connect(bsc, msc, Interface.A, lat.a, wire_fidelity=True)
+        net.connect(bts, bsc, Interface.ABIS, lat.abis, wire_fidelity=True)
+        net.connect(self.vgprs.vmsc, msc, Interface.E, lat.ss7,
+                    wire_fidelity=True)
+        self.vgprs.vmsc.neighbor_cells[cell] = msc.name
+        msc.cells[cell] = bsc.name
+        if self.ms is not None:
+            net.connect(self.ms, bts, Interface.UM, lat.um,
+                        wire_fidelity=True)
+            self.ms.cells[cell] = bts.name
+        return msc
+
+    def trigger_handback(self) -> None:
+        """The serving system reports the anchor's own cell: subsequent
+        handoff back (the E trunk is then released)."""
+        assert self.ms is not None
+        conn = self.target_msc.conn(self.ms.imsi)
+        self.target_bsc.report_handover_required(
+            self.ms.imsi, conn.ti or 0, SERVING_CELL
+        )
+
+    def trigger_handoff(self) -> None:
+        """Radio measurements demand the target cell (scenario driver)."""
+        assert self.ms is not None, "add_ms first"
+        conn = self.vgprs.vmsc.conn(self.ms.imsi)
+        self.vgprs.bscs[0].report_handover_required(
+            self.ms.imsi, conn.ti or 0, TARGET_CELL
+        )
+
+    def handoff_complete(self) -> bool:
+        assert self.ms is not None
+        conn = self.vgprs.vmsc.conn(self.ms.imsi)
+        return conn.via_msc == self.target_msc.name
+
+    def voice_path(self) -> List[str]:
+        """The current voice path, Figure 9 style: radio leg up to the
+        anchor VMSC, then the packet leg toward the H.323 network."""
+        assert self.ms is not None
+        conn = self.vgprs.vmsc.conn(self.ms.imsi)
+        packet_leg = [
+            self.vgprs.vmsc.name,
+            self.vgprs.sgsn.name,
+            self.vgprs.ggsn.name,
+            self.vgprs.cloud.name,
+        ]
+        if conn.via_msc is None:
+            radio_leg = [self.ms.name, self.vgprs.btss[0].name, conn.bsc]
+        else:
+            radio_leg = [
+                self.ms.name,
+                self.target_bts.name,
+                self.target_bsc.name,
+                self.target_msc.name,
+            ]
+        return radio_leg + packet_leg
+
+
+def build_handoff_network(
+    seed: int = 0,
+    latencies: LatencyProfile = LatencyProfile(),
+    target: str = "msc",
+) -> HandoffNetwork:
+    """Wire Figure 9.  ``target`` selects a classic GSM ``"msc"`` or a
+    second ``"vmsc"`` as the neighbouring system."""
+    vgprs = build_vgprs_network(seed=seed, latencies=latencies)
+    sim, net = vgprs.sim, vgprs.net
+
+    if target == "vmsc":
+        target_msc: MscBase = Vmsc(sim, "VMSC2", gk_ip=vgprs.gk.ip)
+    else:
+        target_msc = GsmMsc(sim, "MSC2")
+    net.add(target_msc)
+    target_bsc = net.add(Bsc(sim, "BSC2"))
+    target_bts = net.add(Bts(sim, "BTS2"))
+    net.connect(target_bsc, target_msc, Interface.A, latencies.a,
+                wire_fidelity=True)
+    net.connect(target_bts, target_bsc, Interface.ABIS, latencies.abis,
+                wire_fidelity=True)
+    # MAP E interface between the two switches (signalling + trunk).
+    net.connect(vgprs.vmsc, target_msc, Interface.E, latencies.ss7,
+                wire_fidelity=True)
+
+    vgprs.vmsc.neighbor_cells[TARGET_CELL] = target_msc.name
+    target_msc.cells[TARGET_CELL] = target_bsc.name
+    return HandoffNetwork(
+        vgprs=vgprs,
+        target_msc=target_msc,
+        target_bsc=target_bsc,
+        target_bts=target_bts,
+    )

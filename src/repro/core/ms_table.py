@@ -1,0 +1,146 @@
+"""The VMSC's MS table.
+
+Paper §2: "The VMSC maintains an MS table.  The table stores the MS
+mobility management (MM) and PDP contexts such as TMSI, IMSI, and the QoS
+profile requested.  These contexts are the same as that stored in a GPRS
+MS (see section 13.4, GSM 03.60)."
+
+One :class:`MsTableEntry` per attached MS holds the MM context (IMSI,
+TMSI, MSISDN, LAI) and the PDP contexts the VMSC activated on the MS's
+behalf — the always-on signalling context (NSAPI 5) and, during calls,
+the real-time voice context (NSAPI 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.errors import SubscriberError
+from repro.identities import IMSI, E164Number, IPv4Address
+from repro.gprs.pdp import NSAPI_SIGNALLING, NSAPI_VOICE, QosProfile
+
+
+@dataclass
+class PdpState:
+    """One PDP context as mirrored in the MS table."""
+
+    nsapi: int
+    qos: QosProfile
+    active: bool = False
+    pdp_address: Optional[IPv4Address] = None
+    activated_at: float = 0.0
+
+
+@dataclass
+class MsTableEntry:
+    """MM + PDP contexts for one MS attached to the VMSC."""
+
+    imsi: IMSI
+    tmsi: Optional[int] = None
+    msisdn: Optional[E164Number] = None
+    lai: str = ""
+    gprs_attached: bool = False
+    gk_registered: bool = False
+    pdp: Dict[int, PdpState] = field(default_factory=dict)
+    created_at: float = 0.0
+
+    @property
+    def ip(self) -> Optional[IPv4Address]:
+        """The MS's IP address ("an IP address is associated with every
+        MS attached to the VMSC", §2) — taken from any active context."""
+        for state in self.pdp.values():
+            if state.active and state.pdp_address is not None:
+                return state.pdp_address
+        return None
+
+    @property
+    def signalling_ready(self) -> bool:
+        state = self.pdp.get(NSAPI_SIGNALLING)
+        return state is not None and state.active
+
+    @property
+    def voice_ready(self) -> bool:
+        state = self.pdp.get(NSAPI_VOICE)
+        return state is not None and state.active
+
+    def pdp_state(self, nsapi: int) -> PdpState:
+        state = self.pdp.get(nsapi)
+        if state is None:
+            qos = QosProfile.voice() if nsapi == NSAPI_VOICE else QosProfile.signalling()
+            state = self.pdp[nsapi] = PdpState(nsapi=nsapi, qos=qos)
+        return state
+
+
+class MsTable:
+    """The VMSC's registry of attached MSs, indexed every way the call
+    flows need: IMSI (radio side), MSISDN (alias side) and IP address
+    (H.323 side)."""
+
+    def __init__(self) -> None:
+        self._by_imsi: Dict[IMSI, MsTableEntry] = {}
+        self._by_msisdn: Dict[E164Number, IMSI] = {}
+        self._by_ip: Dict[IPv4Address, IMSI] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_imsi)
+
+    def __iter__(self) -> Iterator[MsTableEntry]:
+        return iter(self._by_imsi.values())
+
+    def ensure(self, imsi: IMSI, now: float = 0.0) -> MsTableEntry:
+        entry = self._by_imsi.get(imsi)
+        if entry is None:
+            entry = MsTableEntry(imsi=imsi, created_at=now)
+            self._by_imsi[imsi] = entry
+        return entry
+
+    def get(self, imsi: IMSI) -> Optional[MsTableEntry]:
+        return self._by_imsi.get(imsi)
+
+    def require(self, imsi: IMSI) -> MsTableEntry:
+        entry = self._by_imsi.get(imsi)
+        if entry is None:
+            raise SubscriberError(f"no MS table entry for {imsi}")
+        return entry
+
+    def set_msisdn(self, entry: MsTableEntry, msisdn: E164Number) -> None:
+        if entry.msisdn is not None:
+            self._by_msisdn.pop(entry.msisdn, None)
+        entry.msisdn = msisdn
+        self._by_msisdn[msisdn] = entry.imsi
+
+    def set_ip(self, entry: MsTableEntry, nsapi: int, ip: IPv4Address) -> None:
+        state = entry.pdp_state(nsapi)
+        state.pdp_address = ip
+        state.active = True
+        self._by_ip[ip] = entry.imsi
+
+    def clear_pdp(self, entry: MsTableEntry, nsapi: int) -> None:
+        state = entry.pdp.get(nsapi)
+        if state is None:
+            return
+        state.active = False
+        if state.pdp_address is not None and not any(
+            s.active and s.pdp_address == state.pdp_address
+            for s in entry.pdp.values()
+        ):
+            self._by_ip.pop(state.pdp_address, None)
+
+    def by_msisdn(self, msisdn: E164Number) -> Optional[MsTableEntry]:
+        imsi = self._by_msisdn.get(msisdn)
+        return self._by_imsi.get(imsi) if imsi is not None else None
+
+    def by_ip(self, ip: IPv4Address) -> Optional[MsTableEntry]:
+        imsi = self._by_ip.get(ip)
+        return self._by_imsi.get(imsi) if imsi is not None else None
+
+    def remove(self, imsi: IMSI) -> None:
+        entry = self._by_imsi.pop(imsi, None)
+        if entry is None:
+            return
+        if entry.msisdn is not None:
+            self._by_msisdn.pop(entry.msisdn, None)
+        for state in entry.pdp.values():
+            if state.pdp_address is not None:
+                self._by_ip.pop(state.pdp_address, None)

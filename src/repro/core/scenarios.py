@@ -1,0 +1,143 @@
+"""High-level scenario drivers.
+
+Thin orchestration over the network builders: power an MS on and wait
+for registration, place calls in both directions, measure setup delays
+and per-node signalling counts.  Used by the examples, the integration
+tests and every benchmark, so that all three exercise identical code
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import CallSetupError, RegistrationError
+from repro.core.network import VgprsNetwork
+from repro.gsm.ms import MobileStation
+from repro.h323.terminal import H323Terminal
+
+
+@dataclass
+class CallOutcome:
+    """Timing of one call's setup phases (simulated seconds)."""
+
+    dialled_at: float
+    alerting_at: Optional[float] = None
+    connected_at: Optional[float] = None
+    released_at: Optional[float] = None
+
+    @property
+    def setup_delay(self) -> Optional[float]:
+        """Dial-to-ringback delay (post-dial delay to alerting)."""
+        if self.alerting_at is None:
+            return None
+        return self.alerting_at - self.dialled_at
+
+    @property
+    def answer_delay(self) -> Optional[float]:
+        if self.connected_at is None:
+            return None
+        return self.connected_at - self.dialled_at
+
+
+def register_ms(
+    nw: VgprsNetwork, ms: MobileStation, timeout: float = 30.0
+) -> float:
+    """Power the MS on and run until registration completes (Figure 4).
+
+    Returns the registration latency in simulated seconds.
+    """
+    started = nw.sim.now
+    ms.power_on()
+    if not nw.sim.run_until_true(lambda: ms.registered, timeout=timeout):
+        raise RegistrationError(f"{ms.name} failed to register within {timeout}s")
+    return nw.sim.now - started
+
+
+def settle(nw: VgprsNetwork, period: float = 1.0) -> None:
+    """Run the simulation for *period* seconds of quiescence."""
+    nw.sim.run(until=nw.sim.now + period)
+
+
+def call_ms_to_terminal(
+    nw: VgprsNetwork,
+    ms: MobileStation,
+    terminal: H323Terminal,
+    timeout: float = 30.0,
+) -> CallOutcome:
+    """Figure 5: the MS dials the H.323 terminal; waits for answer."""
+    outcome = CallOutcome(dialled_at=nw.sim.now)
+
+    def note_alerting() -> None:
+        if outcome.alerting_at is None:
+            outcome.alerting_at = nw.sim.now
+
+    ms.on_alerting = note_alerting
+    ms.place_call(terminal.alias)
+    if not nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=timeout):
+        raise CallSetupError(
+            f"{ms.name} -> {terminal.name} did not connect (MS state {ms.state})"
+        )
+    outcome.connected_at = nw.sim.now
+    return outcome
+
+
+def call_terminal_to_ms(
+    nw: VgprsNetwork,
+    terminal: H323Terminal,
+    ms: MobileStation,
+    timeout: float = 30.0,
+) -> CallOutcome:
+    """Figure 6: the H.323 terminal dials the MS; waits for answer."""
+    outcome = CallOutcome(dialled_at=nw.sim.now)
+    call_ref = terminal.place_call(ms.msisdn)
+
+    def connected() -> bool:
+        call = terminal.calls.get(call_ref)
+        if call is not None and call.alerting_at is not None:
+            if outcome.alerting_at is None:
+                outcome.alerting_at = call.alerting_at
+        return call is not None and call.state == "in-call"
+
+    if not nw.sim.run_until_true(connected, timeout=timeout):
+        raise CallSetupError(f"{terminal.name} -> {ms.name} did not connect")
+    outcome.connected_at = nw.sim.now
+    return outcome
+
+
+def hangup_from_ms(
+    nw: VgprsNetwork, ms: MobileStation, timeout: float = 30.0
+) -> float:
+    """Figure 5 (bottom): the MS releases; waits for full teardown."""
+    started = nw.sim.now
+    ms.hangup()
+    entry = nw.vmsc.ms_table.get(ms.imsi)
+
+    def released() -> bool:
+        return (
+            ms.state == "idle"
+            and nw.vmsc.call_for(ms.imsi) is None
+            and (entry is None or not entry.voice_ready)
+        )
+
+    if not nw.sim.run_until_true(released, timeout=timeout):
+        raise CallSetupError(f"{ms.name} release did not complete")
+    return nw.sim.now - started
+
+
+def message_counts(nw: VgprsNetwork) -> Dict[str, int]:
+    """Per-node transmitted-message counters (experiment E11)."""
+    return {
+        name[len("msgs.tx."):]: count
+        for name, count in nw.sim.metrics.counters("msgs.tx.").items()
+    }
+
+
+def delta_counts(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Counter difference between two :func:`message_counts` snapshots."""
+    return {
+        node: after.get(node, 0) - before.get(node, 0)
+        for node in sorted(set(before) | set(after))
+        if after.get(node, 0) != before.get(node, 0)
+    }

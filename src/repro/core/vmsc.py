@@ -1,0 +1,866 @@
+"""The VoIP Mobile Switching Center (VMSC).
+
+The paper's contribution (§2): "a router-based softswitch" that replaces
+the GSM MSC.  Toward the radio network it *is* an MSC (all of
+:class:`~repro.gsm.msc_base.MscBase` is inherited unchanged — A, B, C and
+E interfaces identical to a standard MSC).  Toward the network it is a
+bank of H.323 terminals, one per attached MS:
+
+* it performs GPRS attach and PDP context activation *on behalf of* each
+  MS over the Gb interface (step 1.3), giving every MS an IP address;
+* it registers each MS's MSISDN as an H.323 alias with a standard
+  gatekeeper (steps 1.4-1.5);
+* it runs Q.931 call signalling per call (Figures 5 and 6) and
+  transcodes circuit-switched TCH voice to RTP through its vocoder bank
+  and built-in PCU (voice path (1)(2)(5)(6)(4) of Figure 2(b));
+* it keeps the signalling PDP context alive while the MS is attached, so
+  calls set up without per-call PDP activation — the §6 latency argument
+  against 3G TR 23.923 — and activates a second, real-time PDP context
+  per call for voice (steps 2.9/4.8), deactivated at release (step 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CallSetupError
+from repro.identities import IMSI, E164Number, IPv4Address
+from repro.core.ms_table import MsTable, MsTableEntry
+from repro.gprs.gb import GbUnitdata
+from repro.gprs.pdp import NSAPI_SIGNALLING, NSAPI_VOICE
+from repro.gsm.msc_base import MscBase, RadioConn
+from repro.h323.codec import G711_ULAW, GSM_FR, Vocoder
+from repro.net.interfaces import Interface
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer
+from repro.packets.base import Packet
+from repro.packets.bssap import ASetup, TchFrame
+from repro.packets.gmm import (
+    ActivatePdpContextAccept,
+    ActivatePdpContextReject,
+    ActivatePdpContextRequest,
+    DeactivatePdpContextAccept,
+    DeactivatePdpContextRequest,
+    GprsAttachAccept,
+    GprsAttachRequest,
+    GprsDetachAccept,
+    GprsDetachRequest,
+    RequestPdpContextActivation,
+)
+from repro.sim.timers import Timer
+from repro.packets.ip import IPv4, PORT_H225_CS, PORT_H225_RAS, PORT_RTP, TCPLite, UDP
+from repro.packets.map import MapUpdateLocationAreaAck
+from repro.packets.q931 import (
+    CAUSE_NORMAL_CLEARING,
+    CAUSE_RESOURCE_UNAVAILABLE,
+    Q931Alerting,
+    Q931CallProceeding,
+    Q931Connect,
+    Q931ReleaseComplete,
+    Q931Setup,
+)
+from repro.packets.ras import (
+    RasAcf,
+    RasArj,
+    RasArq,
+    RasDcf,
+    RasDrq,
+    RasRcf,
+    RasRrq,
+    RasUrq,
+)
+from repro.packets.rtp import PT_PCMU, RtpPacket
+
+
+@dataclass
+class VmscCall:
+    """One H.323 call handled by the VMSC on behalf of an MS."""
+
+    call_ref: int
+    imsi: IMSI
+    direction: str                        # "mo" | "mt"
+    state: str = "admission"
+    called: Optional[E164Number] = None
+    calling: Optional[E164Number] = None
+    remote_signal: Optional[Tuple[IPv4Address, int]] = None
+    remote_media: Optional[Tuple[IPv4Address, int]] = None
+    placed_at: float = 0.0
+    connected_at: Optional[float] = None
+    released_at: Optional[float] = None
+    voice_pdp_pending: bool = False
+    uplink_buffer: List[TchFrame] = field(default_factory=list)
+    rtp_seq: int = 0
+
+
+class Vmsc(MscBase):
+    """The VoIP mobile switching centre."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        gk_ip: IPv4Address,
+        country_code: str = "886",
+        idle_deactivate_after: Optional[float] = None,
+    ) -> None:
+        """``idle_deactivate_after`` enables the variant the paper
+        sketches and rejects in §6: deactivate the signalling PDP context
+        after that many idle seconds ("this approach may significantly
+        increase the call setup time and is not considered in the current
+        vGPRS implementation").  ``None`` (the default) is the paper's
+        design: the context stays up while the MS is attached."""
+        super().__init__(sim, name)
+        self.gk_ip = gk_ip
+        self.country_code = country_code
+        self.idle_deactivate_after = idle_deactivate_after
+        self._idle_timers: Dict[IMSI, Timer] = {}
+        self._pending_mo: Dict[IMSI, Tuple[RadioConn, ASetup]] = {}
+        self.ms_table = MsTable()
+        # Keyed by (call_ref, imsi): when both parties of a call are MSs
+        # on this VMSC (paper §4: "the called party can be another MS in
+        # the same GPRS network"), the two legs share one call reference.
+        self.calls: Dict[Tuple[int, IMSI], VmscCall] = {}
+        self._call_by_imsi: Dict[IMSI, VmscCall] = {}
+        self._ras_seq = Sequencer()
+        self.vocoder = Vocoder(GSM_FR, G711_ULAW)
+        self._pending_lu: Dict[IMSI, Tuple[RadioConn, MapUpdateLocationAreaAck]] = {}
+        #: Guard for steps 1.3-1.5: if GPRS/H.323 registration does not
+        #: finish in time (core failure), the GSM location update is
+        #: still confirmed — the subscriber remains a GSM subscriber —
+        #: but the entry is left VoIP-incapable and counted.
+        self.registration_guard = 10.0
+        self._lu_guards: Dict[IMSI, Timer] = {}
+        #: H.225 registration time-to-live granted by the GK; the VMSC
+        #: refreshes each MS's registration at half the TTL (lightweight
+        #: re-registration) so aliases never age out while attached.
+        self.gk_ttl = 3600
+        self._keepalive_timers: Dict[IMSI, Timer] = {}
+
+    # ------------------------------------------------------------------
+    # Gb plumbing: H.323 on behalf of each MS
+    # ------------------------------------------------------------------
+    def _sgsn(self) -> Node:
+        return self.peer(Interface.GB)
+
+    def _send_h323(
+        self,
+        entry: MsTableEntry,
+        message: Packet,
+        dst: IPv4Address,
+        dport: int,
+        sport: int,
+        tcp: bool = False,
+        nsapi: int = NSAPI_SIGNALLING,
+    ) -> None:
+        """Send an H.323 message sourced from the MS's IP address,
+        tunnelled through the MS's PDP context (paths (4)(3)(2)/(8) of
+        Figure 3)."""
+        src_ip = entry.ip
+        if src_ip is None:
+            raise CallSetupError(f"{self.name}: no PDP address for {entry.imsi}")
+        transport = (
+            TCPLite(sport=sport, dport=dport) if tcp else UDP(sport=sport, dport=dport)
+        )
+        frame = GbUnitdata(imsi=entry.imsi, nsapi=nsapi)
+        frame.payload = IPv4(src=src_ip, dst=dst) / transport / message
+        self.send(self._sgsn(), frame)
+
+    @handles(GbUnitdata)
+    def on_gb_unitdata(self, frame: GbUnitdata, src: Node, interface: str) -> None:
+        packet = frame.payload
+        if not isinstance(packet, IPv4):
+            self.sim.metrics.counter(f"{self.name}.gb_non_ip").inc()
+            return
+        entry = self.ms_table.by_ip(packet.dst)
+        if entry is None:
+            self.sim.metrics.counter(f"{self.name}.gb_unknown_ms").inc()
+            return
+        inner = packet.payload
+        sport = 0
+        while isinstance(inner, (UDP, TCPLite)):
+            sport = inner.sport
+            inner = inner.payload
+        if inner is not None:
+            self._on_h323(entry, inner, packet, sport)
+
+    # ------------------------------------------------------------------
+    # Registration: steps 1.3 - 1.6
+    # ------------------------------------------------------------------
+    def on_registration_complete(
+        self, conn: RadioConn, ack: MapUpdateLocationAreaAck
+    ) -> None:
+        """Step 1.2 finished (VLR ack); run GPRS attach, PDP activation
+        and gatekeeper registration before confirming to the MS."""
+        entry = self.ms_table.ensure(conn.imsi, now=self.sim.now)
+        entry.tmsi = ack.new_tmsi if ack.new_tmsi is not None else entry.tmsi
+        if ack.msisdn is not None:
+            self.ms_table.set_msisdn(entry, ack.msisdn)
+        self._pending_lu[conn.imsi] = (conn, ack)
+        guard = self._lu_guards.get(conn.imsi)
+        if guard is None:
+            guard = Timer(
+                self.sim,
+                f"t-reg:{conn.imsi}",
+                self.registration_guard,
+                lambda imsi=conn.imsi: self._registration_guard_expired(imsi),
+            )
+            self._lu_guards[conn.imsi] = guard
+        guard.start()
+        if not entry.gprs_attached:
+            # Step 1.3: "The VMSC performs GPRS attach to the SGSN."
+            self.send(self._sgsn(), GprsAttachRequest(imsi=conn.imsi))
+        elif not entry.signalling_ready:
+            self._activate_pdp(entry, NSAPI_SIGNALLING)
+        else:
+            self._register_with_gk(entry)
+
+    @handles(GprsAttachAccept)
+    def on_gprs_attach_accept(
+        self, msg: GprsAttachAccept, src: Node, interface: str
+    ) -> None:
+        entry = self.ms_table.require(msg.imsi)
+        entry.gprs_attached = True
+        # Step 1.3 continued: "the VMSC activates a new PDP context just
+        # like a GPRS MS does" — low-priority, dedicated to H.323
+        # signalling.
+        self._activate_pdp(entry, NSAPI_SIGNALLING)
+
+    def _activate_pdp(self, entry: MsTableEntry, nsapi: int) -> None:
+        state = entry.pdp_state(nsapi)
+        self.send(
+            self._sgsn(),
+            ActivatePdpContextRequest(
+                imsi=entry.imsi,
+                nsapi=nsapi,
+                qos_delay_class=state.qos.delay_class,
+                qos_peak_kbps=state.qos.peak_kbps,
+            ),
+        )
+
+    @handles(ActivatePdpContextAccept)
+    def on_pdp_accept(
+        self, msg: ActivatePdpContextAccept, src: Node, interface: str
+    ) -> None:
+        entry = self.ms_table.require(msg.imsi)
+        self.ms_table.set_ip(entry, msg.nsapi, msg.pdp_address)
+        entry.pdp_state(msg.nsapi).activated_at = self.sim.now
+        if msg.nsapi == NSAPI_SIGNALLING:
+            pending = self._pending_mo.pop(msg.imsi, None)
+            if pending is not None:
+                # Idle-deactivation variant: context restored; resume the
+                # queued origination (the GK registration is still valid
+                # because the GGSN re-issued the same PDP address).
+                conn, setup = pending
+                self.route_mo_call(conn, setup)
+            elif entry.gk_registered:
+                # Network-requested re-activation for an incoming call;
+                # the buffered Setup will now arrive.
+                pass
+            else:
+                # Step 1.4: register the MS's alias with the gatekeeper.
+                self._register_with_gk(entry)
+        else:
+            self._voice_pdp_ready(entry)
+
+    @handles(ActivatePdpContextReject)
+    def on_pdp_reject(
+        self, msg: ActivatePdpContextReject, src: Node, interface: str
+    ) -> None:
+        self.sim.metrics.counter(f"{self.name}.pdp_rejects").inc()
+        if msg.nsapi == NSAPI_VOICE:
+            call = self._call_by_imsi.get(msg.imsi)
+            if call is not None:
+                self._release_call(call, cause=CAUSE_RESOURCE_UNAVAILABLE)
+            return
+        # Signalling context refused: complete the GSM registration
+        # without VoIP capability (counted) and fail any queued call.
+        pending_mo = self._pending_mo.pop(msg.imsi, None)
+        if pending_mo is not None:
+            conn, _setup = pending_mo
+            self.disconnect_ms(conn)
+        pending = self._pending_lu.pop(msg.imsi, None)
+        if pending is not None:
+            guard = self._lu_guards.get(msg.imsi)
+            if guard is not None:
+                guard.stop()
+            self.sim.metrics.counter(f"{self.name}.voip_unavailable").inc()
+            conn, ack = pending
+            self.confirm_location_update(conn, ack)
+
+    def _register_with_gk(self, entry: MsTableEntry) -> None:
+        if entry.msisdn is None:
+            self.sim.metrics.counter(f"{self.name}.no_msisdn").inc()
+            return
+        self._send_h323(
+            entry,
+            RasRrq(
+                seq=self._ras_seq.next(),
+                alias=entry.msisdn,
+                signal_address=entry.ip,
+                signal_port=PORT_H225_CS,
+                endpoint_type="vgprs-ms",
+                ttl=self.gk_ttl,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    def _arm_keepalive(self, entry: MsTableEntry) -> None:
+        timer = self._keepalive_timers.get(entry.imsi)
+        if timer is None:
+            timer = Timer(
+                self.sim,
+                f"gk-keepalive:{entry.imsi}",
+                self.gk_ttl / 2,
+                lambda imsi=entry.imsi: self._keepalive_expired(imsi),
+            )
+            self._keepalive_timers[entry.imsi] = timer
+        timer.start()
+
+    def _keepalive_expired(self, imsi: IMSI) -> None:
+        entry = self.ms_table.get(imsi)
+        if entry is None or not entry.gk_registered:
+            return
+        if not entry.signalling_ready:
+            # Idle-deactivation variant: skip while the context is down;
+            # the GK entry is refreshed on the next activity instead.
+            self._arm_keepalive(entry)
+            return
+        self.sim.metrics.counter(f"{self.name}.gk_keepalives").inc()
+        self._register_with_gk(entry)
+
+    def _registration_guard_expired(self, imsi: IMSI) -> None:
+        pending = self._pending_lu.pop(imsi, None)
+        if pending is None:
+            return
+        self.sim.metrics.counter(f"{self.name}.gk_registration_timeouts").inc()
+        conn, ack = pending
+        # Confirm the GSM-level registration; VoIP stays unavailable
+        # until a later location update succeeds end to end.
+        self.confirm_location_update(conn, ack)
+
+    def _on_rcf(self, entry: MsTableEntry, msg: RasRcf) -> None:
+        # Step 1.5: "The VMSC then creates the MS MM and PDP contexts for
+        # the MS and stores these contexts in its MS table."
+        guard = self._lu_guards.get(entry.imsi)
+        if guard is not None:
+            guard.stop()
+        entry.gk_registered = True
+        self._arm_keepalive(entry)
+        self.sim.trace.note(self.name, "MS_TABLE_ENTRY_CREATED", imsi=str(entry.imsi))
+        pending = self._pending_lu.pop(entry.imsi, None)
+        if pending is not None:
+            conn, ack = pending
+            # Step 1.6: confirm the location update to the MS.
+            self.confirm_location_update(conn, ack)
+        self._arm_idle_timer(entry)
+
+    # ------------------------------------------------------------------
+    # Detach (MS power-off)
+    # ------------------------------------------------------------------
+    def on_ms_detached(self, conn: RadioConn) -> None:
+        """The MS announced power-off: unregister the alias at the
+        gatekeeper, tear the PDP contexts down and GPRS-detach — the
+        mirror image of steps 1.3-1.5."""
+        entry = self.ms_table.get(conn.imsi)
+        if entry is None:
+            return
+        self._cancel_idle_timer(conn.imsi)
+        call = self._call_by_imsi.get(conn.imsi)
+        if call is not None:
+            self._release_call(call, cause=CAUSE_NORMAL_CLEARING)
+        if entry.gk_registered and entry.msisdn is not None and entry.ip is not None:
+            self._send_h323(
+                entry,
+                RasUrq(seq=self._ras_seq.next(), alias=entry.msisdn),
+                dst=self.gk_ip,
+                dport=PORT_H225_RAS,
+                sport=PORT_H225_RAS,
+            )
+        entry.gk_registered = False
+        keepalive = self._keepalive_timers.get(conn.imsi)
+        if keepalive is not None:
+            keepalive.stop()
+        # Give the URQ a moment to ride the context out, then tear down.
+        self.sim.schedule(0.1, self._detach_gprs, conn.imsi)
+
+    def _detach_gprs(self, imsi: IMSI) -> None:
+        entry = self.ms_table.get(imsi)
+        if entry is None or not entry.gprs_attached:
+            return
+        # GPRS detach implicitly deletes the remaining contexts at the
+        # SGSN; mirror that in the MS table.
+        self.send(self._sgsn(), GprsDetachRequest(imsi=imsi))
+
+    @handles(GprsDetachAccept)
+    def on_gprs_detach_accept(
+        self, msg: GprsDetachAccept, src: Node, interface: str
+    ) -> None:
+        entry = self.ms_table.get(msg.imsi)
+        if entry is None:
+            return
+        entry.gprs_attached = False
+        for nsapi in list(entry.pdp):
+            self.ms_table.clear_pdp(entry, nsapi)
+
+    # ------------------------------------------------------------------
+    # Idle deactivation (the paper's rejected variant, for ablation)
+    # ------------------------------------------------------------------
+    def _arm_idle_timer(self, entry: MsTableEntry) -> None:
+        if self.idle_deactivate_after is None:
+            return
+        timer = self._idle_timers.get(entry.imsi)
+        if timer is None:
+            timer = Timer(
+                self.sim,
+                f"idle:{entry.imsi}",
+                self.idle_deactivate_after,
+                lambda imsi=entry.imsi: self._idle_expired(imsi),
+            )
+            self._idle_timers[entry.imsi] = timer
+        timer.start()
+
+    def _cancel_idle_timer(self, imsi: IMSI) -> None:
+        timer = self._idle_timers.get(imsi)
+        if timer is not None:
+            timer.stop()
+
+    def _idle_expired(self, imsi: IMSI) -> None:
+        entry = self.ms_table.get(imsi)
+        if entry is None or imsi in self._call_by_imsi:
+            return
+        if entry.signalling_ready:
+            self.sim.metrics.counter(f"{self.name}.idle_deactivations").inc()
+            self.send(
+                self._sgsn(),
+                DeactivatePdpContextRequest(imsi=imsi, nsapi=NSAPI_SIGNALLING),
+            )
+
+    @handles(RequestPdpContextActivation)
+    def on_network_requested_activation(
+        self, msg: RequestPdpContextActivation, src: Node, interface: str
+    ) -> None:
+        """A downlink PDU (an incoming call's Setup) is buffered at the
+        GGSN for an MS whose context the idle timer tore down."""
+        entry = self.ms_table.get(msg.imsi)
+        if entry is None:
+            return
+        self.sim.metrics.counter(f"{self.name}.network_requested_pdp").inc()
+        if not entry.signalling_ready:
+            self._activate_pdp(entry, NSAPI_SIGNALLING)
+
+    # ------------------------------------------------------------------
+    # MO call: steps 2.2 - 2.9
+    # ------------------------------------------------------------------
+    def route_mo_call(self, conn: RadioConn, setup: ASetup) -> None:
+        entry = self.ms_table.require(conn.imsi)
+        self._cancel_idle_timer(conn.imsi)
+        if not entry.gk_registered:
+            # VoIP never came up for this MS (core failure at
+            # registration); clear the call attempt cleanly.
+            self.sim.metrics.counter(f"{self.name}.calls_without_voip").inc()
+            self.disconnect_ms(conn)
+            return
+        if not entry.signalling_ready:
+            # Idle-deactivation variant: re-activate first, then resume.
+            self._pending_mo[conn.imsi] = (conn, setup)
+            self._activate_pdp(entry, NSAPI_SIGNALLING)
+            return
+        # Step 2.2 tail: "the VMSC checks the PDP context record of the
+        # MS and identifies the routing path to the GGSN based on the
+        # GPRS tunnel ID".
+        self.sim.trace.note(
+            self.name,
+            "PDP_ROUTING_PATH_IDENTIFIED",
+            imsi=str(conn.imsi),
+            tid=str(entry.pdp_state(NSAPI_SIGNALLING).nsapi),
+        )
+        call = VmscCall(
+            call_ref=self.sim.call_refs.next(),
+            imsi=conn.imsi,
+            direction="mo",
+            called=setup.called,
+            calling=entry.msisdn,
+            placed_at=self.sim.now,
+        )
+        self.calls[(call.call_ref, conn.imsi)] = call
+        self._call_by_imsi[conn.imsi] = call
+        # Step 2.3: ARQ/ACF with the gatekeeper.
+        self._send_h323(
+            entry,
+            RasArq(
+                seq=self._ras_seq.next(),
+                call_ref=call.call_ref,
+                endpoint_alias=entry.msisdn,
+                called_alias=setup.called,
+                answer_call=0,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    def _on_acf(self, entry: MsTableEntry, msg: RasAcf) -> None:
+        call = self.calls.get((msg.call_ref, entry.imsi))
+        if call is None:
+            return
+        if call.direction == "mo" and call.state == "admission":
+            if msg.dest_signal_address is None:
+                self._release_call(call, cause=CAUSE_NORMAL_CLEARING)
+                return
+            call.remote_signal = (
+                msg.dest_signal_address,
+                msg.dest_signal_port or PORT_H225_CS,
+            )
+            call.state = "setup-sent"
+            # Step 2.4: Q.931 Setup to the destination through the GGSN.
+            self._send_h323(
+                entry,
+                Q931Setup(
+                    call_ref=call.call_ref,
+                    called=call.called,
+                    calling=call.calling,
+                    signal_address=entry.ip,
+                    signal_port=PORT_H225_CS,
+                    media_address=entry.ip,
+                    media_port=PORT_RTP,
+                ),
+                dst=call.remote_signal[0],
+                dport=call.remote_signal[1],
+                sport=PORT_H225_CS,
+                tcp=True,
+            )
+        elif call.direction == "mt" and call.state == "admission":
+            # Step 4.3 done; step 4.4: page the MS.
+            call.state = "paging"
+            conn = self.page(
+                call.imsi,
+                on_ready=lambda c: self._mt_radio_ready(call, c),
+                on_failed=lambda c: self._mt_page_failed(call, c),
+            )
+
+    def _on_arj(self, entry: MsTableEntry, msg: RasArj) -> None:
+        call = self.calls.get((msg.call_ref, entry.imsi))
+        if call is None:
+            return
+        self.sim.metrics.counter(f"{self.name}.admission_rejects").inc()
+        if call.direction == "mo":
+            conn = self.conn(call.imsi)
+            self._drop_call(call)
+            self.disconnect_ms(conn)
+        else:
+            self._release_call(call, cause=CAUSE_RESOURCE_UNAVAILABLE)
+
+    # ------------------------------------------------------------------
+    # MT call: steps 4.2 - 4.8
+    # ------------------------------------------------------------------
+    def _on_mt_setup(
+        self, entry: MsTableEntry, msg: Q931Setup, ipv4: IPv4, sport: int
+    ) -> None:
+        if entry.imsi in self._call_by_imsi:
+            # Busy: reject immediately.
+            self._send_h323(
+                entry,
+                Q931ReleaseComplete(call_ref=msg.call_ref, cause=17),
+                dst=msg.signal_address,
+                dport=msg.signal_port,
+                sport=PORT_H225_CS,
+                tcp=True,
+            )
+            return
+        self._cancel_idle_timer(entry.imsi)
+        call = VmscCall(
+            call_ref=msg.call_ref,
+            imsi=entry.imsi,
+            direction="mt",
+            called=entry.msisdn,
+            calling=msg.calling,
+            remote_signal=(msg.signal_address, msg.signal_port),
+            remote_media=(msg.media_address, msg.media_port),
+            placed_at=self.sim.now,
+        )
+        self.calls[(call.call_ref, entry.imsi)] = call
+        self._call_by_imsi[entry.imsi] = call
+        # Step 4.2 tail: Call Proceeding back to the calling party.
+        self._send_q931(entry, call, Q931CallProceeding(call_ref=call.call_ref))
+        # Step 4.3: the VMSC's own admission request.
+        self._send_h323(
+            entry,
+            RasArq(
+                seq=self._ras_seq.next(),
+                call_ref=call.call_ref,
+                endpoint_alias=entry.msisdn,
+                answer_call=1,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    def _mt_radio_ready(self, call: VmscCall, conn: RadioConn) -> None:
+        # Step 4.5 tail: radio channel + security done; send the setup.
+        call.state = "ms-setup"
+        self.send_setup_to_ms(conn, call.calling)
+
+    def _mt_page_failed(self, call: VmscCall, conn: RadioConn) -> None:
+        self._release_call(call, cause=CAUSE_RESOURCE_UNAVAILABLE)
+
+    def on_ms_alerting(self, conn: RadioConn) -> None:
+        call = self._call_by_imsi.get(conn.imsi)
+        if call is None or call.direction != "mt":
+            return
+        entry = self.ms_table.require(conn.imsi)
+        # Step 4.6: Q.931 Alerting toward the calling party.
+        self._send_q931(entry, call, Q931Alerting(call_ref=call.call_ref))
+
+    def on_ms_connect(self, conn: RadioConn) -> None:
+        call = self._call_by_imsi.get(conn.imsi)
+        if call is None or call.direction != "mt":
+            return
+        entry = self.ms_table.require(conn.imsi)
+        call.connected_at = self.sim.now
+        call.state = "in-call"
+        # Step 4.7: Q.931 Connect to the calling party.
+        self._send_q931(
+            entry,
+            call,
+            Q931Connect(
+                call_ref=call.call_ref,
+                media_address=entry.ip,
+                media_port=PORT_RTP,
+            ),
+        )
+        # Step 4.8: activate the real-time voice PDP context.
+        self._activate_voice_pdp(entry, call)
+
+    # ------------------------------------------------------------------
+    # Q.931 progress for MO calls
+    # ------------------------------------------------------------------
+    def _on_call_proceeding(self, entry: MsTableEntry, msg: Q931CallProceeding) -> None:
+        call = self.calls.get((msg.call_ref, entry.imsi))
+        if call is not None and call.state == "setup-sent":
+            call.state = "proceeding"
+
+    def _on_alerting(self, entry: MsTableEntry, msg: Q931Alerting) -> None:
+        call = self.calls.get((msg.call_ref, entry.imsi))
+        if call is None:
+            return
+        # Step 2.7: forward alerting down to the MS (ringback).
+        conn = self.conn(call.imsi)
+        self.send_alerting_to_ms(conn)
+
+    def _on_connect(self, entry: MsTableEntry, msg: Q931Connect) -> None:
+        call = self.calls.get((msg.call_ref, entry.imsi))
+        if call is None:
+            return
+        call.remote_media = (msg.media_address, msg.media_port)
+        call.connected_at = self.sim.now
+        call.state = "in-call"
+        conn = self.conn(call.imsi)
+        # Step 2.8: Connect down to the MS.
+        self.send_connect_to_ms(conn)
+        # Step 2.9: second PDP context for real-time VoIP packets.
+        self._activate_voice_pdp(entry, call)
+
+    def _activate_voice_pdp(self, entry: MsTableEntry, call: VmscCall) -> None:
+        if entry.voice_ready:
+            call.voice_pdp_pending = False
+            return
+        call.voice_pdp_pending = True
+        self._activate_pdp(entry, NSAPI_VOICE)
+
+    def _voice_pdp_ready(self, entry: MsTableEntry) -> None:
+        call = self._call_by_imsi.get(entry.imsi)
+        if call is None:
+            return
+        call.voice_pdp_pending = False
+        self.sim.trace.note(
+            self.name, "VOICE_PDP_ACTIVE", imsi=str(entry.imsi), call_ref=call.call_ref
+        )
+        # Flush uplink frames buffered during activation.
+        frames, call.uplink_buffer = call.uplink_buffer, []
+        for frame in frames:
+            self._uplink_to_rtp(entry, call, frame)
+
+    # ------------------------------------------------------------------
+    # Release: steps 3.1 - 3.4
+    # ------------------------------------------------------------------
+    def on_ms_disconnect(self, conn: RadioConn, cause: int) -> None:
+        call = self._call_by_imsi.get(conn.imsi)
+        if call is None:
+            return
+        entry = self.ms_table.require(conn.imsi)
+        # Step 3.2: Q.931 Release Complete to the far end.
+        self._send_q931(
+            entry,
+            call,
+            Q931ReleaseComplete(call_ref=call.call_ref, cause=CAUSE_NORMAL_CLEARING),
+        )
+        self._finish_release(entry, call)
+
+    def _on_release_complete(self, entry: MsTableEntry, msg: Q931ReleaseComplete) -> None:
+        """The far end released first (network-initiated clearing)."""
+        call = self.calls.get((msg.call_ref, entry.imsi))
+        if call is None:
+            return
+        self._finish_release(entry, call)
+        conn = self.conn(call.imsi)
+        self.disconnect_ms(conn, cause=msg.cause)
+
+    def _finish_release(self, entry: MsTableEntry, call: VmscCall) -> None:
+        call.state = "released"
+        call.released_at = self.sim.now
+        # Step 3.3: disengage from the gatekeeper (charging).
+        duration_ms = 0
+        if call.connected_at is not None:
+            duration_ms = int((self.sim.now - call.connected_at) * 1000)
+        self._send_h323(
+            entry,
+            RasDrq(
+                seq=self._ras_seq.next(),
+                call_ref=call.call_ref,
+                endpoint_alias=entry.msisdn,
+                duration_ms=duration_ms,
+            ),
+            dst=self.gk_ip,
+            dport=PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+        # Step 3.4: deactivate the voice PDP context.
+        if entry.voice_ready or call.voice_pdp_pending:
+            self.send(
+                self._sgsn(),
+                DeactivatePdpContextRequest(imsi=entry.imsi, nsapi=NSAPI_VOICE),
+            )
+        self._drop_call(call)
+        self._arm_idle_timer(entry)
+
+    @handles(DeactivatePdpContextAccept)
+    def on_pdp_deactivated(
+        self, msg: DeactivatePdpContextAccept, src: Node, interface: str
+    ) -> None:
+        entry = self.ms_table.get(msg.imsi)
+        if entry is not None:
+            self.ms_table.clear_pdp(entry, msg.nsapi)
+
+    def _release_call(self, call: VmscCall, cause: int) -> None:
+        """Abort a call from the network side (reject/paging failure)."""
+        entry = self.ms_table.require(call.imsi)
+        if call.remote_signal is not None:
+            self._send_q931(
+                entry, call, Q931ReleaseComplete(call_ref=call.call_ref, cause=cause)
+            )
+        self._finish_release(entry, call)
+        # If the radio leg is already up (e.g. the voice PDP context was
+        # refused after answer), clear it as well.
+        conn = self.conns.get(call.imsi)
+        if conn is not None and conn.state not in ("idle", "paging"):
+            self.disconnect_ms(conn, cause=cause)
+
+    def _drop_call(self, call: VmscCall) -> None:
+        self.calls.pop((call.call_ref, call.imsi), None)
+        current = self._call_by_imsi.get(call.imsi)
+        if current is call:
+            del self._call_by_imsi[call.imsi]
+
+    # ------------------------------------------------------------------
+    # Voice path: TCH <-> vocoder/PCU <-> RTP over the voice PDP context
+    # ------------------------------------------------------------------
+    def on_uplink_voice(self, conn: RadioConn, frame: TchFrame) -> None:
+        call = self._call_by_imsi.get(conn.imsi)
+        if call is None or call.remote_media is None:
+            self.sim.metrics.counter(f"{self.name}.voice_no_call").inc()
+            return
+        entry = self.ms_table.require(conn.imsi)
+        if call.voice_pdp_pending:
+            call.uplink_buffer.append(frame)
+            return
+        self._uplink_to_rtp(entry, call, frame)
+
+    def _uplink_to_rtp(self, entry: MsTableEntry, call: VmscCall, frame: TchFrame) -> None:
+        call.rtp_seq += 1
+        rtp = RtpPacket(
+            payload_type=PT_PCMU,
+            seq=call.rtp_seq & 0xFFFF,
+            timestamp=int(self.sim.now * 8000) & 0xFFFFFFFF,
+            ssrc=call.call_ref & 0xFFFFFFFF,
+            gen_time_us=frame.gen_time_us,
+            frame=self.vocoder.transcode(frame.voice),
+        )
+        self.sim.metrics.counter(f"{self.name}.frames_transcoded_up").inc()
+        self.sim.schedule(
+            self.vocoder.transcode_delay,
+            self._send_h323,
+            entry,
+            rtp,
+            call.remote_media[0],
+            call.remote_media[1],
+            PORT_RTP,
+            False,
+            NSAPI_VOICE,
+        )
+
+    def _on_rtp(self, entry: MsTableEntry, packet: RtpPacket) -> None:
+        call = self._call_by_imsi.get(entry.imsi)
+        if call is None:
+            return
+        conn = self.conn(entry.imsi)
+        tch = TchFrame(
+            ti=conn.ti or 0,
+            imsi=entry.imsi,
+            seq=packet.seq,
+            gen_time_us=packet.gen_time_us,
+            voice=self.vocoder.transcode(packet.frame)[: GSM_FR.frame_bytes],
+        )
+        self.sim.metrics.counter(f"{self.name}.frames_transcoded_down").inc()
+        self.sim.schedule(
+            self.vocoder.transcode_delay, self.send_voice_to_ms, conn, tch
+        )
+
+    # ------------------------------------------------------------------
+    # Inner H.323 dispatch
+    # ------------------------------------------------------------------
+    def _send_q931(self, entry: MsTableEntry, call: VmscCall, message: Packet) -> None:
+        assert call.remote_signal is not None
+        self._send_h323(
+            entry,
+            message,
+            dst=call.remote_signal[0],
+            dport=call.remote_signal[1],
+            sport=PORT_H225_CS,
+            tcp=True,
+        )
+
+    def _on_h323(
+        self, entry: MsTableEntry, message: Packet, ipv4: IPv4, sport: int
+    ) -> None:
+        if isinstance(message, RasRcf):
+            self._on_rcf(entry, message)
+        elif isinstance(message, RasAcf):
+            self._on_acf(entry, message)
+        elif isinstance(message, RasArj):
+            self._on_arj(entry, message)
+        elif isinstance(message, RasDcf):
+            pass
+        elif isinstance(message, Q931Setup):
+            self._on_mt_setup(entry, message, ipv4, sport)
+        elif isinstance(message, Q931CallProceeding):
+            self._on_call_proceeding(entry, message)
+        elif isinstance(message, Q931Alerting):
+            self._on_alerting(entry, message)
+        elif isinstance(message, Q931Connect):
+            self._on_connect(entry, message)
+        elif isinstance(message, Q931ReleaseComplete):
+            self._on_release_complete(entry, message)
+        elif isinstance(message, RtpPacket):
+            self._on_rtp(entry, message)
+        else:
+            self.sim.metrics.counter(f"{self.name}.h323_unhandled").inc()
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+    def call_for(self, imsi: IMSI) -> Optional[VmscCall]:
+        return self._call_by_imsi.get(imsi)

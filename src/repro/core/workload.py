@@ -1,0 +1,162 @@
+"""Random call workloads.
+
+Drives a population of MS/terminal pairs with Poisson call arrivals in
+both directions (MS-originated and MS-terminated), optional talk spurts
+and random hold times — the soak harness behind the stress tests and the
+mixed-traffic example.  All randomness comes from the simulator's named
+RNG streams, so a seed fixes the entire workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.network import VgprsNetwork
+from repro.gsm.ms import MobileStation
+from repro.h323.terminal import H323Terminal
+from repro.sim.process import spawn
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregate outcome counts for a workload run."""
+
+    attempted_mo: int = 0
+    attempted_mt: int = 0
+    connected: int = 0
+    failed: int = 0
+    skipped_busy: int = 0
+
+    @property
+    def attempted(self) -> int:
+        return self.attempted_mo + self.attempted_mt
+
+    @property
+    def completion_ratio(self) -> float:
+        return self.connected / self.attempted if self.attempted else 0.0
+
+
+@dataclass
+class CallWorkload:
+    """A random-call driver over MS/terminal pairs.
+
+    Parameters
+    ----------
+    call_rate:
+        Mean calls per second *per pair* (Poisson arrivals).
+    hold_range:
+        Uniform call-duration bounds in seconds.
+    mt_fraction:
+        Probability an arrival is terminal->MS rather than MS->terminal.
+    talk:
+        Generate voice frames during each call.
+    """
+
+    nw: VgprsNetwork
+    pairs: List[tuple]
+    call_rate: float = 0.2
+    hold_range: tuple = (2.0, 8.0)
+    mt_fraction: float = 0.4
+    talk: bool = True
+    stats: WorkloadStats = field(default_factory=WorkloadStats)
+    _procs: list = field(default_factory=list)
+
+    def start(self) -> None:
+        for ms, term in self.pairs:
+            self._procs.append(
+                spawn(self.nw.sim, self._pair_loop(ms, term))
+            )
+
+    def stop(self) -> None:
+        for proc in self._procs:
+            proc.interrupt()
+        self._procs.clear()
+
+    # ------------------------------------------------------------------
+    def _pair_loop(self, ms: MobileStation, term: H323Terminal):
+        sim = self.nw.sim
+        rng = sim.rng.stream(f"workload.{ms.name}")
+        while True:
+            yield rng.expovariate(self.call_rate)
+            mt = rng.random() < self.mt_fraction
+            if ms.state != "idle" or (not mt and term.calls):
+                self.stats.skipped_busy += 1
+                continue
+            hold = rng.uniform(*self.hold_range)
+            if mt:
+                self.stats.attempted_mt += 1
+                yield from self._run_mt(ms, term, hold)
+            else:
+                self.stats.attempted_mo += 1
+                yield from self._run_mo(ms, term, hold)
+
+    def _wait(self, predicate, timeout: float):
+        waited = 0.0
+        while not predicate() and waited < timeout:
+            yield 0.05
+            waited += 0.05
+
+    def _run_mo(self, ms: MobileStation, term: H323Terminal, hold: float):
+        try:
+            ms.place_call(term.alias)
+        except Exception:
+            self.stats.failed += 1
+            return
+        yield from self._wait(lambda: ms.state in ("in-call", "idle"), 15.0)
+        if ms.state != "in-call":
+            self.stats.failed += 1
+            return
+        self.stats.connected += 1
+        if self.talk:
+            ms.start_talking(duration=hold)
+        yield hold
+        if ms.state == "in-call":
+            ms.hangup()
+        yield from self._wait(lambda: ms.state == "idle", 10.0)
+
+    def _run_mt(self, ms: MobileStation, term: H323Terminal, hold: float):
+        try:
+            ref = term.place_call(ms.msisdn)
+        except Exception:
+            self.stats.failed += 1
+            return
+        yield from self._wait(
+            lambda: ref not in term.calls
+            or term.calls[ref].state == "in-call",
+            15.0,
+        )
+        call = term.calls.get(ref)
+        if call is None or call.state != "in-call":
+            self.stats.failed += 1
+            return
+        self.stats.connected += 1
+        if self.talk:
+            term.start_talking(ref, duration=hold)
+        yield hold
+        if ref in term.calls:
+            term.hangup(ref)
+        yield from self._wait(lambda: ms.state == "idle", 10.0)
+
+
+def build_population(
+    nw: VgprsNetwork,
+    size: int,
+    answer_delay: float = 0.4,
+    imsi_base: int = 466920000002000,
+    msisdn_base: int = 886935100000,
+) -> List[tuple]:
+    """Provision *size* MS/terminal pairs on the network."""
+    pairs = []
+    for i in range(size):
+        ms = nw.add_ms(
+            f"WMS{i}",
+            str(imsi_base + i),
+            f"+{msisdn_base + i}",
+            answer_delay=answer_delay,
+        )
+        term = nw.add_terminal(
+            f"WTERM{i}", f"+88622210{i:04d}", answer_delay=answer_delay
+        )
+        pairs.append((ms, term))
+    return pairs

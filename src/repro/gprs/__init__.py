@@ -1,0 +1,22 @@
+"""GPRS core network: SGSN, GGSN, PDP contexts and GTP tunnelling.
+
+The packet-switched substrate of Figure 1: the SGSN terminates the Gb
+interface (toward the BSC's PCU — or, in vGPRS, toward the VMSC's PCU),
+the GGSN interworks with the external packet network, and GTP tunnels
+carry subscriber IP traffic between them.
+"""
+
+from repro.gprs.pdp import PdpContext, QosProfile, NSAPI_SIGNALLING, NSAPI_VOICE
+from repro.gprs.gb import GbUnitdata
+from repro.gprs.sgsn import Sgsn
+from repro.gprs.ggsn import Ggsn
+
+__all__ = [
+    "PdpContext",
+    "QosProfile",
+    "NSAPI_SIGNALLING",
+    "NSAPI_VOICE",
+    "GbUnitdata",
+    "Sgsn",
+    "Ggsn",
+]

@@ -1,0 +1,29 @@
+"""Gb-interface framing (GSM 08.14 / BSSGP, abstracted).
+
+:class:`GbUnitdata` carries one subscriber IP packet between the SGSN and
+the access side (the BSC's PCU for a GPRS MS, or the VMSC's built-in PCU
+in vGPRS).  The ``(imsi, nsapi)`` pair identifies the PDP context, which
+is all the SGSN needs to pick the GTP tunnel uplink and the access node
+needs to pick the subscriber downlink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import ByteField, ImsiField
+
+
+class GbUnitdata(Packet):
+    """One LLC-framed subscriber PDU on the Gb interface."""
+
+    name = "Gb_Unitdata"
+    show_in_flow = False
+    fields = (
+        ImsiField("imsi"),
+        ByteField("nsapi"),
+    )
+
+    def info(self) -> Dict[str, object]:
+        return {"imsi": str(self.imsi), "nsapi": self.nsapi}

@@ -1,0 +1,80 @@
+"""PDP contexts and QoS profiles (GSM 03.60 §13.4 / 09.60).
+
+A PDP context binds a subscriber (IMSI + NSAPI) to a PDP address, a QoS
+profile and a GTP tunnel.  vGPRS keeps one *signalling* context per MS
+alive from registration onward (paper step 1.3) and activates a second
+*voice* context per call (steps 2.9 / 4.8); the 3G TR baseline instead
+activates and deactivates a context around every call (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.identities import IMSI, IPv4Address, TunnelId
+
+#: NSAPI conventions used by the vGPRS VMSC.
+NSAPI_SIGNALLING = 5
+NSAPI_VOICE = 6
+
+#: GSM 02.60 delay classes — 1 is the most demanding.
+DELAY_CLASS_REALTIME = 1
+DELAY_CLASS_BEST_EFFORT = 4
+
+
+@dataclass(frozen=True)
+class QosProfile:
+    """The negotiated quality-of-service subset the experiments use."""
+
+    delay_class: int = DELAY_CLASS_BEST_EFFORT
+    peak_kbps: int = 16
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.delay_class <= 4:
+            raise ValueError(f"delay class must be 1-4, got {self.delay_class}")
+        if self.peak_kbps <= 0:
+            raise ValueError("peak throughput must be positive")
+
+    @classmethod
+    def signalling(cls) -> "QosProfile":
+        """Low-priority profile for the H.323 signalling context — the
+        paper notes the QoS 'can be set to low priority and network
+        resource would not be wasted' (step 1.3)."""
+        return cls(delay_class=DELAY_CLASS_BEST_EFFORT, peak_kbps=16)
+
+    @classmethod
+    def voice(cls) -> "QosProfile":
+        """Real-time profile for the per-call voice context."""
+        return cls(delay_class=DELAY_CLASS_REALTIME, peak_kbps=32)
+
+
+@dataclass
+class PdpContext:
+    """One activated PDP context, as stored at SGSN, GGSN and VMSC.
+
+    GSM 03.60 lists IMSI, NSAPI, PDP address, QoS negotiated and the
+    SGSN/GGSN addresses; ``access_node`` is the simulation's stand-in for
+    the BVCI/TLLI radio-side routing info: the node the SGSN forwards
+    downlink PDUs to (the VMSC in vGPRS, the subscriber's BSC in the
+    3G TR baseline).
+    """
+
+    imsi: IMSI
+    nsapi: int
+    pdp_address: Optional[IPv4Address] = None
+    qos: QosProfile = field(default_factory=QosProfile)
+    apn: str = "voip.gprs"
+    sgsn_name: str = ""
+    ggsn_name: str = ""
+    access_node: str = ""
+    static: bool = False
+    activated_at: float = 0.0
+
+    @property
+    def tid(self) -> TunnelId:
+        """The GTP tunnel identifier for this context."""
+        return TunnelId(self.imsi, self.nsapi)
+
+    def key(self) -> tuple:
+        return (self.imsi, self.nsapi)

@@ -1,0 +1,36 @@
+"""GSM circuit-switched substrate.
+
+Network elements from Figure 1 — MS, BTS, BSC, MSC, GMSC, HLR, VLR — plus
+the authentication centre and the radio-channel models.  The VMSC (the
+paper's contribution) lives in :mod:`repro.core` and reuses
+:class:`~repro.gsm.msc_base.MscBase` for the radio-facing half, which is
+"exactly the same as that of an MSC" by the paper's design (§2).
+"""
+
+from repro.gsm.security import AuthTriplet, a3_sres, a8_kc, generate_triplet
+from repro.gsm.subscriber import SubscriberProfile, SubscriberRecord
+from repro.gsm.hlr import Hlr
+from repro.gsm.vlr import Vlr
+from repro.gsm.bts import Bts
+from repro.gsm.bsc import Bsc
+from repro.gsm.ms import MobileStation
+from repro.gsm.msc_base import MscBase
+from repro.gsm.msc import GsmMsc
+from repro.gsm.gmsc import Gmsc
+
+__all__ = [
+    "AuthTriplet",
+    "a3_sres",
+    "a8_kc",
+    "generate_triplet",
+    "SubscriberProfile",
+    "SubscriberRecord",
+    "Hlr",
+    "Vlr",
+    "Bts",
+    "Bsc",
+    "MobileStation",
+    "MscBase",
+    "GsmMsc",
+    "Gmsc",
+]

@@ -1,0 +1,212 @@
+"""Base Station Controller (with PCU).
+
+Per the paper (§2): "The BSC forwards circuit-switched calls to the MSC,
+and packet-switched data (through the PCU) to the SGSN.  A BSC can only
+connect to one SGSN."  The BSC therefore has three faces:
+
+* Abis toward its BTSs (circuit signalling renamed per the figures);
+* A toward its (V)MSC;
+* Gb toward the SGSN, used only by GPRS handsets (3G TR baseline) — in
+  vGPRS the packet side lives inside the VMSC instead.
+
+The BSC also manages the traffic-channel pool: assignments beyond
+``tch_capacity`` fail with ``A_Assignment_Failure``, giving the circuit
+approach its blocking behaviour under load (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.identities import IMSI
+from repro.gprs.gb import GbUnitdata
+from repro.gsm.relay import rename_packet, subscriber_keys
+from repro.net.interfaces import Interface
+from repro.net.node import Node, handles
+from repro.packets.base import Packet
+from repro.packets.bssap import (
+    AAlerting,
+    AHandoverComplete,
+    AHandoverRequest,
+    AHandoverRequestAck,
+    AHandoverRequired,
+    UmHandoverComplete,
+    AAssignmentComplete,
+    AAssignmentFailure,
+    AAssignmentRequest,
+    AClearCommand,
+    AClearComplete,
+    AConnect,
+    ADisconnect,
+    ALocationUpdate,
+    ALocationUpdateAccept,
+    APaging,
+    APagingResponse,
+    ASetup,
+    AbisAlerting,
+    AbisChannelActivation,
+    AbisConnect,
+    AbisDisconnect,
+    AbisLocationUpdate,
+    AbisLocationUpdateAccept,
+    AbisPaging,
+    AbisPagingResponse,
+    AbisSetup,
+    GsmMessage,
+    UmAssignmentComplete,
+)
+from repro.packets.gmm import GprsMessage
+
+#: Uplink renames: Abis class -> A class.
+UPLINK_RENAMES: Dict[Type[Packet], Type[Packet]] = {
+    AbisLocationUpdate: ALocationUpdate,
+    AbisSetup: ASetup,
+    AbisAlerting: AAlerting,
+    AbisConnect: AConnect,
+    AbisDisconnect: ADisconnect,
+    AbisPagingResponse: APagingResponse,
+    UmAssignmentComplete: AAssignmentComplete,
+    UmHandoverComplete: AHandoverComplete,
+}
+
+#: Downlink renames: A class -> Abis class.
+DOWNLINK_RENAMES: Dict[Type[Packet], Type[Packet]] = {
+    ALocationUpdateAccept: AbisLocationUpdateAccept,
+    ASetup: AbisSetup,
+    AAlerting: AbisAlerting,
+    AConnect: AbisConnect,
+    ADisconnect: AbisDisconnect,
+    APaging: AbisPaging,
+}
+
+
+class Bsc(Node):
+    """A base station controller."""
+
+    def __init__(self, sim, name: str, tch_capacity: int = 32) -> None:
+        super().__init__(sim, name)
+        self._bts_by_key: Dict[tuple, str] = {}
+        self.tch_capacity = tch_capacity
+        self.tch_in_use = 0
+        self._tch_holders: Dict[IMSI, bool] = {}
+
+    def _msc(self) -> Node:
+        return self.peer(Interface.A)
+
+    def _sgsn(self) -> Optional[Node]:
+        links = self.links_on(Interface.GB)
+        return links[0].peer_of(self) if links else None
+
+    # ------------------------------------------------------------------
+    # Traffic-channel pool
+    # ------------------------------------------------------------------
+    @handles(AAssignmentRequest)
+    def on_assignment_request(
+        self, msg: AAssignmentRequest, src: Node, interface: str
+    ) -> None:
+        imsi = msg.imsi
+        if self.tch_in_use >= self.tch_capacity:
+            self.sim.metrics.counter(f"{self.name}.tch_blocked").inc()
+            self.send(src, AAssignmentFailure(imsi=imsi))
+            return
+        self.tch_in_use += 1
+        if imsi is not None:
+            self._tch_holders[imsi] = True
+        self.sim.metrics.gauge(f"{self.name}.tch_in_use").set(self.tch_in_use)
+        self._downlink(rename_packet(msg, AbisChannelActivation))
+
+    @handles(AHandoverRequest)
+    def on_handover_request(
+        self, msg: AHandoverRequest, src: Node, interface: str
+    ) -> None:
+        """Target-side handoff: reserve a channel and acknowledge."""
+        if self.tch_in_use >= self.tch_capacity:
+            self.sim.metrics.counter(f"{self.name}.tch_blocked").inc()
+            self.send(src, AAssignmentFailure(imsi=msg.imsi))
+            return
+        self.tch_in_use += 1
+        if msg.imsi is not None:
+            self._tch_holders[msg.imsi] = True
+        self.send(src, AHandoverRequestAck(ti=msg.ti))
+
+    def report_handover_required(self, imsi, ti: int, target_cell: str) -> None:
+        """Radio-measurement trigger (scenario-driven): tell the MSC the
+        MS must move to *target_cell*."""
+        self.send(self._msc(), AHandoverRequired(imsi=imsi, ti=ti, target_cell=target_cell))
+
+    @handles(AClearCommand)
+    def on_clear_command(self, msg: AClearCommand, src: Node, interface: str) -> None:
+        imsi = msg.imsi
+        if imsi is not None and self._tch_holders.pop(imsi, False):
+            self.tch_in_use = max(0, self.tch_in_use - 1)
+            self.sim.metrics.gauge(f"{self.name}.tch_in_use").set(self.tch_in_use)
+        self.send(src, AClearComplete())
+
+    # ------------------------------------------------------------------
+    # Relaying
+    # ------------------------------------------------------------------
+    @handles(GsmMessage)
+    def on_gsm(self, packet: GsmMessage, src: Node, interface: str) -> None:
+        if interface == Interface.ABIS:
+            self._uplink(packet, src)
+        elif interface == Interface.A:
+            self._downlink_from_a(packet)
+        else:
+            self.on_unhandled(packet, src, interface)
+
+    @handles(GprsMessage)
+    def on_gprs(self, packet: GprsMessage, src: Node, interface: str) -> None:
+        """PCU function: packet-switched traffic shuttles between the
+        BTSs and the SGSN without touching the MSC."""
+        self._relay_packet_switched(packet, src, interface)
+
+    @handles(GbUnitdata)
+    def on_gb_unitdata(self, packet: GbUnitdata, src: Node, interface: str) -> None:
+        self._relay_packet_switched(packet, src, interface)
+
+    def _relay_packet_switched(self, packet: Packet, src: Node, interface: str) -> None:
+        if interface == Interface.ABIS:
+            self._note_imsi(packet, src)
+            sgsn = self._sgsn()
+            if sgsn is None:
+                self.sim.metrics.counter(f"{self.name}.no_sgsn").inc()
+                return
+            self.send(sgsn, packet)
+        else:  # downlink from the SGSN
+            bts = self._bts_for(packet)
+            if bts is not None:
+                self.send(bts, packet)
+
+    def _uplink(self, packet: GsmMessage, src: Node) -> None:
+        self._note_imsi(packet, src)
+        target = UPLINK_RENAMES.get(type(packet))
+        out = rename_packet(packet, target) if target is not None else packet
+        self.send(self._msc(), out)
+
+    def _downlink_from_a(self, packet: GsmMessage) -> None:
+        if isinstance(packet, APaging):
+            page = rename_packet(packet, AbisPaging)
+            for bts in self.peers(Interface.ABIS):
+                self.send(bts, page.copy())
+            return
+        target = DOWNLINK_RENAMES.get(type(packet))
+        out = rename_packet(packet, target) if target is not None else packet
+        self._downlink(out)
+
+    def _downlink(self, packet: Packet) -> None:
+        bts = self._bts_for(packet)
+        if bts is None:
+            self.sim.metrics.counter(f"{self.name}.downlink_unroutable").inc()
+            return
+        self.send(bts, packet)
+
+    def _note_imsi(self, packet: Packet, src: Node) -> None:
+        for key in subscriber_keys(packet):
+            self._bts_by_key[key] = src.name
+
+    def _bts_for(self, packet: Packet) -> Optional[str]:
+        for key in subscriber_keys(packet):
+            name = self._bts_by_key.get(key)
+            if name is not None:
+                return name
+        return None

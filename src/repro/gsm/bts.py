@@ -1,0 +1,203 @@
+"""Base Transceiver Station.
+
+The BTS bridges the Um radio interface and the Abis link to its BSC.
+Circuit-switched signalling is renamed per the paper's figures
+(``Um_Setup`` -> ``Abis_Setup``), DTAP is relayed transparently, and
+paging is broadcast on the air interface.
+
+For the 3G TR baseline the BTS also carries GPRS traffic on a **shared
+packet channel** with finite capacity: every GPRS-bound PDU queues for
+its serialisation time, which is the physical origin of the jitter and
+delay measured in experiment E9 (the paper's "non-real-time packet
+switching nature in the radio interface", §6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.identities import IMSI
+from repro.gprs.gb import GbUnitdata
+from repro.gsm.relay import rename_packet, subscriber_keys
+from repro.net.interfaces import Interface
+from repro.net.node import Node, handles
+from repro.packets.base import Packet
+from repro.packets.bssap import (
+    AHandoverCommand,
+    AbisAlerting,
+    AbisChannelActivation,
+    AbisConnect,
+    AbisDisconnect,
+    AbisLocationUpdate,
+    AbisLocationUpdateAccept,
+    AbisPaging,
+    AbisPagingResponse,
+    AbisSetup,
+    GsmMessage,
+    UmAlerting,
+    UmAssignmentCommand,
+    UmChannelRequest,
+    UmConnect,
+    UmDisconnect,
+    UmHandoverCommand,
+    UmImmediateAssignment,
+    UmLocationUpdateAccept,
+    UmLocationUpdateRequest,
+    UmPaging,
+    UmPagingResponse,
+    UmSetup,
+)
+from repro.packets.gmm import GprsMessage
+
+#: Uplink renames: Um message class -> Abis message class.
+UPLINK_RENAMES: Dict[Type[Packet], Type[Packet]] = {
+    UmLocationUpdateRequest: AbisLocationUpdate,
+    UmSetup: AbisSetup,
+    UmAlerting: AbisAlerting,
+    UmConnect: AbisConnect,
+    UmDisconnect: AbisDisconnect,
+    UmPagingResponse: AbisPagingResponse,
+}
+
+#: Downlink renames: Abis message class -> Um message class.
+DOWNLINK_RENAMES: Dict[Type[Packet], Type[Packet]] = {
+    AbisLocationUpdateAccept: UmLocationUpdateAccept,
+    AbisSetup: UmSetup,
+    AbisAlerting: UmAlerting,
+    AbisConnect: UmConnect,
+    AbisDisconnect: UmDisconnect,
+    AbisChannelActivation: UmAssignmentCommand,
+    AHandoverCommand: UmHandoverCommand,
+}
+
+
+class Bts(Node):
+    """A base transceiver station serving the MSs on its Um links.
+
+    Parameters
+    ----------
+    packet_channel_bps:
+        Capacity of the shared GPRS packet channel (both directions
+        modelled independently).  ``None`` disables queueing (signalling
+        studies where radio load is not the subject).
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        packet_channel_bps: Optional[float] = 4 * 13_400.0,
+    ) -> None:
+        super().__init__(sim, name)
+        self._ms_by_key: Dict[tuple, str] = {}
+        self.packet_channel_bps = packet_channel_bps
+        self._pch_busy_until = {"up": 0.0, "down": 0.0}
+
+    # ------------------------------------------------------------------
+    # Radio presence
+    # ------------------------------------------------------------------
+    def learn(self, imsi: IMSI, ms_name: str) -> None:
+        self._ms_by_key[("imsi", imsi)] = ms_name
+
+    def forget(self, imsi: IMSI) -> None:
+        self._ms_by_key.pop(("imsi", imsi), None)
+
+    def serves(self, imsi: IMSI) -> bool:
+        return ("imsi", imsi) in self._ms_by_key
+
+    def _bsc(self) -> Node:
+        return self.peer(Interface.ABIS)
+
+    # ------------------------------------------------------------------
+    # Shared packet channel (GPRS / 3G TR baseline)
+    # ------------------------------------------------------------------
+    def _packet_channel_delay(self, packet: Packet, direction: str) -> float:
+        """FIFO queueing + serialisation delay on the shared channel."""
+        if self.packet_channel_bps is None:
+            return 0.0
+        size_bits = len(packet.build()) * 8
+        service = size_bits / self.packet_channel_bps
+        start = max(self.sim.now, self._pch_busy_until[direction])
+        self._pch_busy_until[direction] = start + service
+        delay = (start + service) - self.sim.now
+        self.sim.metrics.histogram(f"{self.name}.pch_delay_{direction}").observe(delay)
+        return delay
+
+    def _send_gprs(self, dst, packet: Packet, direction: str) -> None:
+        delay = self._packet_channel_delay(packet, direction)
+        if delay > 0:
+            self.sim.schedule(delay, self.send, dst, packet)
+        else:
+            self.send(dst, packet)
+
+    # ------------------------------------------------------------------
+    # Local radio procedures
+    # ------------------------------------------------------------------
+    @handles(UmChannelRequest)
+    def on_channel_request(self, msg: UmChannelRequest, src: Node, interface: str) -> None:
+        self.send(src, UmImmediateAssignment(channel=1))
+
+    # ------------------------------------------------------------------
+    # Catch-all relaying
+    # ------------------------------------------------------------------
+    @handles(GsmMessage)
+    def on_gsm(self, packet: GsmMessage, src: Node, interface: str) -> None:
+        if interface == Interface.UM:
+            self._uplink(packet, src)
+        else:
+            self._downlink(packet)
+
+    @handles(GprsMessage)
+    def on_gprs(self, packet: GprsMessage, src: Node, interface: str) -> None:
+        """GPRS GMM/SM signalling (3G TR handsets) rides the packet
+        channel in both directions."""
+        if interface == Interface.UM:
+            self._note_imsi(packet, src)
+            self._send_gprs(self._bsc(), packet, "up")
+        else:
+            ms = self._ms_for(packet)
+            if ms is not None:
+                self._send_gprs(ms, packet, "down")
+
+    @handles(GbUnitdata)
+    def on_gb_unitdata(self, packet: GbUnitdata, src: Node, interface: str) -> None:
+        if interface == Interface.UM:
+            self._note_imsi(packet, src)
+            self._send_gprs(self._bsc(), packet, "up")
+        else:
+            ms = self._ms_for(packet)
+            if ms is not None:
+                self._send_gprs(ms, packet, "down")
+
+    def _uplink(self, packet: GsmMessage, src: Node) -> None:
+        self._note_imsi(packet, src)
+        target = UPLINK_RENAMES.get(type(packet))
+        out = rename_packet(packet, target) if target is not None else packet
+        self.send(self._bsc(), out)
+
+    def _downlink(self, packet: GsmMessage) -> None:
+        if isinstance(packet, AbisPaging):
+            # Paging is broadcast on the air interface; MSs filter by
+            # identity.
+            page = rename_packet(packet, UmPaging)
+            for ms in self.peers(Interface.UM):
+                self.send(ms, page.copy())
+            return
+        target = DOWNLINK_RENAMES.get(type(packet))
+        out = rename_packet(packet, target) if target is not None else packet
+        ms = self._ms_for(out)
+        if ms is None:
+            self.sim.metrics.counter(f"{self.name}.downlink_unroutable").inc()
+            return
+        self.send(ms, out)
+
+    def _note_imsi(self, packet: Packet, src: Node) -> None:
+        for key in subscriber_keys(packet):
+            self._ms_by_key[key] = src.name
+
+    def _ms_for(self, packet: Packet):
+        for key in subscriber_keys(packet):
+            name = self._ms_by_key.get(key)
+            if name is not None:
+                return name
+        return None

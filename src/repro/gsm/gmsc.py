@@ -1,0 +1,84 @@
+"""Gateway MSC — home-network entry point for calls to mobile numbers.
+
+The GMSC is a PSTN switch that, on a call to one of its home MSISDNs,
+interrogates the HLR (``MAP_Send_Routing_Information``) for a roaming
+number and re-routes the call there.  When the subscriber roams abroad,
+the re-routed leg is a *second* international trunk back out of the home
+country — the tromboning of Figure 7 that vGPRS eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.identities import E164Number
+from repro.net.node import Node, handles
+from repro.net.transactions import Transactions, Sequencer
+from repro.pstn.switch import PstnSwitch, _Bridge
+from repro.packets.isup import CAUSE_UNALLOCATED_NUMBER, IsupIam, IsupRel
+from repro.packets.map import (
+    MapSendRoutingInformation,
+    MapSendRoutingInformationAck,
+)
+
+
+class Gmsc(PstnSwitch):
+    """A gateway MSC for one home PLMN."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        country_code: str,
+        ledger=None,
+        cic_start: int = 300000,
+    ) -> None:
+        super().__init__(sim, name, country_code, ledger=ledger, cic_start=cic_start)
+        #: MSISDN prefixes owned by this PLMN, e.g. "+44790".
+        self.home_prefixes: Set[str] = set()
+        self._sri_pending = Transactions()
+        self._sri_seq = Sequencer(start=7000)
+
+    def add_home_prefix(self, prefix: str) -> None:
+        self.home_prefixes.add(prefix)
+
+    def _is_home_number(self, called: E164Number) -> bool:
+        text = str(called)
+        return any(text.startswith(p) for p in self.home_prefixes)
+
+    def _hlr(self) -> Node:
+        return self.peer("C")
+
+    # ------------------------------------------------------------------
+    # Incoming calls: interrogate the HLR for home numbers
+    # ------------------------------------------------------------------
+    @handles(IsupIam)
+    def on_iam(self, msg: IsupIam, src: Node, interface: str) -> None:
+        if not self._is_home_number(msg.called):
+            super().on_iam(msg, src, interface)
+            return
+        bridge = _Bridge(called=msg.called, calling=msg.calling, up=(src.name, msg.cic))
+        self._legs[bridge.up] = bridge
+        invoke_id = self._sri_seq.next()
+        self._sri_pending.open_with_id(invoke_id, bridge)
+        self.send(
+            self._hlr(),
+            MapSendRoutingInformation(invoke_id=invoke_id, msisdn=msg.called),
+        )
+
+    @handles(MapSendRoutingInformationAck)
+    def on_sri_ack(
+        self, msg: MapSendRoutingInformationAck, src: Node, interface: str
+    ) -> None:
+        bridge: _Bridge = self._sri_pending.close(msg.invoke_id)
+        if msg.error != 0 or msg.msrn is None:
+            self.sim.metrics.counter(f"{self.name}.absent_subscribers").inc()
+            self._send_up(bridge, IsupRel(cic=0, cause=CAUSE_UNALLOCATED_NUMBER))
+            self._legs.pop(bridge.up, None)
+            return
+        # Re-route toward the roaming number.  When the subscriber roams
+        # abroad this re-dial seizes the second international trunk of
+        # Figure 7.
+        bridge.called = msg.msrn
+        bridge.routes_left = self._candidate_routes(msg.msrn)
+        self._try_next_route(bridge)

@@ -1,0 +1,214 @@
+"""Home Location Register (with an embedded authentication centre).
+
+The HLR owns the master subscriber database.  It serves:
+
+* ``MAP_Update_Location`` from VLRs (paper step 1.2), downloading the
+  subscription profile via ``MAP_Insert_Subs_Data`` and cancelling any
+  previous registration with ``MAP_Cancel_Location``;
+* ``MAP_Send_Auth_Info`` — triplet generation (AuC function);
+* ``MAP_Send_Routing_Information`` from a GMSC, interrogating the
+  serving VLR with ``MAP_Provide_Roaming_Number`` — the classic GSM call
+  delivery of Figure 7 whose tromboning vGPRS eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SubscriberError
+from repro.identities import IMSI, E164Number
+from repro.gsm.security import generate_triplet
+from repro.gsm.subscriber import SubscriberRecord
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer, Transactions
+from repro.packets.map import (
+    ERR_ABSENT_SUBSCRIBER,
+    ERR_UNKNOWN_SUBSCRIBER,
+    MapCancelLocation,
+    MapCancelLocationAck,
+    MapInsertSubsData,
+    MapInsertSubsDataAck,
+    MapProvideRoamingNumber,
+    MapProvideRoamingNumberAck,
+    MapSendAuthInfo,
+    MapSendAuthInfoAck,
+    MapSendRoutingInformation,
+    MapSendRoutingInformationAck,
+    MapUpdateLocation,
+    MapUpdateLocationAck,
+)
+
+
+class Hlr(Node):
+    """The home location register."""
+
+    def __init__(self, sim, name: str = "HLR") -> None:
+        super().__init__(sim, name)
+        self.subscribers: Dict[IMSI, SubscriberRecord] = {}
+        self._by_msisdn: Dict[E164Number, IMSI] = {}
+        self._invoke_seq = Sequencer()
+        self._pending = Transactions()
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def add_subscriber(self, record: SubscriberRecord) -> None:
+        if record.imsi in self.subscribers:
+            raise SubscriberError(f"duplicate IMSI {record.imsi}")
+        if record.msisdn in self._by_msisdn:
+            raise SubscriberError(f"duplicate MSISDN {record.msisdn}")
+        self.subscribers[record.imsi] = record
+        self._by_msisdn[record.msisdn] = record.imsi
+
+    def subscriber(self, imsi: IMSI) -> SubscriberRecord:
+        try:
+            return self.subscribers[imsi]
+        except KeyError:
+            raise SubscriberError(f"unknown IMSI {imsi}") from None
+
+    def imsi_for_msisdn(self, msisdn: E164Number) -> Optional[IMSI]:
+        return self._by_msisdn.get(msisdn)
+
+    # ------------------------------------------------------------------
+    # Location management
+    # ------------------------------------------------------------------
+    @handles(MapUpdateLocation)
+    def on_update_location(
+        self, msg: MapUpdateLocation, src: Node, interface: str
+    ) -> None:
+        record = self.subscribers.get(msg.imsi)
+        if record is None:
+            self.send(
+                src,
+                MapUpdateLocationAck(
+                    invoke_id=msg.invoke_id, error=ERR_UNKNOWN_SUBSCRIBER
+                ),
+            )
+            return
+        old_vlr = record.vlr_name
+        record.vlr_name = msg.vlr_number
+        record.msc_name = msg.msc_number
+        if old_vlr is not None and old_vlr != msg.vlr_number:
+            self.send(
+                old_vlr,
+                MapCancelLocation(
+                    invoke_id=self._invoke_seq.next(), imsi=msg.imsi
+                ),
+            )
+        # Download the profile; the final Update_Location ack follows the
+        # Insert_Subs_Data ack, matching the step 1.2 message order.
+        insert_id = self._invoke_seq.next()
+        self._pending.open_with_id(insert_id, {
+            "vlr": src.name,
+            "ul_invoke_id": msg.invoke_id,
+        })
+        self.send(
+            src,
+            MapInsertSubsData(
+                invoke_id=insert_id,
+                imsi=record.imsi,
+                msisdn=record.msisdn,
+                international_allowed=record.profile.international_allowed,
+                gprs_allowed=record.profile.gprs_allowed,
+            ),
+        )
+
+    @handles(MapInsertSubsDataAck)
+    def on_insert_subs_data_ack(
+        self, msg: MapInsertSubsDataAck, src: Node, interface: str
+    ) -> None:
+        pending = self._pending.try_close(msg.invoke_id)
+        if pending is None:
+            return
+        self.send(
+            pending["vlr"], MapUpdateLocationAck(invoke_id=pending["ul_invoke_id"])
+        )
+
+    @handles(MapCancelLocationAck)
+    def on_cancel_location_ack(
+        self, msg: MapCancelLocationAck, src: Node, interface: str
+    ) -> None:
+        self.sim.metrics.counter(f"{self.name}.cancel_acks").inc()
+
+    # ------------------------------------------------------------------
+    # Authentication centre
+    # ------------------------------------------------------------------
+    @handles(MapSendAuthInfo)
+    def on_send_auth_info(
+        self, msg: MapSendAuthInfo, src: Node, interface: str
+    ) -> None:
+        record = self.subscribers.get(msg.imsi)
+        if record is None:
+            self.send(
+                src,
+                MapSendAuthInfoAck(
+                    invoke_id=msg.invoke_id,
+                    rand=b"\x00" * 16,
+                    sres=b"\x00" * 4,
+                    kc=b"\x00" * 8,
+                    error=ERR_UNKNOWN_SUBSCRIBER,
+                ),
+            )
+            return
+        rand = self.sim.rng.getrandbits("auc.rand", 128).to_bytes(16, "big")
+        triplet = generate_triplet(record.ki, rand)
+        self.send(
+            src,
+            MapSendAuthInfoAck(
+                invoke_id=msg.invoke_id,
+                rand=triplet.rand,
+                sres=triplet.sres,
+                kc=triplet.kc,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Call delivery interrogation (classic GSM, Figure 7)
+    # ------------------------------------------------------------------
+    @handles(MapSendRoutingInformation)
+    def on_send_routing_information(
+        self, msg: MapSendRoutingInformation, src: Node, interface: str
+    ) -> None:
+        imsi = self._by_msisdn.get(msg.msisdn)
+        record = self.subscribers.get(imsi) if imsi is not None else None
+        if record is None:
+            self.send(
+                src,
+                MapSendRoutingInformationAck(
+                    invoke_id=msg.invoke_id, error=ERR_UNKNOWN_SUBSCRIBER
+                ),
+            )
+            return
+        if record.vlr_name is None:
+            self.send(
+                src,
+                MapSendRoutingInformationAck(
+                    invoke_id=msg.invoke_id, error=ERR_ABSENT_SUBSCRIBER
+                ),
+            )
+            return
+        prn_id = self._invoke_seq.next()
+        self._pending.open_with_id(prn_id, {
+            "gmsc": src.name,
+            "sri_invoke_id": msg.invoke_id,
+        })
+        self.send(
+            record.vlr_name,
+            MapProvideRoamingNumber(invoke_id=prn_id, imsi=record.imsi),
+        )
+
+    @handles(MapProvideRoamingNumberAck)
+    def on_provide_roaming_number_ack(
+        self, msg: MapProvideRoamingNumberAck, src: Node, interface: str
+    ) -> None:
+        pending = self._pending.try_close(msg.invoke_id)
+        if pending is None:
+            return
+        self.send(
+            pending["gmsc"],
+            MapSendRoutingInformationAck(
+                invoke_id=pending["sri_invoke_id"],
+                msrn=msg.msrn,
+                error=msg.error,
+            ),
+        )

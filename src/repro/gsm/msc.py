@@ -1,0 +1,192 @@
+"""Classic GSM MSC — the circuit-switched baseline the VMSC replaces.
+
+Network side: ISUP trunks toward the PSTN/GMSC.  MO calls become IAMs;
+incoming IAMs (addressed to an MSRN allocated by the co-operating VLR)
+page the MS and bridge the trunk to the radio leg.  Voice crosses the
+MSC as PCM, with no transcoding — this is the box whose trunk usage
+produces the Figure 7 tromboning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.gsm.msc_base import MscBase, RadioConn
+from repro.net.interfaces import Interface
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer, Transactions
+from repro.packets.bssap import ASetup, TchFrame, CAUSE_NORMAL
+from repro.packets.isup import (
+    CAUSE_UNALLOCATED_NUMBER,
+    IsupAcm,
+    IsupAnm,
+    IsupIam,
+    IsupRel,
+    IsupRlc,
+    PcmFrame,
+)
+from repro.packets.map import (
+    MapSendInfoForIncomingCall,
+    MapSendInfoForIncomingCallAck,
+)
+
+
+class _TrunkCall:
+    """State of one trunk-to-radio bridged call."""
+
+    def __init__(self, cic: int, peer: str, conn: Optional[RadioConn], direction: str) -> None:
+        self.cic = cic
+        self.peer = peer            # node the trunk leg goes to/came from
+        self.conn = conn
+        self.direction = direction  # "mo" | "mt"
+        self.answered = False
+
+
+class GsmMsc(MscBase):
+    """A standard GSM mobile switching centre."""
+
+    def __init__(self, sim, name: str = "MSC", cic_start: int = 500000) -> None:
+        super().__init__(sim, name)
+        self._cic_seq = Sequencer(start=cic_start)
+        self._calls_by_cic: Dict[int, _TrunkCall] = {}
+        self._calls_by_imsi: Dict[object, _TrunkCall] = {}
+        self._sifc_pending = Transactions()
+
+    def _pstn(self) -> Node:
+        return self.peer(Interface.ISUP)
+
+    # ------------------------------------------------------------------
+    # MO: radio -> trunk
+    # ------------------------------------------------------------------
+    def route_mo_call(self, conn: RadioConn, setup: ASetup) -> None:
+        cic = self._cic_seq.next()
+        call = _TrunkCall(cic, self._pstn().name, conn, "mo")
+        self._calls_by_cic[cic] = call
+        self._calls_by_imsi[conn.imsi] = call
+        self.send(
+            call.peer,
+            IsupIam(cic=cic, called=setup.called, calling=setup.calling),
+            interface=Interface.ISUP,
+        )
+
+    @handles(IsupAcm)
+    def on_isup_acm(self, msg: IsupAcm, src: Node, interface: str) -> None:
+        call = self._calls_by_cic.get(msg.cic)
+        if call is not None and call.conn is not None:
+            self.send_alerting_to_ms(call.conn)
+
+    # ------------------------------------------------------------------
+    # MT: trunk -> radio
+    # ------------------------------------------------------------------
+    def on_isup_iam(self, msg: IsupIam, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_isup_iam(msg, src, interface)
+            return
+        # The IAM's called number is an MSRN; ask the VLR who it is.
+        invoke_id = self._invoke_seq.next()
+        self._sifc_pending.open_with_id(invoke_id, (msg, src.name))
+        self.send(
+            self._vlr(),
+            MapSendInfoForIncomingCall(invoke_id=invoke_id, msrn=msg.called),
+        )
+
+    @handles(MapSendInfoForIncomingCallAck)
+    def on_incoming_call_info(
+        self, msg: MapSendInfoForIncomingCallAck, src: Node, interface: str
+    ) -> None:
+        iam, trunk_peer = self._sifc_pending.close(msg.invoke_id)
+        if not msg.reachable or msg.imsi is None:
+            self.send(
+                trunk_peer,
+                IsupRel(cic=iam.cic, cause=CAUSE_UNALLOCATED_NUMBER),
+                interface=Interface.ISUP,
+            )
+            return
+        call = _TrunkCall(iam.cic, trunk_peer, None, "mt")
+        self._calls_by_cic[iam.cic] = call
+
+        def on_ready(conn: RadioConn) -> None:
+            call.conn = conn
+            self._calls_by_imsi[conn.imsi] = call
+            self.send_setup_to_ms(conn, iam.calling)
+
+        def on_failed(conn: RadioConn) -> None:
+            self._calls_by_cic.pop(iam.cic, None)
+            self.send(
+                trunk_peer,
+                IsupRel(cic=iam.cic, cause=CAUSE_UNALLOCATED_NUMBER),
+                interface=Interface.ISUP,
+            )
+
+        self.page(msg.imsi, on_ready, on_failed)
+
+    def on_ms_alerting(self, conn: RadioConn) -> None:
+        call = self._calls_by_imsi.get(conn.imsi)
+        if call is not None and call.direction == "mt":
+            self.send(call.peer, IsupAcm(cic=call.cic), interface=Interface.ISUP)
+
+    def on_ms_connect(self, conn: RadioConn) -> None:
+        call = self._calls_by_imsi.get(conn.imsi)
+        if call is not None and call.direction == "mt":
+            call.answered = True
+            self.send(call.peer, IsupAnm(cic=call.cic), interface=Interface.ISUP)
+
+    @handles(IsupAnm)
+    def on_isup_anm(self, msg: IsupAnm, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_isup_anm(msg, src, interface)
+            return
+        call = self._calls_by_cic.get(msg.cic)
+        if call is not None and call.conn is not None:
+            call.answered = True
+            self.send_connect_to_ms(call.conn)
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def on_ms_disconnect(self, conn: RadioConn, cause: int) -> None:
+        call = self._calls_by_imsi.pop(conn.imsi, None)
+        if call is not None:
+            self._calls_by_cic.pop(call.cic, None)
+            self.send(
+                call.peer, IsupRel(cic=call.cic, cause=CAUSE_NORMAL),
+                interface=Interface.ISUP,
+            )
+
+    def on_isup_rel(self, msg: IsupRel, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_isup_rel(msg, src, interface)
+            return
+        self.send(src, IsupRlc(cic=msg.cic), interface=Interface.ISUP)
+        call = self._calls_by_cic.pop(msg.cic, None)
+        if call is not None and call.conn is not None:
+            self._calls_by_imsi.pop(call.conn.imsi, None)
+            self.disconnect_ms(call.conn, cause=msg.cause)
+
+    # ------------------------------------------------------------------
+    # Voice bridging (PCM <-> TCH, no transcoding)
+    # ------------------------------------------------------------------
+    def on_uplink_voice(self, conn: RadioConn, frame: TchFrame) -> None:
+        call = self._calls_by_imsi.get(conn.imsi)
+        if call is None or not call.answered:
+            return
+        self.send(
+            call.peer,
+            PcmFrame(cic=call.cic, seq=frame.seq, gen_time_us=frame.gen_time_us),
+            interface=Interface.ISUP,
+        )
+
+    def on_pcm_frame(self, frame: PcmFrame, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_pcm_frame(frame, src, interface)
+            return
+        call = self._calls_by_cic.get(frame.cic)
+        if call is None or call.conn is None:
+            return
+        tch = TchFrame(
+            ti=call.conn.ti or 0,
+            imsi=call.conn.imsi,
+            seq=frame.seq,
+            gen_time_us=frame.gen_time_us,
+        )
+        self.send_voice_to_ms(call.conn, tch)

@@ -1,0 +1,942 @@
+"""Shared radio-side MSC logic.
+
+The paper's central compatibility claim is that "the GSM signalling
+interfaces of the VMSC are exactly the same as that of an MSC" (§2).
+This class *is* that shared interface: everything facing the BSC (A), the
+VLR (B) and peer MSCs (E) lives here, and both :class:`~repro.gsm.msc.GsmMsc`
+and the VMSC (:mod:`repro.core.vmsc`) inherit it unchanged.  Subclasses
+differ only in the *network side*, via the abstract hooks:
+
+* ``route_mo_call(conn, setup)`` — MS dialled out (after VLR authorisation);
+* ``on_ms_alerting/on_ms_connect/on_ms_disconnect(conn)`` — MT call
+  progress from the radio side;
+* ``on_registration_complete(conn, ack)`` — VLR confirmed a location
+  update (the VMSC inserts GPRS attach + PDP activation + H.323
+  registration here, steps 1.3–1.5);
+* ``on_uplink_voice(conn, frame)`` — a TCH frame arrived from the MS;
+* ``on_assignment_failed(conn)`` — no radio channel (blocking).
+
+Inter-system handoff (Figure 9) is implemented here for both anchor and
+target roles, since the paper notes "inter-system handoff between two
+VMSCs follows the same procedure" as VMSC-to-MSC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.identities import IMSI, E164Number
+from repro.net.interfaces import Interface
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer, Transactions
+from repro.sim.timers import Timer
+from repro.packets.bssap import (
+    AAlerting,
+    ImsiDetachIndication,
+    AAssignmentComplete,
+    AAssignmentFailure,
+    AAssignmentRequest,
+    AClearComplete,
+    AClearCommand,
+    AConnect,
+    ADisconnect,
+    AHandoverCommand,
+    AHandoverComplete,
+    AHandoverRequest,
+    AHandoverRequestAck,
+    AHandoverRequired,
+    ALocationUpdate,
+    ALocationUpdateAccept,
+    APaging,
+    APagingResponse,
+    ASetup,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    CipheringModeCommand,
+    CipheringModeComplete,
+    CmServiceAccept,
+    CmServiceReject,
+    CmServiceRequest,
+    TchFrame,
+    UmHandoverAccess,
+    UmRelease,
+    UmReleaseComplete,
+    CAUSE_NORMAL,
+)
+from repro.packets.isup import IsupAnm, IsupIam, IsupRel, IsupRlc, PcmFrame
+from repro.packets.map import (
+    MapDetachImsi,
+    MapPrepareHandover,
+    MapPrepareSubsequentHandover,
+    MapPrepareHandoverAck,
+    MapProcessAccessRequest,
+    MapProcessAccessRequestAck,
+    MapSendEndSignal,
+    MapSendEndSignalAck,
+    MapSendInfoForOutgoingCall,
+    MapSendInfoForOutgoingCallAck,
+    MapUpdateLocationArea,
+    MapUpdateLocationAreaAck,
+)
+
+#: Paging guard timer (GSM T3113).
+T3113_SECONDS = 5.0
+
+
+@dataclass
+class RadioConn:
+    """State of one MS's signalling relationship with this (V)MSC."""
+
+    imsi: Optional[IMSI]
+    tmsi: Optional[int] = None
+    bsc: str = ""
+    ti: Optional[int] = None
+    purpose: str = ""            # "lu" | "mo" | "mt"
+    state: str = "idle"
+    calling: Optional[E164Number] = None
+    # Handoff state: when set, the MS is served by a remote MSC and voice
+    # rides the inter-MSC trunk instead of the local BSC.
+    via_msc: Optional[str] = None
+    handoff_cic: Optional[int] = None
+    page_timer: Optional[Timer] = None
+    on_mt_ready: Optional[Callable[["RadioConn"], None]] = None
+    on_page_failed: Optional[Callable[["RadioConn"], None]] = None
+
+
+class MscBase(Node):
+    """Radio-facing half of a (V)MSC."""
+
+    def __init__(self, sim, name: str) -> None:
+        super().__init__(sim, name)
+        self.conns: Dict[IMSI, RadioConn] = {}
+        self._conn_by_tmsi: Dict[int, RadioConn] = {}
+        self._invoke_seq = Sequencer()
+        self._ti_seq = Sequencer(start=0x0100)
+        self._vlr_pending = Transactions()
+        #: cells this MSC serves: cell name -> BSC node name.
+        self.cells: Dict[str, str] = {}
+        #: neighbouring cells served by other MSCs: cell -> MSC node name.
+        self.neighbor_cells: Dict[str, str] = {}
+        self._handoff_cic_seq = Sequencer(start=9000)
+        # Target-role handoff state, keyed by ti.
+        self._ho_target: Dict[int, dict] = {}
+        # Anchor-role handoff state, keyed by ti.
+        self._ho_anchor: Dict[int, dict] = {}
+        # Handback-to-anchor state, keyed by ti.
+        self._ho_back: Dict[int, dict] = {}
+        # Intra-MSC inter-BSC handover state, keyed by ti.
+        self._ho_intra: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Abstract network-side hooks
+    # ------------------------------------------------------------------
+    def route_mo_call(self, conn: RadioConn, setup: ASetup) -> None:
+        raise NotImplementedError
+
+    def on_ms_alerting(self, conn: RadioConn) -> None:
+        raise NotImplementedError
+
+    def on_ms_connect(self, conn: RadioConn) -> None:
+        raise NotImplementedError
+
+    def on_ms_disconnect(self, conn: RadioConn, cause: int) -> None:
+        raise NotImplementedError
+
+    def on_uplink_voice(self, conn: RadioConn, frame: TchFrame) -> None:
+        raise NotImplementedError
+
+    def on_registration_complete(
+        self, conn: RadioConn, ack: MapUpdateLocationAreaAck
+    ) -> None:
+        """Default (classic MSC): immediately confirm to the MS.  The
+        VMSC overrides this to run steps 1.3-1.5 first."""
+        self.confirm_location_update(conn, ack)
+
+    def on_assignment_failed(self, conn: RadioConn) -> None:
+        """No traffic channel: tell the MO caller, or fail the page."""
+        self.sim.metrics.counter(f"{self.name}.assignment_failures").inc()
+        if conn.purpose == "mo" and conn.bsc:
+            self.send(conn.bsc, CmServiceReject(imsi=conn.imsi))
+        elif conn.purpose == "mt":
+            conn.on_mt_ready = None
+            if conn.bsc:
+                # Return the paged MS to idle as well.
+                self.send(conn.bsc, CmServiceReject(imsi=conn.imsi))
+            if conn.on_page_failed is not None:
+                cb, conn.on_page_failed = conn.on_page_failed, None
+                cb(conn)
+
+    def on_mo_barred(self, conn: RadioConn, setup: ASetup) -> None:
+        """Outgoing call rejected by the VLR (step 2.2 failure path)."""
+        self.disconnect_ms(conn, cause=CAUSE_NORMAL)
+
+    # ------------------------------------------------------------------
+    # Connection bookkeeping
+    # ------------------------------------------------------------------
+    def _conn_for(
+        self, imsi: Optional[IMSI], tmsi: Optional[int] = None, bsc: str = ""
+    ) -> RadioConn:
+        conn = None
+        if imsi is not None:
+            conn = self.conns.get(imsi)
+        if conn is None and tmsi is not None:
+            conn = self._conn_by_tmsi.get(tmsi)
+        if conn is None:
+            conn = RadioConn(imsi=imsi, tmsi=tmsi)
+            if imsi is not None:
+                self.conns[imsi] = conn
+            if tmsi is not None:
+                self._conn_by_tmsi[tmsi] = conn
+        if bsc:
+            conn.bsc = bsc
+        return conn
+
+    def _learn_imsi(self, conn: RadioConn, imsi: IMSI) -> None:
+        if conn.imsi is None:
+            conn.imsi = imsi
+            self.conns[imsi] = conn
+
+    def conn(self, imsi: IMSI) -> RadioConn:
+        try:
+            return self.conns[imsi]
+        except KeyError:
+            raise ProtocolError(f"{self.name}: no radio connection for {imsi}") from None
+
+    def _vlr(self) -> Node:
+        return self.peer(Interface.B)
+
+    def new_ti(self) -> int:
+        return self._ti_seq.next()
+
+    # ------------------------------------------------------------------
+    # Location update (paper step 1.1 -> 1.6)
+    # ------------------------------------------------------------------
+    @handles(ALocationUpdate)
+    def on_location_update(self, msg: ALocationUpdate, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi, msg.tmsi, bsc=src.name)
+        conn.purpose = "lu"
+        conn.state = "lu-pending"
+        invoke_id = self._invoke_seq.next()
+        self._vlr_pending.open_with_id(invoke_id, conn)
+        self.send(
+            self._vlr(),
+            MapUpdateLocationArea(
+                invoke_id=invoke_id, imsi=msg.imsi, tmsi=msg.tmsi, lai=msg.lai
+            ),
+        )
+
+    @handles(MapUpdateLocationAreaAck)
+    def on_update_location_area_ack(
+        self, msg: MapUpdateLocationAreaAck, src: Node, interface: str
+    ) -> None:
+        conn: RadioConn = self._vlr_pending.close(msg.invoke_id)
+        if msg.error != 0:
+            conn.state = "idle"
+            self.sim.metrics.counter(f"{self.name}.lu_failures").inc()
+            return
+        if msg.imsi is not None:
+            self._learn_imsi(conn, msg.imsi)
+        if msg.new_tmsi is not None:
+            conn.tmsi = msg.new_tmsi
+            self._conn_by_tmsi[msg.new_tmsi] = conn
+        self.on_registration_complete(conn, msg)
+
+    def confirm_location_update(
+        self, conn: RadioConn, ack: MapUpdateLocationAreaAck
+    ) -> None:
+        """Step 1.6: tell the MS the location update was accepted."""
+        conn.state = "idle"
+        self.sim.metrics.counter(f"{self.name}.lu_successes").inc()
+        self.send(
+            conn.bsc,
+            ALocationUpdateAccept(
+                imsi=conn.imsi, tmsi=conn.tmsi, new_tmsi=ack.new_tmsi
+            ),
+        )
+
+    @handles(ImsiDetachIndication)
+    def on_imsi_detach(self, msg: ImsiDetachIndication, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi, msg.tmsi, bsc=src.name)
+        conn.state = "idle"
+        self.send(
+            self._vlr(),
+            MapDetachImsi(
+                invoke_id=self._invoke_seq.next(), imsi=msg.imsi, tmsi=msg.tmsi
+            ),
+        )
+        if conn.imsi is not None:
+            self.on_ms_detached(conn)
+
+    def on_ms_detached(self, conn: RadioConn) -> None:
+        """Subclass hook: the MS powered off (VMSC tears down GPRS and
+        gatekeeper state here)."""
+
+    # ------------------------------------------------------------------
+    # DTAP relays between the VLR (B) and the BSC (A)
+    # ------------------------------------------------------------------
+    @handles(AuthenticationRequest)
+    def on_auth_request(self, msg: AuthenticationRequest, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        if interface == Interface.B and conn.bsc:
+            self.send(conn.bsc, msg)
+
+    @handles(AuthenticationResponse)
+    def on_auth_response(self, msg: AuthenticationResponse, src: Node, interface: str) -> None:
+        if interface == Interface.A:
+            self.send(self._vlr(), msg)
+
+    @handles(CipheringModeCommand)
+    def on_ciphering_command(self, msg: CipheringModeCommand, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        if interface == Interface.B and conn.bsc:
+            self.send(conn.bsc, msg)
+
+    @handles(CipheringModeComplete)
+    def on_ciphering_complete(self, msg: CipheringModeComplete, src: Node, interface: str) -> None:
+        if interface == Interface.A:
+            self.send(self._vlr(), msg)
+
+    # ------------------------------------------------------------------
+    # Access (MO service request / paging response) + assignment
+    # ------------------------------------------------------------------
+    @handles(CmServiceRequest)
+    def on_cm_service_request(self, msg: CmServiceRequest, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi, msg.tmsi, bsc=src.name)
+        conn.purpose = "mo"
+        conn.state = "access-pending"
+        invoke_id = self._invoke_seq.next()
+        self._vlr_pending.open_with_id(invoke_id, conn)
+        self.send(
+            self._vlr(),
+            MapProcessAccessRequest(
+                invoke_id=invoke_id, imsi=msg.imsi, tmsi=msg.tmsi, access_type=1
+            ),
+        )
+
+    @handles(MapProcessAccessRequestAck)
+    def on_access_request_ack(
+        self, msg: MapProcessAccessRequestAck, src: Node, interface: str
+    ) -> None:
+        conn: RadioConn = self._vlr_pending.close(msg.invoke_id)
+        if msg.error != 0:
+            conn.state = "idle"
+            self.sim.metrics.counter(f"{self.name}.access_failures").inc()
+            if conn.on_page_failed is not None:
+                cb, conn.on_page_failed = conn.on_page_failed, None
+                cb(conn)
+            return
+        self._learn_imsi(conn, msg.imsi)
+        conn.state = "assigning"
+        if conn.purpose == "mo":
+            self.send(conn.bsc, CmServiceAccept(imsi=conn.imsi))
+        self.send(conn.bsc, AAssignmentRequest(imsi=conn.imsi))
+
+    @handles(AAssignmentComplete)
+    def on_assignment_complete(
+        self, msg: AAssignmentComplete, src: Node, interface: str
+    ) -> None:
+        conn = self._conn_for(msg.imsi)
+        conn.state = "assigned"
+        if conn.purpose == "mt":
+            # Step 4.5 tail: send the setup instruction to the MS.
+            if conn.on_mt_ready is not None:
+                cb, conn.on_mt_ready = conn.on_mt_ready, None
+                cb(conn)
+        # For MO the MS sends Um_Setup on its own once assigned.
+
+    @handles(AAssignmentFailure)
+    def on_assignment_failure(
+        self, msg: AAssignmentFailure, src: Node, interface: str
+    ) -> None:
+        conn = self._conn_for(msg.imsi)
+        conn.state = "idle"
+        self.on_assignment_failed(conn)
+
+    # ------------------------------------------------------------------
+    # MO call (paper §4)
+    # ------------------------------------------------------------------
+    @handles(ASetup)
+    def on_a_setup(self, msg: ASetup, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi, bsc=src.name)
+        conn.ti = msg.ti
+        conn.state = "mo-authorizing"
+        # Step 2.2: ask the VLR whether the call is allowed.
+        invoke_id = self._invoke_seq.next()
+        self._vlr_pending.open_with_id(invoke_id, (conn, msg))
+        self.send(
+            self._vlr(),
+            MapSendInfoForOutgoingCall(
+                invoke_id=invoke_id,
+                imsi=conn.imsi,
+                tmsi=conn.tmsi,
+                called=msg.called,
+            ),
+        )
+
+    @handles(MapSendInfoForOutgoingCallAck)
+    def on_outgoing_call_ack(
+        self, msg: MapSendInfoForOutgoingCallAck, src: Node, interface: str
+    ) -> None:
+        conn, setup = self._vlr_pending.close(msg.invoke_id)
+        if not msg.allowed:
+            conn.state = "idle"
+            self.sim.metrics.counter(f"{self.name}.calls_barred").inc()
+            self.on_mo_barred(conn, setup)
+            return
+        conn.state = "mo-routing"
+        self.route_mo_call(conn, setup)
+
+    # ------------------------------------------------------------------
+    # MT call (paper §5)
+    # ------------------------------------------------------------------
+    def page(
+        self,
+        imsi: IMSI,
+        on_ready: Callable[[RadioConn], None],
+        on_failed: Optional[Callable[[RadioConn], None]] = None,
+        lai: str = "",
+    ) -> RadioConn:
+        """Step 4.4: page the MS in every cell; on response run access +
+        assignment, then invoke *on_ready*."""
+        conn = self._conn_for(imsi)
+        conn.purpose = "mt"
+        conn.state = "paging"
+        conn.on_mt_ready = on_ready
+        conn.on_page_failed = on_failed
+        conn.page_timer = Timer(
+            self.sim, f"T3113:{imsi}", T3113_SECONDS, lambda: self._page_expired(conn)
+        )
+        conn.page_timer.start()
+        for bsc in self.peers(Interface.A):
+            self.send(bsc, APaging(imsi=imsi, tmsi=conn.tmsi, lai=lai))
+        return conn
+
+    def _page_expired(self, conn: RadioConn) -> None:
+        conn.state = "idle"
+        self.sim.metrics.counter(f"{self.name}.page_timeouts").inc()
+        conn.on_mt_ready = None
+        if conn.on_page_failed is not None:
+            cb, conn.on_page_failed = conn.on_page_failed, None
+            cb(conn)
+
+    @handles(APagingResponse)
+    def on_paging_response(self, msg: APagingResponse, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi, msg.tmsi, bsc=src.name)
+        if conn.page_timer is not None:
+            conn.page_timer.stop()
+            conn.page_timer = None
+        if conn.state != "paging":
+            return
+        conn.state = "access-pending"
+        invoke_id = self._invoke_seq.next()
+        self._vlr_pending.open_with_id(invoke_id, conn)
+        self.send(
+            self._vlr(),
+            MapProcessAccessRequest(
+                invoke_id=invoke_id, imsi=msg.imsi, tmsi=msg.tmsi, access_type=2
+            ),
+        )
+
+    def send_setup_to_ms(self, conn: RadioConn, calling: Optional[E164Number]) -> int:
+        """Send A_Setup down the chain (step 4.5)."""
+        if conn.ti is None:
+            conn.ti = self.new_ti()
+        self.send(conn.bsc, ASetup(ti=conn.ti, imsi=conn.imsi, calling=calling))
+        return conn.ti
+
+    @handles(AAlerting)
+    def on_a_alerting(self, msg: AAlerting, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        if self._relay_for_handoff(msg, conn, interface):
+            return
+        conn.state = "mt-alerting"
+        self.on_ms_alerting(conn)
+
+    @handles(AConnect)
+    def on_a_connect(self, msg: AConnect, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        if self._relay_for_handoff(msg, conn, interface):
+            return
+        conn.state = "in-call"
+        self.on_ms_connect(conn)
+
+    # ------------------------------------------------------------------
+    # Downlink call-control helpers (shared by MO/MT flows)
+    # ------------------------------------------------------------------
+    def _send_cc_down(self, conn: RadioConn, msg) -> None:
+        """Send a CC message toward the MS: directly to the BSC, or via
+        the serving MSC over the E interface after handoff."""
+        if conn.via_msc is not None:
+            self.send(conn.via_msc, msg, interface=Interface.E)
+        else:
+            self.send(conn.bsc, msg)
+
+    def _relay_for_handoff(self, msg, conn: RadioConn, interface: str) -> bool:
+        """Handoff DTAP relaying.  Anchor->target messages arrive on the
+        E interface and continue down the target's radio chain; uplink
+        messages at the serving (target) MSC continue to the anchor.
+        Returns True when the message was relayed."""
+        if interface == Interface.E:
+            if conn.purpose == "ho-serving":
+                # Target role: the anchor sent a downlink message for an
+                # MS we serve after handoff — continue down the radio.
+                self.send(conn.bsc, msg)
+                return True
+            # Anchor role: uplink from the remote radio — process here.
+            return False
+        if conn.purpose == "ho-serving":
+            ho = self._ho_target.get(conn.ti or -1)
+            if ho is not None:
+                self.send(ho["anchor"], msg, interface=Interface.E)
+                return True
+        return False
+
+    def send_alerting_to_ms(self, conn: RadioConn) -> None:
+        """Step 2.7: trigger the ringback tone at the MS."""
+        self._send_cc_down(conn, AAlerting(ti=conn.ti or 0, imsi=conn.imsi))
+
+    def send_connect_to_ms(self, conn: RadioConn) -> None:
+        """Step 2.8: the called party answered."""
+        conn.state = "in-call"
+        self._send_cc_down(conn, AConnect(ti=conn.ti or 0, imsi=conn.imsi))
+
+    def disconnect_ms(self, conn: RadioConn, cause: int = CAUSE_NORMAL) -> None:
+        """Network-initiated disconnect toward the MS."""
+        self._send_cc_down(conn, ADisconnect(ti=conn.ti or 0, imsi=conn.imsi, cause=cause))
+
+    # ------------------------------------------------------------------
+    # Release (paper steps 3.1-3.4 radio half)
+    # ------------------------------------------------------------------
+    @handles(ADisconnect)
+    def on_a_disconnect(self, msg: ADisconnect, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        if self._relay_for_handoff(msg, conn, interface):
+            return
+        conn.state = "releasing"
+        self.on_ms_disconnect(conn, msg.cause)
+        self._send_cc_down(conn, UmRelease(ti=msg.ti, imsi=msg.imsi))
+
+    @handles(UmRelease)
+    def on_um_release(self, msg: UmRelease, src: Node, interface: str) -> None:
+        """MS answered a network-initiated disconnect."""
+        conn = self._conn_for(msg.imsi)
+        if self._relay_for_handoff(msg, conn, interface):
+            return
+        self._send_cc_down(conn, UmReleaseComplete(ti=msg.ti, imsi=msg.imsi))
+        self.clear_radio(conn)
+
+    @handles(UmReleaseComplete)
+    def on_um_release_complete(self, msg: UmReleaseComplete, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        if self._relay_for_handoff(msg, conn, interface):
+            return
+        self.clear_radio(conn)
+
+    def clear_radio(self, conn: RadioConn) -> None:
+        """Free the radio resources after a call (or, post-handoff,
+        release the inter-MSC trunk; the serving MSC then clears its own
+        radio on MAP_Send_End_Signal_ack)."""
+        conn.state = "idle"
+        if conn.via_msc is not None:
+            self._release_handoff_trunk(conn)
+            conn.via_msc = None
+            conn.handoff_cic = None
+            conn.ti = None
+            return
+        conn.ti = None
+        conn.purpose = ""
+        self.send(conn.bsc, AClearCommand(imsi=conn.imsi))
+
+    @handles(AClearComplete)
+    def on_clear_complete(self, msg: AClearComplete, src: Node, interface: str) -> None:
+        self.sim.metrics.counter(f"{self.name}.radio_clears").inc()
+
+    # ------------------------------------------------------------------
+    # Circuit voice
+    # ------------------------------------------------------------------
+    @handles(TchFrame)
+    def on_tch_frame(self, frame: TchFrame, src: Node, interface: str) -> None:
+        if frame.imsi is None:
+            return
+        conn = self._conn_for(frame.imsi)
+        if conn.purpose == "ho-serving":
+            ho = self._ho_target.get(conn.ti or -1)
+            if ho is not None and ho.get("cic") is not None:
+                pcm = PcmFrame(cic=ho["cic"], seq=frame.seq,
+                               gen_time_us=frame.gen_time_us)
+                self.send(ho["anchor"], pcm, interface=Interface.E)
+            return
+        self.on_uplink_voice(conn, frame)
+
+    def send_voice_to_ms(self, conn: RadioConn, frame: TchFrame) -> None:
+        if conn.via_msc is not None and conn.handoff_cic is not None:
+            pcm = PcmFrame(cic=conn.handoff_cic, seq=frame.seq,
+                           gen_time_us=frame.gen_time_us)
+            self.send(conn.via_msc, pcm)
+            return
+        self.send(conn.bsc, frame)
+
+    # ------------------------------------------------------------------
+    # Inter-system handoff: anchor role (Figure 9)
+    # ------------------------------------------------------------------
+    @handles(AHandoverRequired)
+    def on_handover_required(self, msg: AHandoverRequired, src: Node, interface: str) -> None:
+        conn = self._conn_for(msg.imsi)
+        local_bsc = self.cells.get(msg.target_cell)
+        if local_bsc is not None and conn.via_msc is None:
+            # Intra-MSC inter-BSC handover: no E interface involved; the
+            # MSC moves the call between its own BSCs.
+            if local_bsc == conn.bsc:
+                return  # already there
+            self._ho_intra[msg.ti] = {
+                "conn": conn,
+                "old_bsc": conn.bsc,
+                "new_bsc": local_bsc,
+                "target_cell": msg.target_cell,
+            }
+            self.send(local_bsc, AHandoverRequest(imsi=msg.imsi, ti=msg.ti))
+            return
+        if conn.purpose == "ho-serving":
+            # Subsequent handoff: the anchor owns the call; forward the
+            # requirement there (GSM 09.02 Prepare Subsequent Handover).
+            ho = self._ho_target.get(conn.ti or -1)
+            if ho is not None:
+                self.send(
+                    ho["anchor"],
+                    MapPrepareSubsequentHandover(
+                        invoke_id=self._invoke_seq.next(),
+                        imsi=msg.imsi,
+                        call_ref=msg.ti,
+                        target_cell=msg.target_cell,
+                    ),
+                    interface=Interface.E,
+                )
+            return
+        target_msc = self.neighbor_cells.get(msg.target_cell)
+        if target_msc is None:
+            self.sim.metrics.counter(f"{self.name}.handoff_no_target").inc()
+            return
+        invoke_id = self._invoke_seq.next()
+        self._ho_anchor[msg.ti] = {
+            "conn": conn,
+            "target_msc": target_msc,
+            "target_cell": msg.target_cell,
+            "invoke_id": invoke_id,
+        }
+        self._vlr_pending.open_with_id(invoke_id, msg.ti)
+        self.send(
+            target_msc,
+            MapPrepareHandover(
+                invoke_id=invoke_id,
+                imsi=msg.imsi,
+                call_ref=msg.ti,
+                target_cell=msg.target_cell,
+            ),
+            interface=Interface.E,
+        )
+
+    @handles(MapPrepareSubsequentHandover)
+    def on_prepare_subsequent_handover(
+        self, msg: MapPrepareSubsequentHandover, src: Node, interface: str
+    ) -> None:
+        """Anchor role: the serving MSC reports the MS must move again.
+
+        * Back into one of our own cells: prepare the local radio, order
+          the MS over (command relayed through the serving MSC) and, on
+          completion, drop the E-interface trunk — the call returns to
+          the plain Figure 9(a) path.
+        * Into a third system's cell: run the standard Figure 9 handoff
+          toward that system; the old serving leg is released once the
+          new one answers."""
+        conn = self._conn_for(msg.imsi)
+        local_bsc = self.cells.get(msg.target_cell)
+        if local_bsc is not None:
+            self._ho_back[msg.call_ref] = {
+                "conn": conn,
+                "serving_msc": src.name,
+                "target_cell": msg.target_cell,
+                "bsc": local_bsc,
+            }
+            self.send(local_bsc, AHandoverRequest(imsi=msg.imsi, ti=msg.call_ref))
+            return
+        # Third-system case: reuse the standard anchor path.
+        self.on_handover_required(
+            AHandoverRequired(
+                imsi=msg.imsi, ti=msg.call_ref, target_cell=msg.target_cell
+            ),
+            src,
+            Interface.A,
+        )
+
+    @handles(MapPrepareHandoverAck)
+    def on_prepare_handover_ack(
+        self, msg: MapPrepareHandoverAck, src: Node, interface: str
+    ) -> None:
+        ti = self._vlr_pending.close(msg.invoke_id)
+        ho = self._ho_anchor.get(ti)
+        if ho is None:
+            return
+        if msg.error != 0 or msg.handover_number is None:
+            del self._ho_anchor[ti]
+            self.sim.metrics.counter(f"{self.name}.handoff_failures").inc()
+            return
+        conn: RadioConn = ho["conn"]
+        # Set up the E-interface circuit to the target MSC, then order
+        # the MS over.
+        cic = self._handoff_cic_seq.next()
+        ho["cic"] = cic
+        self.send(
+            ho["target_msc"],
+            IsupIam(cic=cic, called=msg.handover_number),
+            interface=Interface.E,
+        )
+        command = AHandoverCommand(
+            ti=ti, imsi=conn.imsi, target_cell=ho["target_cell"]
+        )
+        if conn.via_msc is not None:
+            # Subsequent handoff to a third system: the MS is currently
+            # on the serving MSC's radio.
+            self.send(conn.via_msc, command, interface=Interface.E)
+        else:
+            self.send(conn.bsc, command)
+
+    @handles(MapSendEndSignal)
+    def on_send_end_signal(self, msg: MapSendEndSignal, src: Node, interface: str) -> None:
+        """Target reports the MS arrived: switch the voice path to the
+        inter-MSC trunk; the anchor stays in the call path (Figure 9b)."""
+        ho = self._ho_anchor.get(msg.call_ref)
+        if ho is None:
+            return
+        conn: RadioConn = ho["conn"]
+        old_via, old_cic = conn.via_msc, conn.handoff_cic
+        old_bsc = conn.bsc
+        conn.via_msc = src.name
+        conn.handoff_cic = ho["cic"]
+        self.sim.metrics.counter(f"{self.name}.handoffs_completed").inc()
+        self.sim.trace.note(
+            self.name,
+            "HANDOFF_PATH_SWITCHED",
+            imsi=str(conn.imsi),
+            via=src.name,
+        )
+        if old_via is not None and old_cic is not None:
+            # Subsequent handoff: release the trunk to the previous
+            # serving MSC (which then clears its own radio).
+            self.send(old_via, IsupRel(cic=old_cic), interface=Interface.E)
+            self.send(
+                old_via,
+                MapSendEndSignalAck(invoke_id=0, call_ref=msg.call_ref),
+                interface=Interface.E,
+            )
+        else:
+            # First handoff: release the old local radio channel.
+            self.send(old_bsc, AClearCommand(imsi=conn.imsi))
+
+    def _release_handoff_trunk(self, conn: RadioConn) -> None:
+        if conn.handoff_cic is None or conn.via_msc is None:
+            return
+        self.send(conn.via_msc, IsupRel(cic=conn.handoff_cic), interface=Interface.E)
+        self.send(
+            conn.via_msc,
+            MapSendEndSignalAck(invoke_id=0, call_ref=conn.ti or 0),
+            interface=Interface.E,
+        )
+
+    # ------------------------------------------------------------------
+    # Inter-system handoff: target role
+    # ------------------------------------------------------------------
+    #: Prefix for handover numbers; combined with the node's country code.
+    handover_number_cc = "886"
+    handover_number_prefix = "93900"
+
+    @handles(MapPrepareHandover)
+    def on_prepare_handover(self, msg: MapPrepareHandover, src: Node, interface: str) -> None:
+        bsc = self.cells.get(msg.target_cell)
+        if bsc is None:
+            self.send(
+                src,
+                MapPrepareHandoverAck(invoke_id=msg.invoke_id, error=1),
+                interface=Interface.E,
+            )
+            return
+        self._ho_target[msg.call_ref] = {
+            "imsi": msg.imsi,
+            "anchor": src.name,
+            "bsc": bsc,
+            "invoke_id": msg.invoke_id,
+            "cic": None,
+        }
+        self.send(bsc, AHandoverRequest(imsi=msg.imsi, ti=msg.call_ref))
+
+    @handles(AHandoverRequestAck)
+    def on_handover_request_ack(self, msg: AHandoverRequestAck, src: Node, interface: str) -> None:
+        intra = self._ho_intra.get(msg.ti)
+        if intra is not None:
+            conn: RadioConn = intra["conn"]
+            self.send(
+                intra["old_bsc"],
+                AHandoverCommand(
+                    ti=msg.ti, imsi=conn.imsi,
+                    target_cell=intra["target_cell"],
+                ),
+            )
+            return
+        back = self._ho_back.get(msg.ti)
+        if back is not None:
+            # Local radio reserved for the handback: order the MS over,
+            # relaying the command through the serving MSC.
+            conn: RadioConn = back["conn"]
+            self.send(
+                back["serving_msc"],
+                AHandoverCommand(
+                    ti=msg.ti, imsi=conn.imsi, target_cell=back["target_cell"]
+                ),
+                interface=Interface.E,
+            )
+            return
+        ho = self._ho_target.get(msg.ti)
+        if ho is None:
+            return
+        number = E164Number(
+            self.handover_number_cc,
+            f"{self.handover_number_prefix}{msg.ti % 10000:04d}",
+        )
+        ho["handover_number"] = number
+        self.send(
+            ho["anchor"],
+            MapPrepareHandoverAck(invoke_id=ho["invoke_id"], handover_number=number),
+            interface=Interface.E,
+        )
+
+    @handles(AHandoverCommand)
+    def on_handover_command_relay(
+        self, msg: AHandoverCommand, src: Node, interface: str
+    ) -> None:
+        if interface != Interface.E:
+            self.on_unhandled(msg, src, interface)
+            return
+        conn = self._conn_for(msg.imsi)
+        if conn.bsc:
+            self.send(conn.bsc, msg)
+
+    @handles(UmHandoverAccess)
+    def on_handover_access(self, msg: UmHandoverAccess, src: Node, interface: str) -> None:
+        self.sim.metrics.counter(f"{self.name}.handover_accesses").inc()
+
+    @handles(AHandoverComplete)
+    def on_handover_complete(self, msg: AHandoverComplete, src: Node, interface: str) -> None:
+        intra = self._ho_intra.pop(msg.ti, None)
+        if intra is not None:
+            conn = intra["conn"]
+            conn.bsc = intra["new_bsc"]
+            self.send(intra["old_bsc"], AClearCommand(imsi=conn.imsi))
+            self.sim.metrics.counter(f"{self.name}.intra_handovers").inc()
+            return
+        back = self._ho_back.pop(msg.ti, None)
+        if back is not None:
+            conn: RadioConn = back["conn"]
+            old_serving = conn.via_msc
+            conn.bsc = back["bsc"]
+            # Release the E-interface trunk and let the old serving MSC
+            # clear its radio.
+            self._release_handoff_trunk(conn)
+            conn.via_msc = None
+            conn.handoff_cic = None
+            self._ho_anchor.pop(msg.ti, None)
+            self.sim.metrics.counter(f"{self.name}.handbacks_completed").inc()
+            self.sim.trace.note(
+                self.name, "HANDBACK_PATH_RESTORED", imsi=str(conn.imsi),
+                from_=old_serving or "-",
+            )
+            return
+        ho = self._ho_target.get(msg.ti)
+        if ho is None:
+            return
+        conn = self._conn_for(ho["imsi"], bsc=src.name)
+        conn.ti = msg.ti
+        conn.state = "in-call"
+        conn.purpose = "ho-serving"
+        self.send(
+            ho["anchor"],
+            IsupAnm(cic=ho["cic"] or 0),
+            interface=Interface.E,
+        )
+        self.send(
+            ho["anchor"],
+            MapSendEndSignal(invoke_id=ho["invoke_id"], imsi=ho["imsi"], call_ref=msg.ti),
+            interface=Interface.E,
+        )
+
+    @handles(MapSendEndSignalAck)
+    def on_send_end_signal_ack(self, msg: MapSendEndSignalAck, src: Node, interface: str) -> None:
+        ho = self._ho_target.pop(msg.call_ref, None)
+        if ho is None:
+            return
+        conn = self._conn_for(ho["imsi"])
+        self.clear_radio(conn)
+
+    # ------------------------------------------------------------------
+    # E-interface trunk events (both roles)
+    # ------------------------------------------------------------------
+    @handles(IsupIam)
+    def on_isup_iam(self, msg: IsupIam, src: Node, interface: str) -> None:
+        if interface != Interface.E:
+            self.on_unhandled(msg, src, interface)
+            return
+        # Anchor's trunk toward us (target role): match by number.
+        for ho in self._ho_target.values():
+            if ho.get("handover_number") == msg.called and ho["cic"] is None:
+                ho["cic"] = msg.cic
+                return
+        self.sim.metrics.counter(f"{self.name}.e_iam_unmatched").inc()
+
+    @handles(IsupAnm)
+    def on_isup_anm(self, msg: IsupAnm, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            self.sim.metrics.counter(f"{self.name}.e_trunk_answered").inc()
+
+    @handles(IsupRel)
+    def on_isup_rel(self, msg: IsupRel, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            self.send(src, IsupRlc(cic=msg.cic), interface=Interface.E)
+
+    @handles(IsupRlc)
+    def on_isup_rlc(self, msg: IsupRlc, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            self.sim.metrics.counter(f"{self.name}.e_trunk_released").inc()
+
+    @handles(PcmFrame)
+    def on_pcm_frame(self, frame: PcmFrame, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            self._on_e_trunk_voice(frame, src)
+
+    def _on_e_trunk_voice(self, frame: PcmFrame, src: Node) -> None:
+        """Voice arriving over an inter-MSC trunk.
+
+        Target role: forward to the MS as a TCH frame.  Anchor role: feed
+        into the network-side voice path as if it came from the radio.
+        """
+        for ho in self._ho_target.values():
+            if ho.get("cic") == frame.cic:
+                conn = self._conn_for(ho["imsi"])
+                tch = TchFrame(
+                    ti=conn.ti or 0,
+                    imsi=conn.imsi,
+                    seq=frame.seq,
+                    gen_time_us=frame.gen_time_us,
+                )
+                self.send(conn.bsc, tch)
+                return
+        # Anchor role: uplink voice from the remote radio.
+        for conn in self.conns.values():
+            if conn.handoff_cic == frame.cic and conn.via_msc == src.name:
+                tch = TchFrame(
+                    ti=conn.ti or 0,
+                    imsi=conn.imsi,
+                    seq=frame.seq,
+                    gen_time_us=frame.gen_time_us,
+                )
+                self.on_uplink_voice(conn, tch)
+                return

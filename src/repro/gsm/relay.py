@@ -1,0 +1,54 @@
+"""Helpers for BTS/BSC message relaying.
+
+The BTS and BSC mostly *rename* messages between interfaces (``Um_Setup``
+becomes ``Abis_Setup`` becomes ``A_Setup``) or relay DTAP transparently.
+:func:`rename_packet` rebuilds a message as its sibling class on the next
+interface, copying every field the target class shares; :func:`find_imsi`
+extracts the subscriber identity used for downlink routing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.identities import IMSI
+from repro.packets.base import Packet
+
+
+def rename_packet(packet: Packet, target: Type[Packet]) -> Packet:
+    """Rebuild *packet* as *target*, copying the fields both classes
+    declare (the interface-sibling classes share field tuples by
+    construction) and carrying the payload chain unchanged."""
+    target_names = {f.name for f in target.fields}
+    values = {
+        name: value
+        for name, value in packet._values.items()
+        if name in target_names and value is not None
+    }
+    clone = target(**values)
+    clone.payload = packet.payload
+    return clone
+
+
+def find_imsi(packet: Packet) -> Optional[IMSI]:
+    """The IMSI carried by any layer of *packet*, if present."""
+    for layer in packet.layers():
+        imsi = layer._values.get("imsi")
+        if isinstance(imsi, IMSI):
+            return imsi
+    return None
+
+
+def subscriber_keys(packet: Packet) -> list:
+    """Routing keys for *packet*: ``("imsi", IMSI)`` and/or
+    ``("tmsi", int)`` — TMSI-only messages (movement registration, the
+    end-of-§3 variant) stay routable without disclosing the IMSI."""
+    keys = []
+    for layer in packet.layers():
+        imsi = layer._values.get("imsi")
+        if isinstance(imsi, IMSI):
+            keys.append(("imsi", imsi))
+        tmsi = layer._values.get("tmsi")
+        if isinstance(tmsi, int):
+            keys.append(("tmsi", tmsi))
+    return keys

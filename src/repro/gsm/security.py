@@ -1,0 +1,52 @@
+"""GSM authentication and ciphering primitives.
+
+Functional stand-ins for the A3/A8 algorithms: deterministic, keyed and
+collision-resistant (SHA-256 based), with the real output widths (SRES is
+32 bits, Kc is 64 bits).  The security *protocol* — challenge/response
+with triplets generated at the AuC, SRES comparison at the VLR, ciphering
+start — is modelled faithfully; only the cipher mathematics is replaced,
+which none of the paper's procedures depend on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AuthTriplet:
+    """One (RAND, SRES, Kc) authentication vector (GSM 03.20)."""
+
+    rand: bytes
+    sres: bytes
+    kc: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.rand) != 16:
+            raise ValueError("RAND must be 128 bits")
+        if len(self.sres) != 4:
+            raise ValueError("SRES must be 32 bits")
+        if len(self.kc) != 8:
+            raise ValueError("Kc must be 64 bits")
+
+
+def a3_sres(ki: bytes, rand: bytes) -> bytes:
+    """A3: signed response for a challenge."""
+    return hashlib.sha256(b"A3" + ki + rand).digest()[:4]
+
+
+def a8_kc(ki: bytes, rand: bytes) -> bytes:
+    """A8: session cipher key."""
+    return hashlib.sha256(b"A8" + ki + rand).digest()[:8]
+
+
+def generate_triplet(ki: bytes, rand: bytes) -> AuthTriplet:
+    """AuC operation: derive a triplet for a subscriber key and challenge."""
+    return AuthTriplet(rand=rand, sres=a3_sres(ki, rand), kc=a8_kc(ki, rand))
+
+
+def derive_ki(imsi_digits: str) -> bytes:
+    """Deterministic per-subscriber test key used by network builders, so
+    scenarios need no key-provisioning boilerplate."""
+    return hashlib.sha256(b"Ki" + imsi_digits.encode()).digest()[:16]

@@ -1,0 +1,51 @@
+"""Subscriber records, as stored in the HLR.
+
+The paper's step 1.2 has the VLR obtain "the subscription profile of the
+MS (the profile indicates, e.g., if the MS is allowed to make
+international calls)" — :class:`SubscriberProfile` carries exactly those
+authorisation bits, and the VLR enforces them in
+``MAP_Send_Info_For_Outgoing_Call`` (step 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.identities import IMSI, E164Number, IPv4Address
+from repro.gsm.security import derive_ki
+
+
+@dataclass
+class SubscriberProfile:
+    """Service authorisations downloaded to the VLR."""
+
+    international_allowed: bool = True
+    gprs_allowed: bool = True
+
+
+@dataclass
+class SubscriberRecord:
+    """The HLR's master record for one subscriber.
+
+    ``vlr_name``/``msc_name`` track the current registration (updated by
+    MAP_Update_Location); ``static_pdp_address`` is only set for
+    subscribers provisioned for network-requested PDP activation (the
+    3G TR baseline's MT-call requirement)."""
+
+    imsi: IMSI
+    msisdn: E164Number
+    ki: bytes = b""
+    profile: SubscriberProfile = field(default_factory=SubscriberProfile)
+    vlr_name: Optional[str] = None
+    msc_name: Optional[str] = None
+    sgsn_name: Optional[str] = None
+    static_pdp_address: Optional[IPv4Address] = None
+
+    def __post_init__(self) -> None:
+        if not self.ki:
+            self.ki = derive_ki(self.imsi.digits)
+
+    @property
+    def registered(self) -> bool:
+        return self.vlr_name is not None

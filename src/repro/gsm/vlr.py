@@ -1,0 +1,423 @@
+"""Visitor Location Register.
+
+The VLR tracks visiting subscribers for one (V)MSC service area and runs
+the security procedures of the paper's figures:
+
+* location updating (step 1.1/1.2): fetch triplets from the HLR,
+  challenge the MS, register with the HLR, download the profile, start
+  ciphering, allocate a TMSI and confirm to the (V)MSC;
+* access requests (steps 2.1/4.5): authenticate + cipher before a call;
+* outgoing-call authorisation (step 2.2), enforcing the profile's
+  international-call permission;
+* roaming-number allocation for classic GSM call delivery (Figure 7).
+
+Authentication/ciphering DTAP is exchanged with the MS *through* the
+(V)MSC — the VLR itself never talks to the radio network directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.identities import IMSI, E164Number
+from repro.gsm.subscriber import SubscriberProfile
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer, Transactions
+from repro.packets.bssap import (
+    AuthenticationRequest,
+    AuthenticationResponse,
+    CipheringModeCommand,
+    CipheringModeComplete,
+)
+from repro.packets.map import (
+    ERR_ABSENT_SUBSCRIBER,
+    MapDetachImsi,
+    ERR_CALL_BARRED,
+    ERR_SYSTEM_FAILURE,
+    ERR_UNKNOWN_SUBSCRIBER,
+    MapCancelLocation,
+    MapCancelLocationAck,
+    MapInsertSubsData,
+    MapInsertSubsDataAck,
+    MapProcessAccessRequest,
+    MapProcessAccessRequestAck,
+    MapProvideRoamingNumber,
+    MapProvideRoamingNumberAck,
+    MapSendAuthInfo,
+    MapSendAuthInfoAck,
+    MapSendInfoForIncomingCall,
+    MapSendInfoForIncomingCallAck,
+    MapSendInfoForOutgoingCall,
+    MapSendInfoForOutgoingCallAck,
+    MapUpdateLocation,
+    MapUpdateLocationAck,
+    MapUpdateLocationAreaAck,
+    MapUpdateLocationArea,
+)
+
+
+@dataclass
+class VisitorRecord:
+    """Per-visitor state held while the subscriber roams in this area."""
+
+    imsi: IMSI
+    msc_name: str
+    lai: str = ""
+    tmsi: Optional[int] = None
+    msisdn: Optional[E164Number] = None
+    profile: SubscriberProfile = field(default_factory=SubscriberProfile)
+    ciphered: bool = False
+    attached: bool = False
+    sres_expected: bytes = b""
+    kc: bytes = b""
+
+
+@dataclass
+class _Procedure:
+    """One in-flight security procedure (location update or access)."""
+
+    kind: str                      # "lu" | "access"
+    imsi: IMSI
+    msc_name: str
+    invoke_id: int                 # the (V)MSC's original invoke id
+    access_type: int = 0
+
+
+class Vlr(Node):
+    """The visitor location register."""
+
+    def __init__(
+        self,
+        sim,
+        name: str = "VLR",
+        country_code: str = "886",
+        msrn_prefix: str = "93600",
+    ) -> None:
+        super().__init__(sim, name)
+        self.country_code = country_code
+        self.msrn_prefix = msrn_prefix
+        self.visitors: Dict[IMSI, VisitorRecord] = {}
+        self._by_tmsi: Dict[int, IMSI] = {}
+        self._by_msrn: Dict[E164Number, IMSI] = {}
+        self._tmsi_seq = Sequencer(start=0x10000001)
+        self._msrn_seq = Sequencer(start=1)
+        self._invoke_seq = Sequencer(start=1000)
+        self._hlr_pending = Transactions()
+        self._procedures: Dict[IMSI, _Procedure] = {}
+
+    # ------------------------------------------------------------------
+    # Identity resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, imsi: Optional[IMSI], tmsi: Optional[int]) -> Optional[IMSI]:
+        if imsi is not None:
+            return imsi
+        if tmsi is not None:
+            return self._by_tmsi.get(tmsi)
+        return None
+
+    def visitor(self, imsi: IMSI) -> Optional[VisitorRecord]:
+        return self.visitors.get(imsi)
+
+    # ------------------------------------------------------------------
+    # Location update (paper steps 1.1 / 1.2)
+    # ------------------------------------------------------------------
+    @handles(MapUpdateLocationArea)
+    def on_update_location_area(
+        self, msg: MapUpdateLocationArea, src: Node, interface: str
+    ) -> None:
+        imsi = self._resolve(msg.imsi, msg.tmsi)
+        if imsi is None:
+            self.send(
+                src,
+                MapUpdateLocationAreaAck(
+                    invoke_id=msg.invoke_id, error=ERR_UNKNOWN_SUBSCRIBER
+                ),
+            )
+            return
+        record = self.visitors.get(imsi)
+        if record is None:
+            record = VisitorRecord(imsi=imsi, msc_name=src.name)
+            self.visitors[imsi] = record
+        record.msc_name = src.name
+        record.lai = msg.lai
+        if imsi in self._procedures:
+            # One security procedure at a time per subscriber: a second
+            # would hijack the pending challenge's response.
+            self.sim.metrics.counter(f"{self.name}.procedure_collisions").inc()
+            self.send(
+                src,
+                MapUpdateLocationAreaAck(
+                    invoke_id=msg.invoke_id, error=ERR_SYSTEM_FAILURE
+                ),
+            )
+            return
+        self._procedures[imsi] = _Procedure(
+            kind="lu", imsi=imsi, msc_name=src.name, invoke_id=msg.invoke_id
+        )
+        self._request_auth_info(imsi)
+
+    def _request_auth_info(self, imsi: IMSI) -> None:
+        invoke_id = self._invoke_seq.next()
+        self._hlr_pending.open_with_id(invoke_id, imsi)
+        self.send(self._hlr(), MapSendAuthInfo(invoke_id=invoke_id, imsi=imsi))
+
+    def _hlr(self) -> Node:
+        return self.peer("D")
+
+    @handles(MapSendAuthInfoAck)
+    def on_auth_info(self, msg: MapSendAuthInfoAck, src: Node, interface: str) -> None:
+        imsi = self._hlr_pending.try_close(msg.invoke_id)
+        proc = self._procedures.get(imsi) if imsi is not None else None
+        if proc is None:
+            return
+        if msg.error != 0:
+            self._fail_procedure(proc, msg.error)
+            return
+        record = self.visitors[imsi]
+        record.sres_expected = msg.sres
+        record.kc = msg.kc
+        # Challenge the MS through the (V)MSC.
+        self.send(proc.msc_name, AuthenticationRequest(imsi=imsi, rand=msg.rand))
+
+    @handles(AuthenticationResponse)
+    def on_auth_response(
+        self, msg: AuthenticationResponse, src: Node, interface: str
+    ) -> None:
+        imsi = msg.imsi
+        proc = self._procedures.get(imsi) if imsi is not None else None
+        record = self.visitors.get(imsi) if imsi is not None else None
+        if proc is None or record is None:
+            return
+        if msg.sres != record.sres_expected:
+            self.sim.metrics.counter(f"{self.name}.auth_failures").inc()
+            self._fail_procedure(proc, ERR_SYSTEM_FAILURE)
+            return
+        self.sim.metrics.counter(f"{self.name}.auth_successes").inc()
+        if proc.kind == "lu":
+            # Register with the HLR before ciphering + final ack.
+            invoke_id = self._invoke_seq.next()
+            self._hlr_pending.open_with_id(invoke_id, imsi)
+            self.send(
+                self._hlr(),
+                MapUpdateLocation(
+                    invoke_id=invoke_id,
+                    imsi=imsi,
+                    vlr_number=self.name,
+                    msc_number=proc.msc_name,
+                ),
+            )
+        else:
+            # Access request: cipher immediately after authentication.
+            self.send(proc.msc_name, CipheringModeCommand(imsi=imsi))
+
+    @handles(MapInsertSubsData)
+    def on_insert_subs_data(
+        self, msg: MapInsertSubsData, src: Node, interface: str
+    ) -> None:
+        record = self.visitors.get(msg.imsi)
+        if record is not None:
+            record.msisdn = msg.msisdn
+            record.profile = SubscriberProfile(
+                international_allowed=msg.international_allowed,
+                gprs_allowed=msg.gprs_allowed,
+            )
+        self.send(src, MapInsertSubsDataAck(invoke_id=msg.invoke_id))
+
+    @handles(MapUpdateLocationAck)
+    def on_update_location_ack(
+        self, msg: MapUpdateLocationAck, src: Node, interface: str
+    ) -> None:
+        imsi = self._hlr_pending.try_close(msg.invoke_id)
+        proc = self._procedures.get(imsi) if imsi is not None else None
+        if proc is None:
+            return
+        if msg.error != 0:
+            self._fail_procedure(proc, msg.error)
+            return
+        # "The VLR then sets up the standard GSM ciphering with the MS."
+        self.send(proc.msc_name, CipheringModeCommand(imsi=imsi))
+
+    @handles(CipheringModeComplete)
+    def on_ciphering_complete(
+        self, msg: CipheringModeComplete, src: Node, interface: str
+    ) -> None:
+        imsi = msg.imsi
+        proc = self._procedures.pop(imsi, None) if imsi is not None else None
+        record = self.visitors.get(imsi) if imsi is not None else None
+        if proc is None or record is None:
+            return
+        record.ciphered = True
+        if proc.kind == "lu":
+            if record.tmsi is None:
+                record.tmsi = self._tmsi_seq.next()
+                self._by_tmsi[record.tmsi] = imsi
+            record.attached = True
+            self.send(
+                proc.msc_name,
+                MapUpdateLocationAreaAck(
+                    invoke_id=proc.invoke_id,
+                    imsi=imsi,
+                    new_tmsi=record.tmsi,
+                    msisdn=record.msisdn,
+                ),
+            )
+        else:
+            self.send(
+                proc.msc_name,
+                MapProcessAccessRequestAck(invoke_id=proc.invoke_id, imsi=imsi),
+            )
+
+    def _fail_procedure(self, proc: _Procedure, error: int) -> None:
+        self._procedures.pop(proc.imsi, None)
+        if proc.kind == "lu":
+            self.send(
+                proc.msc_name,
+                MapUpdateLocationAreaAck(invoke_id=proc.invoke_id, error=error),
+            )
+        else:
+            self.send(
+                proc.msc_name,
+                MapProcessAccessRequestAck(
+                    invoke_id=proc.invoke_id, imsi=proc.imsi, error=error
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Access requests (steps 2.1 / 4.5)
+    # ------------------------------------------------------------------
+    @handles(MapProcessAccessRequest)
+    def on_process_access_request(
+        self, msg: MapProcessAccessRequest, src: Node, interface: str
+    ) -> None:
+        imsi = self._resolve(msg.imsi, msg.tmsi)
+        record = self.visitors.get(imsi) if imsi is not None else None
+        if record is None:
+            fallback = imsi if imsi is not None else IMSI("000000")
+            self.send(
+                src,
+                MapProcessAccessRequestAck(
+                    invoke_id=msg.invoke_id,
+                    imsi=fallback,
+                    error=ERR_UNKNOWN_SUBSCRIBER,
+                ),
+            )
+            return
+        if imsi in self._procedures:
+            self.sim.metrics.counter(f"{self.name}.procedure_collisions").inc()
+            self.send(
+                src,
+                MapProcessAccessRequestAck(
+                    invoke_id=msg.invoke_id, imsi=imsi, error=ERR_SYSTEM_FAILURE
+                ),
+            )
+            return
+        self._procedures[imsi] = _Procedure(
+            kind="access",
+            imsi=imsi,
+            msc_name=src.name,
+            invoke_id=msg.invoke_id,
+            access_type=msg.access_type,
+        )
+        self._request_auth_info(imsi)
+
+    # ------------------------------------------------------------------
+    # Outgoing-call authorisation (step 2.2)
+    # ------------------------------------------------------------------
+    @handles(MapSendInfoForOutgoingCall)
+    def on_send_info_for_outgoing_call(
+        self, msg: MapSendInfoForOutgoingCall, src: Node, interface: str
+    ) -> None:
+        imsi = self._resolve(msg.imsi, msg.tmsi)
+        record = self.visitors.get(imsi) if imsi is not None else None
+        if record is None or not record.attached:
+            self.send(
+                src,
+                MapSendInfoForOutgoingCallAck(
+                    invoke_id=msg.invoke_id,
+                    allowed=False,
+                    error=ERR_UNKNOWN_SUBSCRIBER,
+                ),
+            )
+            return
+        international = msg.called.is_international_from(self.country_code)
+        allowed = record.profile.international_allowed or not international
+        self.send(
+            src,
+            MapSendInfoForOutgoingCallAck(
+                invoke_id=msg.invoke_id,
+                allowed=allowed,
+                error=0 if allowed else ERR_CALL_BARRED,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Incoming calls / roaming numbers (classic GSM delivery, Figure 7)
+    # ------------------------------------------------------------------
+    @handles(MapProvideRoamingNumber)
+    def on_provide_roaming_number(
+        self, msg: MapProvideRoamingNumber, src: Node, interface: str
+    ) -> None:
+        record = self.visitors.get(msg.imsi)
+        if record is None or not record.attached:
+            self.send(
+                src,
+                MapProvideRoamingNumberAck(
+                    invoke_id=msg.invoke_id, error=ERR_ABSENT_SUBSCRIBER
+                ),
+            )
+            return
+        msrn = E164Number(
+            self.country_code, f"{self.msrn_prefix}{self._msrn_seq.next():04d}"
+        )
+        self._by_msrn[msrn] = msg.imsi
+        self.send(
+            src,
+            MapProvideRoamingNumberAck(invoke_id=msg.invoke_id, msrn=msrn),
+        )
+
+    @handles(MapSendInfoForIncomingCall)
+    def on_send_info_for_incoming_call(
+        self, msg: MapSendInfoForIncomingCall, src: Node, interface: str
+    ) -> None:
+        imsi = msg.imsi
+        if imsi is None and msg.msrn is not None:
+            imsi = self._by_msrn.pop(msg.msrn, None)
+        record = self.visitors.get(imsi) if imsi is not None else None
+        if record is None or not record.attached:
+            self.send(
+                src,
+                MapSendInfoForIncomingCallAck(
+                    invoke_id=msg.invoke_id,
+                    reachable=False,
+                    error=ERR_ABSENT_SUBSCRIBER,
+                ),
+            )
+            return
+        self.send(
+            src,
+            MapSendInfoForIncomingCallAck(
+                invoke_id=msg.invoke_id, imsi=imsi, reachable=True
+            ),
+        )
+
+    @handles(MapDetachImsi)
+    def on_detach_imsi(self, msg: MapDetachImsi, src: Node, interface: str) -> None:
+        imsi = self._resolve(msg.imsi, msg.tmsi)
+        record = self.visitors.get(imsi) if imsi is not None else None
+        if record is not None:
+            record.attached = False
+            record.ciphered = False
+        # IMSI detach is unacknowledged (the MS is powering off).
+
+    # ------------------------------------------------------------------
+    # Departure (MAP_Cancel_Location from the HLR)
+    # ------------------------------------------------------------------
+    @handles(MapCancelLocation)
+    def on_cancel_location(
+        self, msg: MapCancelLocation, src: Node, interface: str
+    ) -> None:
+        record = self.visitors.pop(msg.imsi, None)
+        if record is not None and record.tmsi is not None:
+            self._by_tmsi.pop(record.tmsi, None)
+        self.send(src, MapCancelLocationAck(invoke_id=msg.invoke_id))

@@ -1,0 +1,25 @@
+"""H.323 substrate: gatekeeper, terminals, PSTN gateway, codecs, media.
+
+Figure 2(b)'s "H.323 network": a standard gatekeeper (address
+translation, admission, disengage/charging), H.323 terminal endpoints,
+and the H.323-PSTN gateway through which Figure 8's local telephone
+company reaches registered roamers.
+"""
+
+from repro.h323.codec import CodecSpec, G711_ULAW, G729, GSM_FR, Vocoder
+from repro.h323.gatekeeper import CallRecord, Gatekeeper, Registration
+from repro.h323.terminal import H323Terminal
+from repro.h323.gateway import H323PstnGateway
+
+__all__ = [
+    "CodecSpec",
+    "GSM_FR",
+    "G711_ULAW",
+    "G729",
+    "Vocoder",
+    "Gatekeeper",
+    "Registration",
+    "CallRecord",
+    "H323Terminal",
+    "H323PstnGateway",
+]

@@ -1,0 +1,236 @@
+"""The H.323 gatekeeper.
+
+Deliberately a *standard* gatekeeper: "the GK is a standard H.323
+gatekeeper, which only communicates ... using the standard H.323
+protocol" (§6) — it knows nothing about GSM, MAP or IMSIs, which is the
+paper's privacy argument against 3G TR 23.923.  It provides:
+
+* endpoint registration (RRQ/RCF/RRJ) populating the address translation
+  table keyed by alias (the MSISDN in vGPRS, step 1.5);
+* admission control (ARQ/ACF/ARJ) with alias resolution for the calling
+  side and an optional concurrent-call cap;
+* disengage (DRQ/DCF) with call-detail records "for charging"
+  (step 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.identities import E164Number, IPv4Address
+from repro.net.iphost import IpHost
+from repro.net.node import Node, handles
+from repro.packets.ip import PORT_H225_RAS
+from repro.packets.ras import (
+    ARJ_CALLED_PARTY_NOT_REGISTERED,
+    ARJ_RESOURCE_UNAVAILABLE,
+    RasAcf,
+    RasArj,
+    RasArq,
+    RasDcf,
+    RasDrq,
+    RasRcf,
+    RasRrq,
+    RasUcf,
+    RasUrq,
+)
+
+
+@dataclass
+class Registration:
+    """One row of the address translation table."""
+
+    alias: E164Number
+    signal_address: IPv4Address
+    signal_port: int
+    endpoint_type: str
+    registered_at: float
+    ttl: int
+
+
+@dataclass
+class CallRecord:
+    """Charging record assembled from admissions and disengages."""
+
+    call_ref: int
+    endpoints: List[str] = field(default_factory=list)
+    admitted_at: Optional[float] = None
+    disengaged_at: Optional[float] = None
+    reported_duration_ms: int = 0
+    bandwidth_kbps: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.disengaged_at is not None
+
+
+class Gatekeeper(IpHost):
+    """A standard H.323 gatekeeper."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        ip: IPv4Address,
+        max_concurrent_calls: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, name, ip)
+        self.registrations: Dict[E164Number, Registration] = {}
+        self.max_concurrent_calls = max_concurrent_calls
+        self.active_calls: Dict[int, CallRecord] = {}
+        self.call_records: List[CallRecord] = []
+
+    # ------------------------------------------------------------------
+    # Address translation
+    # ------------------------------------------------------------------
+    def resolve(self, alias: E164Number) -> Optional[Registration]:
+        """Address-translation lookup (Figure 8 step 2: 'the gateway
+        checks with the GK to see if the entry for x can be found').
+        Registrations past their time-to-live are purged lazily, per the
+        H.225.0 lightweight-registration model."""
+        registration = self.registrations.get(alias)
+        if registration is None:
+            return None
+        if self.sim.now > registration.registered_at + registration.ttl:
+            del self.registrations[alias]
+            self.sim.metrics.counter(f"{self.name}.ttl_expiries").inc()
+            return None
+        return registration
+
+    def resolve_or_gateway(
+        self, alias: E164Number, requester: Optional[IPv4Address] = None
+    ) -> Optional[Registration]:
+        """Resolve *alias*; unknown aliases fall back to a registered
+        H.323-PSTN gateway (standard H.323 gateway routing), letting the
+        VMSC reach 'a traditional telephone set in the PSTN ... connected
+        indirectly through the H.323 network' (paper §4).  The requester's
+        own registration is never returned (no gateway hairpins)."""
+        direct = self.resolve(alias)
+        if direct is not None:
+            return direct
+        for registration in list(self.registrations.values()):
+            if registration.endpoint_type != "gateway":
+                continue
+            if self.sim.now > registration.registered_at + registration.ttl:
+                continue
+            if requester is not None and registration.signal_address == requester:
+                continue
+            return registration
+        return None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @handles(RasRrq)
+    def on_rrq(self, msg: RasRrq, src: Node, interface: str) -> None:
+        reply_ip, reply_port = self.rx_reply_addr()
+        # Re-registration from a new address replaces the old entry —
+        # exactly what happens when a roamer registers through a new
+        # network's VMSC.
+        self.registrations[msg.alias] = Registration(
+            alias=msg.alias,
+            signal_address=msg.signal_address,
+            signal_port=msg.signal_port,
+            endpoint_type=msg.endpoint_type,
+            registered_at=self.sim.now,
+            ttl=msg.ttl,
+        )
+        self.sim.metrics.counter(f"{self.name}.registrations").inc()
+        self.send_ip(
+            reply_ip,
+            RasRcf(seq=msg.seq, alias=msg.alias, ttl=msg.ttl),
+            dport=reply_port or PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    @handles(RasUrq)
+    def on_urq(self, msg: RasUrq, src: Node, interface: str) -> None:
+        reply_ip, reply_port = self.rx_reply_addr()
+        self.registrations.pop(msg.alias, None)
+        self.send_ip(
+            reply_ip,
+            RasUcf(seq=msg.seq),
+            dport=reply_port or PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @handles(RasArq)
+    def on_arq(self, msg: RasArq, src: Node, interface: str) -> None:
+        reply_ip, reply_port = self.rx_reply_addr()
+        dport = reply_port or PORT_H225_RAS
+
+        def reject(reason: int) -> None:
+            self.sim.metrics.counter(f"{self.name}.admission_rejects").inc()
+            self.send_ip(
+                reply_ip,
+                RasArj(seq=msg.seq, call_ref=msg.call_ref, reason=reason),
+                dport=dport,
+                sport=PORT_H225_RAS,
+            )
+
+        if (
+            self.max_concurrent_calls is not None
+            and msg.call_ref not in self.active_calls
+            and len(self.active_calls) >= self.max_concurrent_calls
+        ):
+            reject(ARJ_RESOURCE_UNAVAILABLE)
+            return
+
+        dest: Tuple[Optional[IPv4Address], Optional[int]] = (None, None)
+        if not msg.answer_call:
+            if msg.called_alias is None:
+                reject(ARJ_CALLED_PARTY_NOT_REGISTERED)
+                return
+            registration = self.resolve_or_gateway(msg.called_alias, reply_ip)
+            if registration is None:
+                reject(ARJ_CALLED_PARTY_NOT_REGISTERED)
+                return
+            dest = (registration.signal_address, registration.signal_port)
+
+        record = self.active_calls.get(msg.call_ref)
+        if record is None:
+            record = CallRecord(call_ref=msg.call_ref, admitted_at=self.sim.now)
+            self.active_calls[msg.call_ref] = record
+        record.endpoints.append(str(msg.endpoint_alias))
+        record.bandwidth_kbps = max(record.bandwidth_kbps, msg.bandwidth_kbps)
+        self.sim.metrics.counter(f"{self.name}.admissions").inc()
+        self.send_ip(
+            reply_ip,
+            RasAcf(
+                seq=msg.seq,
+                call_ref=msg.call_ref,
+                dest_signal_address=dest[0],
+                dest_signal_port=dest[1],
+                bandwidth_kbps=msg.bandwidth_kbps,
+            ),
+            dport=dport,
+            sport=PORT_H225_RAS,
+        )
+
+    # ------------------------------------------------------------------
+    # Disengage / charging
+    # ------------------------------------------------------------------
+    @handles(RasDrq)
+    def on_drq(self, msg: RasDrq, src: Node, interface: str) -> None:
+        reply_ip, reply_port = self.rx_reply_addr()
+        record = self.active_calls.get(msg.call_ref)
+        if record is not None:
+            record.disengaged_at = self.sim.now
+            record.reported_duration_ms = max(
+                record.reported_duration_ms, msg.duration_ms
+            )
+            # Both endpoints disengage (step 3.3); archive once both have.
+            record.endpoints = [e for e in record.endpoints if e != str(msg.endpoint_alias)]
+            if not record.endpoints:
+                self.call_records.append(record)
+                del self.active_calls[msg.call_ref]
+        self.send_ip(
+            reply_ip,
+            RasDcf(seq=msg.seq, call_ref=msg.call_ref),
+            dport=reply_port or PORT_H225_RAS,
+            sport=PORT_H225_RAS,
+        )

@@ -1,0 +1,40 @@
+"""Network fabric: identities, interfaces, links and the node base class.
+
+The fabric is deliberately explicit: every hop in the paper's figures is a
+real :class:`~repro.net.link.Link` between two :class:`~repro.net.node.Node`
+objects, so the recorded trace *is* the message-sequence chart.
+"""
+
+from repro.identities import (
+    IMSI,
+    LAI,
+    MSISDN,
+    TMSI,
+    CellId,
+    E164Number,
+    IPv4Address,
+    TunnelId,
+)
+from repro.net.interfaces import Interface, InterfaceSpec, INTERFACE_SPECS
+from repro.net.link import Link
+from repro.net.node import Network, Node, handles
+from repro.net.ip import IPCloud
+
+__all__ = [
+    "IMSI",
+    "TMSI",
+    "MSISDN",
+    "E164Number",
+    "IPv4Address",
+    "TunnelId",
+    "LAI",
+    "CellId",
+    "Interface",
+    "InterfaceSpec",
+    "INTERFACE_SPECS",
+    "Link",
+    "Node",
+    "Network",
+    "handles",
+    "IPCloud",
+]

@@ -1,0 +1,30 @@
+"""Identity types, re-exported from :mod:`repro.identities`.
+
+The implementations live in a top-level module so that the packet-field
+layer can use them without importing the ``repro.net`` package (which
+itself depends on packets for IP routing).
+"""
+
+from repro.identities import (
+    IMSI,
+    LAI,
+    MSISDN,
+    TMSI,
+    CellId,
+    E164Number,
+    IPv4Address,
+    SubscriberId,
+    TunnelId,
+)
+
+__all__ = [
+    "IMSI",
+    "TMSI",
+    "MSISDN",
+    "E164Number",
+    "IPv4Address",
+    "TunnelId",
+    "LAI",
+    "CellId",
+    "SubscriberId",
+]

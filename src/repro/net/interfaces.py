@@ -1,0 +1,158 @@
+"""Named network interfaces and their protocol stacks.
+
+Figure 2(a) of the paper enumerates the VMSC's interfaces (A, B, C, E to
+the GSM side, Gb to the SGSN, ISUP to the PSTN) and Figure 3 gives the
+protocol stack on each of the ten numbered links between an H.323 terminal
+and a GSM MS.  Both figures are reproduced programmatically (experiment
+E1) from the metadata in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Interface:
+    """Interface-name constants used throughout the simulation."""
+
+    UM = "Um"        # MS <-> BTS radio interface (GSM 04.08)
+    ABIS = "Abis"    # BTS <-> BSC (GSM 08.5x)
+    A = "A"          # BSC <-> (V)MSC (BSSAP, GSM 08.08)
+    B = "B"          # (V)MSC <-> VLR (MAP)
+    C = "C"          # (V)MSC <-> HLR (MAP)
+    D = "D"          # VLR <-> HLR (MAP)
+    E = "E"          # MSC <-> MSC, inter-system handoff (MAP-E)
+    GB = "Gb"        # (V)MSC-PCU / BSC-PCU <-> SGSN (GSM 08.14)
+    GN = "Gn"        # SGSN <-> GGSN (GTP, GSM 09.60)
+    GI = "Gi"        # GGSN <-> external packet network
+    GR = "Gr"        # SGSN <-> HLR (MAP)
+    IP = "ip"        # generic IP backbone hop
+    ISUP = "isup"    # SS7 ISUP trunk signalling
+    TRUNK = "trunk"  # circuit-switched voice trunk
+    MEDIA = "media"  # RTP voice path over IP
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """Descriptive metadata for an interface: its endpoints and stack."""
+
+    name: str
+    endpoints: Tuple[str, str]
+    stack: Tuple[str, ...]
+    description: str
+
+
+INTERFACE_SPECS: Dict[str, InterfaceSpec] = {
+    spec.name: spec
+    for spec in (
+        InterfaceSpec(
+            Interface.UM,
+            ("MS", "BTS"),
+            ("GSM RR/MM/CC", "LAPDm", "TDMA radio"),
+            "GSM air interface; circuit-switched TCH keeps voice real-time",
+        ),
+        InterfaceSpec(
+            Interface.ABIS,
+            ("BTS", "BSC"),
+            ("GSM RR/MM/CC", "LAPD", "E1"),
+            "BTS to BSC signalling and traffic",
+        ),
+        InterfaceSpec(
+            Interface.A,
+            ("BSC", "MSC"),
+            ("BSSMAP/DTAP", "SCCP", "MTP"),
+            "BSC to (V)MSC; identical for MSC and VMSC by design",
+        ),
+        InterfaceSpec(
+            Interface.B,
+            ("MSC", "VLR"),
+            ("MAP", "TCAP", "SCCP", "MTP"),
+            "(V)MSC to VLR subscriber-data signalling",
+        ),
+        InterfaceSpec(
+            Interface.C,
+            ("MSC", "HLR"),
+            ("MAP", "TCAP", "SCCP", "MTP"),
+            "(V)MSC to HLR routing interrogation",
+        ),
+        InterfaceSpec(
+            Interface.D,
+            ("VLR", "HLR"),
+            ("MAP", "TCAP", "SCCP", "MTP"),
+            "VLR to HLR location registration",
+        ),
+        InterfaceSpec(
+            Interface.E,
+            ("MSC", "MSC"),
+            ("MAP-E", "TCAP", "SCCP", "MTP"),
+            "inter-(V)MSC handoff signalling and trunk",
+        ),
+        InterfaceSpec(
+            Interface.GB,
+            ("PCU", "SGSN"),
+            ("BSSGP", "NS", "Frame Relay"),
+            "GPRS Gb interface (GSM 08.14); the VMSC's packet side",
+        ),
+        InterfaceSpec(
+            Interface.GN,
+            ("SGSN", "GGSN"),
+            ("GTP", "UDP", "IP"),
+            "GPRS tunnelling (GSM 09.60)",
+        ),
+        InterfaceSpec(
+            Interface.GI,
+            ("GGSN", "PSDN"),
+            ("IP",),
+            "GGSN to external packet data network",
+        ),
+        InterfaceSpec(
+            Interface.GR,
+            ("SGSN", "HLR"),
+            ("MAP", "TCAP", "SCCP", "MTP"),
+            "SGSN to HLR for GPRS attach",
+        ),
+        InterfaceSpec(
+            Interface.IP,
+            ("host", "host"),
+            ("TCP/UDP", "IP"),
+            "IP backbone hop (H.323 network)",
+        ),
+        InterfaceSpec(
+            Interface.ISUP,
+            ("switch", "switch"),
+            ("ISUP", "MTP"),
+            "SS7 trunk signalling toward the PSTN",
+        ),
+        InterfaceSpec(
+            Interface.TRUNK,
+            ("switch", "switch"),
+            ("PCM voice",),
+            "64 kbit/s circuit-switched voice trunk",
+        ),
+        InterfaceSpec(
+            Interface.MEDIA,
+            ("host", "host"),
+            ("RTP", "UDP", "IP"),
+            "packetised voice path",
+        ),
+    )
+}
+
+
+# Figure 3 of the paper: the ten numbered links between an H.323 terminal
+# (left) and a GSM MS (right), with the protocols exercised on each.
+# Experiment E1 prints this table from the constructed topology and this
+# metadata; tests assert consistency.
+FIGURE3_LINKS: Tuple[Tuple[int, str, str, str, Tuple[str, ...]], ...] = (
+    (1, "H.323 terminal", "H.323 network", Interface.IP, ("H.323", "TCP/IP")),
+    (2, "H.323 network", "GGSN", Interface.GI, ("H.323", "TCP/IP")),
+    (3, "GGSN", "SGSN", Interface.GN, ("GTP", "UDP", "IP")),
+    (4, "SGSN", "VMSC", Interface.GB, ("BSSGP", "NS", "Frame Relay")),
+    (5, "VMSC", "BSC", Interface.A, ("BSSMAP/DTAP", "SCCP", "MTP")),
+    (6, "BSC", "BTS", Interface.ABIS, ("GSM RR/MM/CC", "LAPD")),
+    (7, "BTS", "MS", Interface.UM, ("GSM RR/MM/CC", "LAPDm")),
+    (8, "GGSN", "H.323 terminal", Interface.GI, ("H.323", "TCP/IP")),
+    (9, "VMSC", "VLR", Interface.B, ("MAP", "TCAP", "SCCP", "MTP")),
+    (10, "VLR", "HLR", Interface.D, ("MAP", "TCAP", "SCCP", "MTP")),
+)

@@ -1,0 +1,77 @@
+"""Base class for IP endpoints (gatekeeper, H.323 terminals, gateway).
+
+An :class:`IpHost` owns an IPv4 address, strips transport layers from
+arriving IP packets and re-dispatches the application message through the
+normal handler table, keeping the source address/port available through
+:attr:`rx_ip` / :meth:`rx_reply_addr` for the duration of the handler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.identities import IPv4Address
+from repro.net.interfaces import Interface
+from repro.net.node import Node, handles
+from repro.packets.base import Packet
+from repro.packets.ip import IPv4, TCPLite, UDP
+
+
+class IpHost(Node):
+    """A host attached to the IP cloud."""
+
+    def __init__(self, sim, name: str, ip: IPv4Address) -> None:
+        super().__init__(sim, name)
+        self.ip = ip
+        self.rx_ip: Optional[IPv4] = None
+        self.rx_sport: int = 0
+
+    def _cloud(self) -> Node:
+        return self.peer(Interface.IP)
+
+    def attach_to_cloud(self) -> None:
+        """Register this host's address with the cloud (idempotent)."""
+        self._cloud().register(self.ip, self)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    @handles(IPv4)
+    def on_ip(self, packet: IPv4, src: Node, interface: str) -> None:
+        inner: Optional[Packet] = packet.payload
+        sport = 0
+        while isinstance(inner, (UDP, TCPLite)):
+            sport = inner.sport
+            inner = inner.payload
+        if inner is None:
+            self.sim.metrics.counter(f"{self.name}.empty_ip").inc()
+            return
+        prev_ip, prev_sport = self.rx_ip, self.rx_sport
+        self.rx_ip, self.rx_sport = packet, sport
+        try:
+            self.receive(inner, src, interface)
+        finally:
+            self.rx_ip, self.rx_sport = prev_ip, prev_sport
+
+    def rx_reply_addr(self) -> Tuple[IPv4Address, int]:
+        """Source address/port of the message currently being handled."""
+        assert self.rx_ip is not None, "rx_reply_addr outside a handler"
+        return self.rx_ip.src, self.rx_sport
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send_ip(
+        self,
+        dst: IPv4Address,
+        message: Packet,
+        dport: int,
+        sport: int = 0,
+        tcp: bool = False,
+    ) -> None:
+        transport = (
+            TCPLite(sport=sport or dport, dport=dport)
+            if tcp
+            else UDP(sport=sport or dport, dport=dport)
+        )
+        self.send(self._cloud(), IPv4(src=self.ip, dst=dst) / transport / message)

@@ -1,0 +1,199 @@
+"""Node base class, handler dispatch and the network container.
+
+Every network element (MS, BTS, BSC, VMSC, SGSN, GGSN, gatekeeper, ...)
+subclasses :class:`Node` and declares message handlers with the
+:func:`handles` decorator::
+
+    class Vlr(Node):
+        @handles(MapUpdateLocationArea)
+        def on_update_location_area(self, msg, src, iface):
+            ...
+
+Dispatch walks the packet class's MRO, so a handler registered for a base
+message class catches subclasses as well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import TopologyError
+from repro.net.link import Link
+from repro.sim.kernel import Simulator
+
+
+def handles(*packet_types: type) -> Callable:
+    """Mark a method as the handler for the given packet classes."""
+
+    def decorate(fn: Callable) -> Callable:
+        existing = list(getattr(fn, "_handles_types", ()))
+        existing.extend(packet_types)
+        fn._handles_types = tuple(existing)
+        return fn
+
+    return decorate
+
+
+class Node:
+    """A network element: owns links and dispatches received messages."""
+
+    _handler_cache: Dict[type, Dict[type, str]] = {}
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        # interface -> list of links (a BSC has one A link but a PSTN
+        # switch may have several trunks on the same interface name)
+        self._links: Dict[str, List[Link]] = {}
+        self.network: Optional["Network"] = None
+
+    # ------------------------------------------------------------------
+    # Handler registry
+    # ------------------------------------------------------------------
+    @classmethod
+    def _handlers(cls) -> Dict[type, str]:
+        table = Node._handler_cache.get(cls)
+        if table is None:
+            table = {}
+            for klass in reversed(cls.__mro__):
+                for attr_name, attr in vars(klass).items():
+                    for ptype in getattr(attr, "_handles_types", ()):
+                        table[ptype] = attr_name
+            Node._handler_cache[cls] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        self._links.setdefault(link.interface, []).append(link)
+
+    def links_on(self, interface: str) -> List[Link]:
+        return self._links.get(interface, [])
+
+    def link_to(self, peer: Union["Node", str], interface: Optional[str] = None) -> Link:
+        """Find the link toward *peer*, optionally constrained to an
+        interface name.  Raises :class:`TopologyError` if absent."""
+        peer_name = peer if isinstance(peer, str) else peer.name
+        candidates = (
+            self._links.get(interface, [])
+            if interface is not None
+            else [l for links in self._links.values() for l in links]
+        )
+        for link in candidates:
+            if link.peer_of(self).name == peer_name:
+                return link
+        raise TopologyError(
+            f"{self.name!r} has no link to {peer_name!r}"
+            + (f" on interface {interface!r}" if interface else "")
+        )
+
+    def peer(self, interface: str) -> "Node":
+        """The single peer on *interface*; raises if none or ambiguous."""
+        links = self.links_on(interface)
+        if len(links) != 1:
+            raise TopologyError(
+                f"{self.name!r} has {len(links)} links on {interface!r}, expected 1"
+            )
+        return links[0].peer_of(self)
+
+    def peers(self, interface: str) -> List["Node"]:
+        return [l.peer_of(self) for l in self.links_on(interface)]
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: Union["Node", str],
+        packet,
+        interface: Optional[str] = None,
+    ) -> None:
+        """Transmit *packet* to the directly connected node *dst*."""
+        self.link_to(dst, interface).transmit(self, packet)
+
+    def receive(self, packet, src: "Node", interface: str) -> None:
+        """Dispatch an arriving packet to the registered handler."""
+        table = type(self)._handlers()
+        for klass in type(packet).__mro__:
+            attr_name = table.get(klass)
+            if attr_name is not None:
+                getattr(self, attr_name)(packet, src, interface)
+                return
+        self.on_unhandled(packet, src, interface)
+
+    def on_unhandled(self, packet, src: "Node", interface: str) -> None:
+        """Default: count and trace-note unhandled packets.
+
+        Procedures that *must not* lose messages assert on this counter in
+        tests; silently dropping would hide protocol wiring bugs.
+        """
+        self.sim.metrics.counter(f"unhandled.{self.name}").inc()
+        self.sim.trace.note(
+            self.name,
+            f"UNHANDLED {packet.flow_name()}",
+            src=src.name,
+            interface=interface,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Network:
+    """Container of nodes and links; the topology factory."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+
+    def add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.network = self
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def connect(
+        self,
+        a: Union[Node, str],
+        b: Union[Node, str],
+        interface: str,
+        latency: float,
+        bit_rate: Optional[float] = None,
+        wire_fidelity: bool = False,
+    ) -> Link:
+        """Create a bidirectional link and register it on both endpoints."""
+        node_a = self.node(a) if isinstance(a, str) else a
+        node_b = self.node(b) if isinstance(b, str) else b
+        link = Link(
+            self.sim,
+            node_a,
+            node_b,
+            interface,
+            latency,
+            bit_rate=bit_rate,
+            wire_fidelity=wire_fidelity,
+        )
+        node_a.attach_link(link)
+        node_b.attach_link(link)
+        self.links.append(link)
+        return link
+
+    def inventory(self) -> List[Tuple[str, str]]:
+        """``(name, type)`` for every node — used by experiment E1."""
+        return [(name, type(node).__name__) for name, node in sorted(self.nodes.items())]
+
+    def link_table(self) -> List[Tuple[str, str, str, float]]:
+        """``(a, b, interface, latency)`` for every link."""
+        return [(l.a.name, l.b.name, l.interface, l.latency) for l in self.links]

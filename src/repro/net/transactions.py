@@ -1,0 +1,67 @@
+"""Request/response correlation for MAP-style invoke ids.
+
+Nodes issuing MAP (or RAS) requests register a continuation under a fresh
+invoke id; the response handler pops the continuation and resumes the
+procedure.  This keeps multi-step procedures (registration, call setup)
+readable as a chain of small callbacks while supporting any number of
+concurrent transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+
+
+class Transactions:
+    """Allocates invoke ids and stores per-transaction context."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+        self._pending: Dict[int, Any] = {}
+
+    def open(self, context: Any) -> int:
+        """Store *context* (usually a callback or a small dict) and return
+        a fresh invoke id."""
+        invoke_id = self._next
+        self._next += 1
+        self._pending[invoke_id] = context
+        return invoke_id
+
+    def open_with_id(self, invoke_id: int, context: Any) -> int:
+        """Store *context* under an externally chosen id (e.g. a protocol
+        sequence number the peer will echo back)."""
+        if invoke_id in self._pending:
+            raise ProtocolError(f"invoke id {invoke_id} already pending")
+        self._pending[invoke_id] = context
+        return invoke_id
+
+    def close(self, invoke_id: int) -> Any:
+        """Pop and return the context; raises on unknown ids so protocol
+        wiring mistakes fail loudly."""
+        try:
+            return self._pending.pop(invoke_id)
+        except KeyError:
+            raise ProtocolError(f"unknown invoke id {invoke_id}") from None
+
+    def try_close(self, invoke_id: int) -> Optional[Any]:
+        """Pop and return the context, or ``None`` if absent (for
+        responses that may legitimately race with a cancel)."""
+        return self._pending.pop(invoke_id, None)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class Sequencer:
+    """A plain monotonically increasing id allocator (call refs, CICs,
+    RAS sequence numbers, TMSIs)."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value

@@ -1,0 +1,28 @@
+"""Scapy-style packet crafting.
+
+Every message that crosses a simulated link is a :class:`Packet` built
+from typed fields, layered with the ``/`` operator and serialisable to
+bytes::
+
+    pkt = IPv4(src=a, dst=b) / UDP(sport=2152, dport=2152) \\
+          / GtpHeader(tid=tid) / Q931Setup(call_ref=7, ...)
+    wire = pkt.build()
+    assert type(pkt).parse(wire) == pkt
+
+Protocol modules:
+
+* :mod:`repro.packets.ip`    — IPv4, UDP, TCP-lite
+* :mod:`repro.packets.gtp`   — GPRS tunnelling protocol (GSM 09.60)
+* :mod:`repro.packets.q931`  — H.225/Q.931 call signalling
+* :mod:`repro.packets.ras`   — H.225 RAS (gatekeeper) messages
+* :mod:`repro.packets.map`   — GSM MAP operations
+* :mod:`repro.packets.bssap` — Um/Abis/A-interface messages
+* :mod:`repro.packets.isup`  — SS7 ISUP trunk signalling
+* :mod:`repro.packets.rtp`   — RTP voice frames
+* :mod:`repro.packets.gmm`   — GPRS mobility and session management
+"""
+
+from repro.packets.base import Packet, Raw
+from repro.packets import fields
+
+__all__ = ["Packet", "Raw", "fields"]

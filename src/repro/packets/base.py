@@ -1,0 +1,258 @@
+"""The layered :class:`Packet` base class.
+
+Packets stack with the ``/`` operator (scapy convention)::
+
+    frame = IPv4(src=a, dst=b) / UDP(sport=1719, dport=1719) / RasRrq(...)
+
+On the wire each layer is ``[wire_id:2][encoded fields][payload...]``.
+Wire ids are assigned from a central registry at class-definition time, in
+definition order, which is deterministic because the protocol modules are
+always imported in package order.  ``parse`` reads the id, finds the class
+and decodes fields; any remaining bytes are parsed recursively as the
+payload.
+
+Tracing: each layer sets ``show_in_flow`` — transport layers (IPv4, UDP,
+GTP) set it ``False`` so that :meth:`Packet.flow_name` names the innermost
+*signalling* message, which is what the paper's figures display (a Q.931
+Setup is still "Q.931 Setup" while tunnelled through GTP).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
+
+from repro.errors import PacketError
+from repro.packets.fields import BytesField, Field, OptionalField
+
+P = TypeVar("P", bound="Packet")
+
+_WIRE_REGISTRY: Dict[int, Type["Packet"]] = {}
+_NEXT_WIRE_ID = [1]
+
+
+class Packet:
+    """Base class for every protocol message.
+
+    Subclasses declare::
+
+        class RasRrq(Packet):
+            name = "RAS_RRQ"
+            fields = (
+                E164Field("alias"),
+                IPv4AddressField("transport_address"),
+            )
+    """
+
+    name: str = "Packet"
+    fields: Tuple[Field, ...] = ()
+    show_in_flow: bool = True
+    wire_id: int = 0
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if "wire_id" not in cls.__dict__:
+            cls.wire_id = _NEXT_WIRE_ID[0]
+            _NEXT_WIRE_ID[0] += 1
+        if cls.wire_id in _WIRE_REGISTRY:
+            raise PacketError(
+                f"wire_id {cls.wire_id} already used by "
+                f"{_WIRE_REGISTRY[cls.wire_id].__name__}"
+            )
+        _WIRE_REGISTRY[cls.wire_id] = cls
+        cls._field_map = {f.name: f for f in cls.fields}
+        if len(cls._field_map) != len(cls.fields):
+            raise PacketError(f"{cls.__name__}: duplicate field names")
+
+    def __init__(self, _payload: Optional["Packet"] = None, **values: Any) -> None:
+        self.payload: Optional[Packet] = _payload
+        field_map = type(self)._field_map
+        unknown = set(values) - set(field_map)
+        if unknown:
+            raise PacketError(
+                f"{type(self).__name__}: unknown fields {sorted(unknown)}"
+            )
+        self._values: Dict[str, Any] = {}
+        for fname, field in field_map.items():
+            if fname in values:
+                self._values[fname] = field.validate(values[fname])
+            else:
+                self._values[fname] = field.validate(field.default) if (
+                    field.default is not None
+                ) else field.default
+
+    # ------------------------------------------------------------------
+    # Field access
+    # ------------------------------------------------------------------
+    def __getattr__(self, item: str) -> Any:
+        values = self.__dict__.get("_values")
+        if values is not None and item in values:
+            return values[item]
+        raise AttributeError(f"{type(self).__name__} has no field {item!r}")
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        if key in ("payload", "_values"):
+            object.__setattr__(self, key, value)
+            return
+        field = type(self)._field_map.get(key)
+        if field is not None:
+            self._values[key] = field.validate(value)
+            return
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Layering
+    # ------------------------------------------------------------------
+    def __truediv__(self, other: "Packet") -> "Packet":
+        """Stack *other* below the innermost layer of ``self``."""
+        inner = self
+        while inner.payload is not None:
+            inner = inner.payload
+        inner.payload = other
+        return self
+
+    def layers(self) -> Iterator["Packet"]:
+        layer: Optional[Packet] = self
+        while layer is not None:
+            yield layer
+            layer = layer.payload
+
+    def get_layer(self, klass: Type[P]) -> Optional[P]:
+        for layer in self.layers():
+            if isinstance(layer, klass):
+                return layer
+        return None
+
+    def haslayer(self, klass: Type["Packet"]) -> bool:
+        return self.get_layer(klass) is not None
+
+    def innermost(self) -> "Packet":
+        layer = self
+        while layer.payload is not None:
+            layer = layer.payload
+        return layer
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def flow_name(self) -> str:
+        """The message name shown in message-sequence charts: the
+        innermost layer that opts into flow display."""
+        shown = None
+        for layer in self.layers():
+            if layer.show_in_flow:
+                shown = layer
+        return (shown or self).name
+
+    def trace_info(self) -> Dict[str, Any]:
+        """Merged ``info()`` of all layers (inner layers win)."""
+        merged: Dict[str, Any] = {}
+        for layer in self.layers():
+            merged.update(layer.info())
+        return merged
+
+    def info(self) -> Dict[str, Any]:
+        """Per-layer trace detail; subclasses override."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Wire codec
+    # ------------------------------------------------------------------
+    def build(self) -> bytes:
+        """Serialise this layer and its payload chain to bytes."""
+        out = bytearray(type(self).wire_id.to_bytes(2, "big"))
+        for field in type(self).fields:
+            value = self._values[field.name]
+            if value is None and not _field_allows_none(field):
+                raise PacketError(
+                    f"{type(self).__name__}.{field.name} is unset; cannot build"
+                )
+            out += field.encode(value)
+        if self.payload is not None:
+            out += self.payload.build()
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Packet":
+        """Parse bytes into a packet chain.
+
+        Called on :class:`Packet` it dispatches purely on the wire id;
+        called on a subclass it additionally checks the outer layer type.
+        """
+        packet, offset = _parse_layer(data, 0)
+        if offset != len(data):
+            raise PacketError(f"{len(data) - offset} trailing bytes after parse")
+        if cls is not Packet and not isinstance(packet, cls):
+            raise PacketError(
+                f"expected outer layer {cls.__name__}, got {type(packet).__name__}"
+            )
+        return packet
+
+    # ------------------------------------------------------------------
+    # Comparison / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: Any) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._values == other._values and self.payload == other.payload
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((type(self), tuple(sorted(self._values.items(), key=lambda kv: kv[0], ))))
+
+    def copy(self) -> "Packet":
+        clone = type(self)(**dict(self._values))
+        if self.payload is not None:
+            clone.payload = self.payload.copy()
+        return clone
+
+    def show(self) -> str:
+        """Multi-line human-readable dump of the layer chain."""
+        lines: List[str] = []
+        for depth, layer in enumerate(self.layers()):
+            pad = "  " * depth
+            lines.append(f"{pad}### {layer.name} ###")
+            for field in type(layer).fields:
+                lines.append(f"{pad}  {field.name} = {layer._values[field.name]!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{f.name}={self._values[f.name]!r}"
+            for f in type(self).fields
+            if self._values[f.name] is not None
+        )
+        own = f"{type(self).__name__}({parts})"
+        if self.payload is not None:
+            return f"{own}/{self.payload!r}"
+        return own
+
+
+def _field_allows_none(field: Field) -> bool:
+    # OptionalField encodes None natively.
+    return isinstance(field, OptionalField)
+
+
+def _parse_layer(data: bytes, offset: int) -> Tuple[Packet, int]:
+    if offset + 2 > len(data):
+        raise PacketError("truncated wire id")
+    wire_id = int.from_bytes(data[offset : offset + 2], "big")
+    klass = _WIRE_REGISTRY.get(wire_id)
+    if klass is None:
+        raise PacketError(f"unknown wire id {wire_id}")
+    offset += 2
+    values: Dict[str, Any] = {}
+    for field in klass.fields:
+        values[field.name], offset = field.decode(data, offset)
+    packet = klass.__new__(klass)
+    packet.payload = None
+    packet._values = values
+    if offset < len(data):
+        packet.payload, offset = _parse_layer(data, offset)
+    return packet, offset
+
+
+class Raw(Packet):
+    """Opaque payload bytes (e.g. a vocoder frame inside RTP)."""
+
+    name = "Raw"
+    show_in_flow = False
+    fields = (BytesField("data", b""),)

@@ -1,0 +1,434 @@
+"""GSM air-interface, Abis and A-interface messages (GSM 04.08 / 08.08).
+
+The paper names messages by interface — ``Um_Setup``, ``Abis_Setup``,
+``A_Setup`` — and its Figures 4–6 show each renamed hop explicitly, so
+every interface-prefixed message in a figure gets its own class here with
+``name`` matching the figure text exactly.  Messages the paper elides
+("the standard GSM authentication procedure ... details are omitted") are
+modelled once and relayed transparently across Abis/A, as real DTAP is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    BytesField,
+    E164Field,
+    ImsiField,
+    IntField,
+    LongField,
+    OptionalField,
+    StrField,
+)
+
+# Disconnect / release causes.
+CAUSE_NORMAL = 16
+CAUSE_BUSY = 17
+CAUSE_RADIO_FAILURE = 47
+
+
+class GsmMessage(Packet):
+    """Base for all GSM signalling messages."""
+
+    name = "GSM"
+    fields = ()
+
+
+class _SubscriberIdMixin:
+    """Shared field tuple for messages identifying a subscriber."""
+
+    id_fields = (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(IntField("tmsi")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Location update (Figure 4, steps 1.1 / 1.6)
+# ----------------------------------------------------------------------
+class UmLocationUpdateRequest(GsmMessage):
+    name = "Um_Location_Update_Request"
+    fields = _SubscriberIdMixin.id_fields + (StrField("lai"),)
+
+    def info(self) -> Dict[str, str]:
+        return {"imsi": str(self.imsi)} if self.imsi else {}
+
+
+class AbisLocationUpdate(GsmMessage):
+    name = "Abis_Location_Update"
+    fields = UmLocationUpdateRequest.fields
+
+
+class ALocationUpdate(GsmMessage):
+    name = "A_Location_Update"
+    fields = UmLocationUpdateRequest.fields
+
+
+class ALocationUpdateAccept(GsmMessage):
+    name = "A_Location_Update_Accept"
+    fields = _SubscriberIdMixin.id_fields + (OptionalField(IntField("new_tmsi")),)
+
+
+class AbisLocationUpdateAccept(GsmMessage):
+    name = "Abis_Location_Update_Accept"
+    fields = ALocationUpdateAccept.fields
+
+
+class UmLocationUpdateAccept(GsmMessage):
+    name = "Um_Location_Update_Accept"
+    fields = ALocationUpdateAccept.fields
+
+
+class UmLocationUpdateReject(GsmMessage):
+    name = "Um_Location_Update_Reject"
+    fields = (ByteField("cause"),)
+
+
+class ImsiDetachIndication(GsmMessage):
+    """MS -> network on power-off (GSM 04.08 §4.3.4); relayed
+    transparently through BTS/BSC to the (V)MSC.  No response is sent —
+    the MS may already be off."""
+
+    name = "IMSI_Detach_Indication"
+    fields = (OptionalField(ImsiField("imsi")), OptionalField(IntField("tmsi")))
+
+
+# ----------------------------------------------------------------------
+# Authentication and ciphering (standard GSM; relayed transparently)
+# ----------------------------------------------------------------------
+class AuthenticationRequest(GsmMessage):
+    """Network -> MS: challenge RAND.  Carries the IMSI so relaying nodes
+    (MSC, BSC, BTS) can route the downlink message; the air interface
+    would use the dedicated channel instead."""
+
+    name = "Authentication_Request"
+    fields = (OptionalField(ImsiField("imsi")), BytesField("rand"))
+
+
+class AuthenticationResponse(GsmMessage):
+    """MS -> network: SRES = A3(Ki, RAND)."""
+
+    name = "Authentication_Response"
+    fields = (OptionalField(ImsiField("imsi")), BytesField("sres"))
+
+
+class CipheringModeCommand(GsmMessage):
+    """Network -> MS: start ciphering with the agreed algorithm."""
+
+    name = "Ciphering_Mode_Command"
+    fields = (OptionalField(ImsiField("imsi")), StrField("algorithm", "A5/1"))
+
+
+class CipheringModeComplete(GsmMessage):
+    name = "Ciphering_Mode_Complete"
+    fields = (OptionalField(ImsiField("imsi")),)
+
+
+# ----------------------------------------------------------------------
+# Radio access and traffic-channel assignment (step 2.1 / 4.5)
+# ----------------------------------------------------------------------
+class UmChannelRequest(GsmMessage):
+    """MS -> BTS on RACH: ask for a dedicated channel."""
+
+    name = "Um_Channel_Request"
+    fields = (ByteField("establishment_cause"),)
+
+
+class UmImmediateAssignment(GsmMessage):
+    """BTS -> MS on AGCH: SDCCH allocated."""
+
+    name = "Um_Immediate_Assignment"
+    fields = (ByteField("channel"),)
+
+
+class CmServiceRequest(GsmMessage):
+    """MS -> network: request MO call service (relayed to the MSC)."""
+
+    name = "CM_Service_Request"
+    fields = _SubscriberIdMixin.id_fields + (ByteField("service_type", 1),)
+
+
+class CmServiceAccept(GsmMessage):
+    name = "CM_Service_Accept"
+    fields = (OptionalField(ImsiField("imsi")),)
+
+
+class CmServiceReject(GsmMessage):
+    """Network -> MS: the requested service cannot be provided (e.g. no
+    traffic channel available)."""
+
+    name = "CM_Service_Reject"
+    fields = (OptionalField(ImsiField("imsi")), ByteField("cause", CAUSE_RADIO_FAILURE))
+
+
+class AAssignmentRequest(GsmMessage):
+    """(V)MSC -> BSC: assign a traffic channel."""
+
+    name = "A_Assignment_Request"
+    fields = (OptionalField(ImsiField("imsi")), ByteField("channel_type", 1))
+
+
+class AbisChannelActivation(GsmMessage):
+    name = "Abis_Channel_Activation"
+    fields = AAssignmentRequest.fields
+
+
+class UmAssignmentCommand(GsmMessage):
+    name = "Um_Assignment_Command"
+    fields = (OptionalField(ImsiField("imsi")), ByteField("channel_type", 1))
+
+
+class UmAssignmentComplete(GsmMessage):
+    name = "Um_Assignment_Complete"
+    fields = (OptionalField(ImsiField("imsi")),)
+
+
+class AAssignmentComplete(GsmMessage):
+    name = "A_Assignment_Complete"
+    fields = (OptionalField(ImsiField("imsi")),)
+
+
+class AAssignmentFailure(GsmMessage):
+    """BSC -> (V)MSC: no traffic channel available (cell fully loaded).
+    Drives the blocking behaviour measured in experiment E9."""
+
+    name = "A_Assignment_Failure"
+    fields = (OptionalField(ImsiField("imsi")), ByteField("cause", CAUSE_RADIO_FAILURE))
+
+
+# ----------------------------------------------------------------------
+# Call control (Figures 5 and 6)
+# ----------------------------------------------------------------------
+class _CallControl(GsmMessage):
+    """Base: GSM CC messages carry a transaction identifier.
+
+    The real GSM TI is 3 bits per MS; the simulation widens it to a
+    globally unique 32-bit value and adds the IMSI so relaying nodes can
+    route downlink messages without modelling per-channel SAPIs.
+    """
+
+    name = "CC"
+    fields = (IntField("ti"), OptionalField(ImsiField("imsi")))
+
+    def info(self) -> Dict[str, int]:
+        return {"ti": self.ti}
+
+
+class UmSetup(_CallControl):
+    """MO: the dialled digits from the MS (step 2.1).
+    MT: the setup instruction toward the MS (step 4.5)."""
+
+    name = "Um_Setup"
+    fields = _CallControl.fields + (
+        OptionalField(E164Field("called")),
+        OptionalField(E164Field("calling")),
+    )
+
+    def info(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"ti": self.ti}
+        if self.called is not None:
+            out["called"] = str(self.called)
+        return out
+
+
+class AbisSetup(_CallControl):
+    name = "Abis_Setup"
+    fields = UmSetup.fields
+
+
+class ASetup(_CallControl):
+    name = "A_Setup"
+    fields = UmSetup.fields
+
+
+class UmCallConfirmed(_CallControl):
+    name = "Um_Call_Confirmed"
+    fields = _CallControl.fields
+
+
+class UmAlerting(_CallControl):
+    name = "Um_Alerting"
+    fields = _CallControl.fields
+
+
+class AbisAlerting(_CallControl):
+    name = "Abis_Alerting"
+    fields = _CallControl.fields
+
+
+class AAlerting(_CallControl):
+    name = "A_Alerting"
+    fields = _CallControl.fields
+
+
+class UmConnect(_CallControl):
+    name = "Um_Connect"
+    fields = _CallControl.fields
+
+
+class AbisConnect(_CallControl):
+    name = "Abis_Connect"
+    fields = _CallControl.fields
+
+
+class AConnect(_CallControl):
+    name = "A_Connect"
+    fields = _CallControl.fields
+
+
+class UmConnectAck(_CallControl):
+    name = "Um_Connect_Ack"
+    fields = _CallControl.fields
+
+
+class UmDisconnect(_CallControl):
+    name = "Um_Disconnect"
+    fields = _CallControl.fields + (ByteField("cause", CAUSE_NORMAL),)
+
+
+class AbisDisconnect(_CallControl):
+    name = "Abis_Disconnect"
+    fields = UmDisconnect.fields
+
+
+class ADisconnect(_CallControl):
+    name = "A_Disconnect"
+    fields = UmDisconnect.fields
+
+
+class UmRelease(_CallControl):
+    name = "Um_Release"
+    fields = _CallControl.fields
+
+
+class UmReleaseComplete(_CallControl):
+    name = "Um_Release_Complete"
+    fields = _CallControl.fields
+
+
+class AClearCommand(GsmMessage):
+    """(V)MSC -> BSC: release the radio resources after a call."""
+
+    name = "A_Clear_Command"
+    fields = (OptionalField(ImsiField("imsi")), ByteField("cause", CAUSE_NORMAL))
+
+
+class AClearComplete(GsmMessage):
+    name = "A_Clear_Complete"
+    fields = ()
+
+
+# ----------------------------------------------------------------------
+# Paging (Figure 6, step 4.4)
+# ----------------------------------------------------------------------
+class APaging(GsmMessage):
+    name = "A_Paging"
+    fields = _SubscriberIdMixin.id_fields + (StrField("lai"),)
+
+
+class AbisPaging(GsmMessage):
+    name = "Abis_Paging"
+    fields = APaging.fields
+
+
+class UmPaging(GsmMessage):
+    name = "Um_Paging"
+    fields = APaging.fields
+
+
+class UmPagingResponse(GsmMessage):
+    name = "Um_Paging_Response"
+    fields = _SubscriberIdMixin.id_fields
+
+
+class AbisPagingResponse(GsmMessage):
+    name = "Abis_Paging_Response"
+    fields = _SubscriberIdMixin.id_fields
+
+
+class APagingResponse(GsmMessage):
+    name = "A_Paging_Response"
+    fields = _SubscriberIdMixin.id_fields
+
+
+# ----------------------------------------------------------------------
+# Handoff (A interface; Figure 9 scenario)
+# ----------------------------------------------------------------------
+class AHandoverRequired(GsmMessage):
+    """Serving BSC -> (V)MSC: radio conditions demand a handover."""
+
+    name = "A_Handover_Required"
+    fields = (
+        OptionalField(ImsiField("imsi")),
+        IntField("ti"),
+        StrField("target_cell"),
+    )
+
+
+class AHandoverRequest(GsmMessage):
+    """(Target) MSC -> target BSC: reserve a channel."""
+
+    name = "A_Handover_Request"
+    fields = (OptionalField(ImsiField("imsi")), IntField("ti"))
+
+
+class AHandoverRequestAck(GsmMessage):
+    name = "A_Handover_Request_Ack"
+    fields = (IntField("ti"), ByteField("channel", 1))
+
+
+class AHandoverCommand(GsmMessage):
+    """Anchor (V)MSC -> serving BSC -> MS: retune to the target cell."""
+
+    name = "A_Handover_Command"
+    fields = (
+        IntField("ti"),
+        OptionalField(ImsiField("imsi")),
+        StrField("target_cell"),
+    )
+
+
+class UmHandoverCommand(GsmMessage):
+    name = "Um_Handover_Command"
+    fields = AHandoverCommand.fields
+
+
+class UmHandoverAccess(GsmMessage):
+    """MS -> target BTS: first access on the new cell."""
+
+    name = "Um_Handover_Access"
+    fields = (IntField("ti"), OptionalField(ImsiField("imsi")))
+
+
+class UmHandoverComplete(GsmMessage):
+    name = "Um_Handover_Complete"
+    fields = (IntField("ti"), OptionalField(ImsiField("imsi")))
+
+
+class AHandoverComplete(GsmMessage):
+    name = "A_Handover_Complete"
+    fields = (IntField("ti"), OptionalField(ImsiField("imsi")))
+
+
+# ----------------------------------------------------------------------
+# Circuit-switched voice
+# ----------------------------------------------------------------------
+class TchFrame(GsmMessage):
+    """A 20 ms vocoder frame on a traffic channel.
+
+    ``gen_time_us`` stamps the talker's generation instant so receivers
+    can measure mouth-to-ear delay (experiment E9).
+    """
+
+    name = "TCH_Frame"
+    show_in_flow = False
+    fields = (
+        IntField("ti"),
+        OptionalField(ImsiField("imsi")),
+        IntField("seq"),
+        LongField("gen_time_us"),
+        BytesField("voice", b""),
+    )

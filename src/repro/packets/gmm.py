@@ -1,0 +1,173 @@
+"""GPRS mobility management and session management (GSM 04.08 / 03.60).
+
+These messages run between a GPRS "MS" and the SGSN.  In vGPRS the VMSC
+plays the MS role on behalf of every attached handset (paper step 1.3:
+"the VMSC activates a new PDP context just like a GPRS MS does"), so the
+same message set serves both the vGPRS core and the 3G TR baseline where
+the handset itself is the GPRS MS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    ImsiField,
+    IntField,
+    IPv4AddressField,
+    OptionalField,
+    ShortField,
+    StrField,
+)
+
+# Session-management causes.
+SM_CAUSE_OK = 0
+SM_CAUSE_INSUFFICIENT_RESOURCES = 26
+SM_CAUSE_UNKNOWN_APN = 27
+SM_CAUSE_SERVICE_NOT_SUBSCRIBED = 33
+
+# Attach types.
+ATTACH_GPRS = 1
+ATTACH_COMBINED = 3
+
+
+class GprsMessage(Packet):
+    """Base for GMM/SM messages."""
+
+    name = "GPRS"
+    fields = ()
+
+
+class GprsAttachRequest(GprsMessage):
+    """MS (or VMSC acting for it) -> SGSN, paper step 1.3."""
+
+    name = "GPRS_Attach_Request"
+    fields = (
+        ImsiField("imsi"),
+        ByteField("attach_type", ATTACH_GPRS),
+    )
+
+    def info(self) -> Dict[str, str]:
+        return {"imsi": str(self.imsi)}
+
+
+class GprsAttachAccept(GprsMessage):
+    name = "GPRS_Attach_Accept"
+    fields = (
+        ImsiField("imsi"),
+        OptionalField(IntField("ptmsi")),
+    )
+
+
+class GprsAttachReject(GprsMessage):
+    name = "GPRS_Attach_Reject"
+    fields = (ImsiField("imsi"), ByteField("cause"))
+
+
+class GprsDetachRequest(GprsMessage):
+    name = "GPRS_Detach_Request"
+    fields = (ImsiField("imsi"),)
+
+
+class GprsDetachAccept(GprsMessage):
+    name = "GPRS_Detach_Accept"
+    fields = (ImsiField("imsi"),)
+
+
+class ActivatePdpContextRequest(GprsMessage):
+    """MS/VMSC -> SGSN: activate the PDP context for one NSAPI.
+
+    A ``static_pdp_address`` of ``None`` requests dynamic allocation by
+    the GGSN (the paper assumes dynamic allocation in step 1.3).
+    """
+
+    name = "Activate_PDP_Context_Request"
+    fields = (
+        ImsiField("imsi"),
+        ByteField("nsapi"),
+        ByteField("qos_delay_class", 4),
+        ShortField("qos_peak_kbps", 16),
+        OptionalField(IPv4AddressField("static_pdp_address")),
+        StrField("apn", "voip.gprs"),
+    )
+
+    def info(self) -> Dict[str, object]:
+        return {"imsi": str(self.imsi), "nsapi": self.nsapi}
+
+
+class ActivatePdpContextAccept(GprsMessage):
+    name = "Activate_PDP_Context_Accept"
+    fields = (
+        ImsiField("imsi"),
+        ByteField("nsapi"),
+        IPv4AddressField("pdp_address"),
+        ByteField("qos_delay_class", 4),
+    )
+
+
+class ActivatePdpContextReject(GprsMessage):
+    name = "Activate_PDP_Context_Reject"
+    fields = (
+        ImsiField("imsi"),
+        ByteField("nsapi"),
+        ByteField("cause", SM_CAUSE_INSUFFICIENT_RESOURCES),
+    )
+
+
+class DeactivatePdpContextRequest(GprsMessage):
+    name = "Deactivate_PDP_Context_Request"
+    fields = (ImsiField("imsi"), ByteField("nsapi"))
+
+
+class DeactivatePdpContextAccept(GprsMessage):
+    name = "Deactivate_PDP_Context_Accept"
+    fields = (ImsiField("imsi"), ByteField("nsapi"))
+
+
+class RequestPdpContextActivation(GprsMessage):
+    """SGSN -> MS: network-requested PDP context activation, triggered by
+    a GGSN PDU notification.  Requires the subscriber to hold a static
+    PDP address (GSM 03.60) — the 3G TR baseline's MT-call path."""
+
+    name = "Request_PDP_Context_Activation"
+    fields = (
+        ImsiField("imsi"),
+        ByteField("nsapi"),
+        IPv4AddressField("pdp_address"),
+    )
+
+
+class GprsPaging(GprsMessage):
+    """SGSN -> MS: GPRS paging for downlink data while the MM context is
+    in STANDBY (GSM 03.60 §6.2) — part of the 3G TR baseline's MT-call
+    latency that vGPRS avoids (the VMSC's PCU is permanently reachable)."""
+
+    name = "GPRS_Paging"
+    fields = (ImsiField("imsi"),)
+
+
+class GprsPagingResponse(GprsMessage):
+    """MS -> SGSN: any uplink PDU serves; this is the explicit form."""
+
+    name = "GPRS_Paging_Response"
+    fields = (ImsiField("imsi"),)
+
+
+class RoutingAreaUpdateRequest(GprsMessage):
+    """MS -> (new) SGSN on routing-area change.  ``old_routing_area``
+    lets an SGSN that does not know the subscriber locate the old SGSN
+    and pull the contexts over (inter-SGSN RAU, GSM 03.60 §6.9)."""
+
+    name = "Routing_Area_Update_Request"
+    fields = (
+        ImsiField("imsi"),
+        StrField("routing_area"),
+        StrField("old_routing_area", ""),
+    )
+
+
+class RoutingAreaUpdateAccept(GprsMessage):
+    name = "Routing_Area_Update_Accept"
+    fields = (ImsiField("imsi"),)

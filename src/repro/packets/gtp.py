@@ -1,0 +1,164 @@
+"""GPRS Tunnelling Protocol, GSM 09.60 (GTP v0).
+
+GTP runs on the Gn interface between SGSN and GGSN.  The header carries a
+tunnel identifier (TID = IMSI + NSAPI) selecting the PDP context; GTP-C
+messages manage contexts, and T-PDUs carry the subscriber's IP traffic.
+
+:class:`GtpHeader` is a transport layer; the GTP-C messages below it are
+flow-visible because the paper's step 1.3/2.9/3.4 discussion is about
+exactly these exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    ImsiField,
+    IntField,
+    IPv4AddressField,
+    OptionalField,
+    ShortField,
+    StrField,
+    TunnelIdField,
+)
+
+# GTP v0 message types (GSM 09.60 §7.1).
+MSG_CREATE_PDP_REQ = 16
+MSG_CREATE_PDP_RSP = 17
+MSG_UPDATE_PDP_REQ = 18
+MSG_UPDATE_PDP_RSP = 19
+MSG_DELETE_PDP_REQ = 20
+MSG_DELETE_PDP_RSP = 21
+MSG_PDU_NOTIFY_REQ = 27
+MSG_PDU_NOTIFY_RSP = 28
+MSG_T_PDU = 255
+
+# GTP cause values (subset).
+CAUSE_ACCEPTED = 128
+CAUSE_NO_RESOURCES = 199
+CAUSE_UNKNOWN_PDP = 196
+CAUSE_SYSTEM_FAILURE = 204
+
+
+class GtpHeader(Packet):
+    """The GTP v0 header: message type, sequence number and TID."""
+
+    name = "GTP"
+    show_in_flow = False
+    fields = (
+        ByteField("msg_type", MSG_T_PDU),
+        ShortField("seq", 0),
+        TunnelIdField("tid"),
+    )
+
+    def info(self) -> Dict[str, str]:
+        return {"tid": str(self.tid)}
+
+
+class GtpCreatePdpContextRequest(Packet):
+    """SGSN -> GGSN: create a PDP context for the TID in the header."""
+
+    name = "Create_PDP_Context_Request"
+    fields = (
+        ByteField("nsapi"),
+        ByteField("qos_delay_class", 4),       # 1 = best, 4 = background
+        ShortField("qos_peak_kbps", 16),
+        OptionalField(IPv4AddressField("static_pdp_address")),
+        StrField("apn", "voip.gprs"),
+        StrField("sgsn_address"),
+    )
+
+
+class GtpCreatePdpContextResponse(Packet):
+    """GGSN -> SGSN: result plus the (possibly dynamic) PDP address."""
+
+    name = "Create_PDP_Context_Response"
+    fields = (
+        ByteField("cause", CAUSE_ACCEPTED),
+        OptionalField(IPv4AddressField("pdp_address")),
+        ByteField("qos_delay_class", 4),
+    )
+
+
+class GtpUpdatePdpContextRequest(Packet):
+    """SGSN -> GGSN: move a context (inter-SGSN routing-area update)."""
+
+    name = "Update_PDP_Context_Request"
+    fields = (
+        ByteField("nsapi"),
+        StrField("sgsn_address"),
+    )
+
+
+class GtpUpdatePdpContextResponse(Packet):
+    name = "Update_PDP_Context_Response"
+    fields = (ByteField("cause", CAUSE_ACCEPTED),)
+
+
+class GtpDeletePdpContextRequest(Packet):
+    """SGSN -> GGSN: tear down the context selected by the header TID."""
+
+    name = "Delete_PDP_Context_Request"
+    fields = (ByteField("nsapi"),)
+
+
+class GtpDeletePdpContextResponse(Packet):
+    name = "Delete_PDP_Context_Response"
+    fields = (ByteField("cause", CAUSE_ACCEPTED),)
+
+
+class GtpSgsnContextRequest(Packet):
+    """New SGSN -> old SGSN (Gn): fetch the subscriber's MM and PDP
+    contexts during an inter-SGSN routing-area update (GSM 03.60 §6.9)."""
+
+    name = "SGSN_Context_Request"
+    fields = (ImsiField("imsi"), StrField("new_sgsn"))
+
+
+class GtpSgsnContextResponse(Packet):
+    """Old SGSN -> new SGSN: cause plus one PdpContextIe payload per
+    transferred context."""
+
+    name = "SGSN_Context_Response"
+    fields = (
+        ImsiField("imsi"),
+        ByteField("cause", CAUSE_ACCEPTED),
+        OptionalField(IntField("ptmsi")),
+    )
+
+
+class PdpContextIe(Packet):
+    """One transferred PDP context, chained as payload layers under an
+    SGSN Context Response."""
+
+    name = "PDP_Context_IE"
+    show_in_flow = False
+    fields = (
+        ByteField("nsapi"),
+        ByteField("qos_delay_class", 4),
+        ShortField("qos_peak_kbps", 16),
+        IPv4AddressField("pdp_address"),
+        StrField("apn", "voip.gprs"),
+        ByteField("static", 0),
+    )
+
+
+class GtpPduNotificationRequest(Packet):
+    """GGSN -> SGSN: a PDU arrived for a subscriber with no active
+    context; triggers network-requested PDP context activation.  GSM
+    03.60 notes this needs a *static* PDP address — the limitation the
+    paper holds against the 3G TR 23.923 approach (§6)."""
+
+    name = "PDU_Notification_Request"
+    fields = (
+        ImsiField("imsi"),
+        IPv4AddressField("pdp_address"),
+    )
+
+
+class GtpPduNotificationResponse(Packet):
+    name = "PDU_Notification_Response"
+    fields = (ByteField("cause", CAUSE_ACCEPTED),)

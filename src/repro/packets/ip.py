@@ -1,0 +1,61 @@
+"""IPv4, UDP and a TCP-lite transport layer.
+
+These are transport layers (``show_in_flow = False``): the paper's
+message-sequence figures display the signalling message they carry, not
+the encapsulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import ByteField, IntField, IPv4AddressField, ShortField
+
+
+class IPv4(Packet):
+    """Minimal IPv4 header: addressing and TTL, no options/fragments."""
+
+    name = "IPv4"
+    show_in_flow = False
+    fields = (
+        IPv4AddressField("src"),
+        IPv4AddressField("dst"),
+        ByteField("ttl", 64),
+        ByteField("protocol", 17),
+    )
+
+    def info(self) -> Dict[str, str]:
+        return {"ip_src": str(self.src), "ip_dst": str(self.dst)}
+
+
+class UDP(Packet):
+    """UDP ports; length/checksum omitted (layers are self-delimiting)."""
+
+    name = "UDP"
+    show_in_flow = False
+    fields = (
+        ShortField("sport"),
+        ShortField("dport"),
+    )
+
+
+class TCPLite(Packet):
+    """A token TCP header — enough to mark H.225 call-signalling channels
+    (which run over TCP in H.323) as connection-oriented in traces."""
+
+    name = "TCP"
+    show_in_flow = False
+    fields = (
+        ShortField("sport"),
+        ShortField("dport"),
+        IntField("seq", 0),
+        ByteField("flags", 0),
+    )
+
+
+# Well-known ports used by the simulation.
+PORT_H225_RAS = 1719
+PORT_H225_CS = 1720
+PORT_GTP = 3386  # GTP v0 (GSM 09.60)
+PORT_RTP = 5004

@@ -1,0 +1,93 @@
+"""SS7 ISUP trunk signalling.
+
+ISUP sets up circuit-switched trunks between PSTN switches, GMSCs and the
+(V)MSC.  The tromboning experiment (Figures 7–8) counts these trunks: the
+classic GSM call to a roamer allocates two international circuits, the
+vGPRS call none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    E164Field,
+    IntField,
+    LongField,
+    OptionalField,
+)
+
+CAUSE_NORMAL = 16
+CAUSE_BUSY = 17
+CAUSE_UNALLOCATED_NUMBER = 1
+CAUSE_NO_ROUTE = 3
+
+
+class IsupMessage(Packet):
+    """Base: ISUP messages reference a circuit identification code."""
+
+    name = "ISUP"
+    fields = (IntField("cic"),)
+
+    def info(self) -> Dict[str, int]:
+        return {"cic": self.cic}
+
+
+class IsupIam(IsupMessage):
+    """Initial Address Message: seize a circuit toward the called party."""
+
+    name = "ISUP_IAM"
+    fields = IsupMessage.fields + (
+        E164Field("called"),
+        OptionalField(E164Field("calling")),
+    )
+
+    def info(self) -> Dict[str, object]:
+        return {"cic": self.cic, "called": str(self.called)}
+
+
+class IsupAcm(IsupMessage):
+    """Address Complete Message: the far end is being alerted."""
+
+    name = "ISUP_ACM"
+    fields = IsupMessage.fields
+
+
+class IsupAnm(IsupMessage):
+    """Answer Message: the called party picked up."""
+
+    name = "ISUP_ANM"
+    fields = IsupMessage.fields
+
+
+class IsupRel(IsupMessage):
+    """Release: clear the circuit."""
+
+    name = "ISUP_REL"
+    fields = IsupMessage.fields + (ByteField("cause", CAUSE_NORMAL),)
+
+
+class IsupRlc(IsupMessage):
+    """Release Complete."""
+
+    name = "ISUP_RLC"
+    fields = IsupMessage.fields
+
+
+class PcmFrame(Packet):
+    """A 20 ms PCM voice sample block on an established circuit.
+
+    Switches forward these hop by hop along the circuit chain built by
+    the IAM, rewriting the CIC at each hop; ``gen_time_us`` carries the
+    talker's generation instant for end-to-end delay measurement.
+    """
+
+    name = "PCM_Frame"
+    show_in_flow = False
+    fields = (
+        IntField("cic"),
+        IntField("seq"),
+        LongField("gen_time_us", 0),
+    )

@@ -1,0 +1,313 @@
+"""GSM Mobile Application Part (MAP) operations, GSM 09.02.
+
+MAP runs over the SS7 B/C/D/E/Gr interfaces between (V)MSC, VLR, HLR,
+SGSN and GMSC.  The subset implemented covers every operation the paper's
+procedures need:
+
+* location management — Update_Location_Area, Update_Location,
+  Insert_Subs_Data, Cancel_Location;
+* authentication — Send_Auth_Info;
+* call handling — Send_Info_For_Outgoing_Call (step 2.2),
+  Send_Routing_Information + Provide_Roaming_Number (classic GSM MT call,
+  the Figure 7 tromboning baseline);
+* inter-system handoff on the E interface — Prepare_Handover,
+  Send_End_Signal (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    BoolField,
+    BytesField,
+    E164Field,
+    ImsiField,
+    IntField,
+    OptionalField,
+    ShortField,
+    StrField,
+)
+
+# MAP user errors (subset).
+ERR_UNKNOWN_SUBSCRIBER = 1
+ERR_CALL_BARRED = 13
+ERR_ABSENT_SUBSCRIBER = 27
+ERR_SYSTEM_FAILURE = 34
+
+
+class MapMessage(Packet):
+    """Base: a TCAP-like invoke id correlates request/response pairs."""
+
+    name = "MAP"
+    fields = (ShortField("invoke_id"),)
+
+    def info(self) -> Dict[str, int]:
+        return {"invoke_id": self.invoke_id}
+
+
+# ----------------------------------------------------------------------
+# Location management
+# ----------------------------------------------------------------------
+class MapUpdateLocationArea(MapMessage):
+    """(V)MSC -> VLR, paper step 1.1."""
+
+    name = "MAP_Update_Location_Area"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(IntField("tmsi")),
+        StrField("lai"),
+    )
+
+
+class MapUpdateLocationAreaAck(MapMessage):
+    """VLR -> (V)MSC, paper step 1.2 (registration successful)."""
+
+    name = "MAP_Update_Location_Area_ack"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(IntField("new_tmsi")),
+        OptionalField(E164Field("msisdn")),
+        ByteField("error", 0),
+    )
+
+
+class MapUpdateLocation(MapMessage):
+    """VLR -> HLR, paper step 1.2."""
+
+    name = "MAP_Update_Location"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        StrField("vlr_number"),
+        StrField("msc_number"),
+    )
+
+
+class MapUpdateLocationAck(MapMessage):
+    name = "MAP_Update_Location_ack"
+    fields = MapMessage.fields + (ByteField("error", 0),)
+
+
+class MapInsertSubsData(MapMessage):
+    """HLR -> VLR: download of the subscription profile (step 1.2)."""
+
+    name = "MAP_Insert_Subs_Data"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        E164Field("msisdn"),
+        BoolField("international_allowed", True),
+        BoolField("gprs_allowed", True),
+    )
+
+
+class MapInsertSubsDataAck(MapMessage):
+    name = "MAP_Insert_Subs_Data_ack"
+    fields = MapMessage.fields
+
+
+class MapCancelLocation(MapMessage):
+    """HLR -> old VLR when the subscriber registers elsewhere."""
+
+    name = "MAP_Cancel_Location"
+    fields = MapMessage.fields + (ImsiField("imsi"),)
+
+
+class MapCancelLocationAck(MapMessage):
+    name = "MAP_Cancel_Location_ack"
+    fields = MapMessage.fields
+
+
+class MapDetachImsi(MapMessage):
+    """(V)MSC -> VLR: the MS announced power-off; mark it detached so
+    incoming calls fail fast instead of paging."""
+
+    name = "MAP_Detach_IMSI"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(IntField("tmsi")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Authentication
+# ----------------------------------------------------------------------
+class MapSendAuthInfo(MapMessage):
+    """VLR -> HLR/AuC: request authentication triplets."""
+
+    name = "MAP_Send_Auth_Info"
+    fields = MapMessage.fields + (ImsiField("imsi"),)
+
+
+class MapSendAuthInfoAck(MapMessage):
+    """One (RAND, SRES, Kc) triplet; real systems batch five."""
+
+    name = "MAP_Send_Auth_Info_ack"
+    fields = MapMessage.fields + (
+        BytesField("rand"),
+        BytesField("sres"),
+        BytesField("kc"),
+        ByteField("error", 0),
+    )
+
+
+class MapProcessAccessRequest(MapMessage):
+    """(V)MSC -> VLR: an MS requests service (CM service request or
+    paging response); the VLR authenticates and starts ciphering before
+    acknowledging."""
+
+    name = "MAP_Process_Access_Request"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(IntField("tmsi")),
+        ByteField("access_type", 1),  # 1 = MO call, 2 = page response
+    )
+
+
+class MapProcessAccessRequestAck(MapMessage):
+    name = "MAP_Process_Access_Request_ack"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        ByteField("error", 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Call handling
+# ----------------------------------------------------------------------
+class MapSendInfoForOutgoingCall(MapMessage):
+    """(V)MSC -> VLR: authorise an outgoing call (paper step 2.2)."""
+
+    name = "MAP_Send_Info_For_Outgoing_Call"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(IntField("tmsi")),
+        E164Field("called"),
+    )
+
+
+class MapSendInfoForOutgoingCallAck(MapMessage):
+    name = "MAP_Send_Info_For_Outgoing_Call_ack"
+    fields = MapMessage.fields + (
+        BoolField("allowed", True),
+        ByteField("error", 0),
+    )
+
+
+class MapSendInfoForIncomingCall(MapMessage):
+    """(V)MSC -> VLR: resolve an arriving call to a subscriber.  Classic
+    GSM delivery presents the MSRN from the ISUP IAM; the VLR maps it back
+    to the IMSI it allocated the roaming number for."""
+
+    name = "MAP_Send_Info_For_Incoming_Call"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        OptionalField(E164Field("msrn")),
+    )
+
+
+class MapSendInfoForIncomingCallAck(MapMessage):
+    name = "MAP_Send_Info_For_Incoming_Call_ack"
+    fields = MapMessage.fields + (
+        OptionalField(ImsiField("imsi")),
+        BoolField("reachable", True),
+        ByteField("error", 0),
+    )
+
+
+class MapSendRoutingInformation(MapMessage):
+    """GMSC -> HLR: where is the called MSISDN?  (Classic GSM call
+    delivery; the first leg of Figure 7's tromboning.)"""
+
+    name = "MAP_Send_Routing_Information"
+    fields = MapMessage.fields + (E164Field("msisdn"),)
+
+
+class MapSendRoutingInformationAck(MapMessage):
+    """HLR -> GMSC: the MSRN obtained from the serving VLR."""
+
+    name = "MAP_Send_Routing_Information_ack"
+    fields = MapMessage.fields + (
+        OptionalField(E164Field("msrn")),
+        ByteField("error", 0),
+    )
+
+
+class MapProvideRoamingNumber(MapMessage):
+    """HLR -> serving VLR: allocate a roaming number for call delivery."""
+
+    name = "MAP_Provide_Roaming_Number"
+    fields = MapMessage.fields + (ImsiField("imsi"),)
+
+
+class MapProvideRoamingNumberAck(MapMessage):
+    name = "MAP_Provide_Roaming_Number_ack"
+    fields = MapMessage.fields + (
+        OptionalField(E164Field("msrn")),
+        ByteField("error", 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Inter-system handoff (MAP E interface, Figure 9)
+# ----------------------------------------------------------------------
+class MapPrepareHandover(MapMessage):
+    """Anchor (V)MSC -> target MSC: prepare radio resources."""
+
+    name = "MAP_Prepare_Handover"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        IntField("call_ref"),
+        StrField("target_cell"),
+    )
+
+
+class MapPrepareHandoverAck(MapMessage):
+    """Target MSC -> anchor: handover number for the E-interface trunk."""
+
+    name = "MAP_Prepare_Handover_ack"
+    fields = MapMessage.fields + (
+        OptionalField(E164Field("handover_number")),
+        ByteField("error", 0),
+    )
+
+
+class MapPrepareSubsequentHandover(MapMessage):
+    """Serving MSC -> anchor: the MS must move again (back to the anchor
+    or onward to a third system).  GSM routes every subsequent handoff
+    through the anchor, which stays in the call path."""
+
+    name = "MAP_Prepare_Subsequent_Handover"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        IntField("call_ref"),
+        StrField("target_cell"),
+    )
+
+
+class MapProcessAccessSignalling(MapMessage):
+    """Target MSC -> anchor: MS arrived on the target system."""
+
+    name = "MAP_Process_Access_Signalling"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        IntField("call_ref"),
+    )
+
+
+class MapSendEndSignal(MapMessage):
+    """Target MSC -> anchor: handoff complete; anchor stays in the path."""
+
+    name = "MAP_Send_End_Signal"
+    fields = MapMessage.fields + (
+        ImsiField("imsi"),
+        IntField("call_ref"),
+    )
+
+
+class MapSendEndSignalAck(MapMessage):
+    """Anchor -> target, sent at call clearing to release resources."""
+
+    name = "MAP_Send_End_Signal_ack"
+    fields = MapMessage.fields + (IntField("call_ref"),)

@@ -1,0 +1,85 @@
+"""H.225.0 call signalling (Q.931 messages).
+
+H.323 uses Q.931-derived messages on the call-signalling channel: Setup,
+Call Proceeding, Alerting, Connect and Release Complete — the exact
+vocabulary of the paper's Figures 5 and 6.  Each message carries the call
+reference that correlates one call's signalling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    E164Field,
+    IntField,
+    IPv4AddressField,
+    OptionalField,
+    ShortField,
+    StrField,
+)
+
+# Q.931 cause values (subset of ITU-T Q.850).
+CAUSE_NORMAL_CLEARING = 16
+CAUSE_USER_BUSY = 17
+CAUSE_NO_ANSWER = 19
+CAUSE_CALL_REJECTED = 21
+CAUSE_NO_ROUTE = 3
+CAUSE_RESOURCE_UNAVAILABLE = 47
+
+
+class Q931Message(Packet):
+    """Base: every Q.931 message carries the call reference."""
+
+    name = "Q931"
+    fields = (IntField("call_ref"),)
+
+    def info(self) -> Dict[str, int]:
+        return {"call_ref": self.call_ref}
+
+
+class Q931Setup(Q931Message):
+    """Initiates a call toward the called alias; carries the caller's
+    signalling and media transport addresses."""
+
+    name = "Q931_Setup"
+    fields = Q931Message.fields + (
+        E164Field("called"),
+        OptionalField(E164Field("calling")),
+        IPv4AddressField("signal_address"),
+        ShortField("signal_port"),
+        IPv4AddressField("media_address"),
+        ShortField("media_port"),
+        StrField("codec", "G.711u"),
+    )
+
+    def info(self) -> Dict[str, object]:
+        return {"call_ref": self.call_ref, "called": str(self.called)}
+
+
+class Q931CallProceeding(Q931Message):
+    name = "Q931_Call_Proceeding"
+    fields = Q931Message.fields
+
+
+class Q931Alerting(Q931Message):
+    name = "Q931_Alerting"
+    fields = Q931Message.fields
+
+
+class Q931Connect(Q931Message):
+    """Call answered; returns the answerer's media transport address."""
+
+    name = "Q931_Connect"
+    fields = Q931Message.fields + (
+        IPv4AddressField("media_address"),
+        ShortField("media_port"),
+        StrField("codec", "G.711u"),
+    )
+
+
+class Q931ReleaseComplete(Q931Message):
+    name = "Q931_Release_Complete"
+    fields = Q931Message.fields + (ByteField("cause", CAUSE_NORMAL_CLEARING),)

@@ -1,0 +1,153 @@
+"""H.225.0 RAS — Registration, Admission and Status.
+
+RAS runs between H.323 endpoints and the gatekeeper.  The paper uses:
+
+* RRQ/RCF — endpoint registration (step 1.4/1.5), carrying the alias
+  (MSISDN) and transport address that populate the gatekeeper's address
+  translation table;
+* ARQ/ACF/ARJ — per-call admission (steps 2.3, 2.5, 4.1, 4.3);
+* DRQ/DCF — disengage at call end (step 3.3), where the gatekeeper
+  records call statistics for charging.
+
+URQ/UCF (unregistration) are included for roamer departure scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import (
+    ByteField,
+    E164Field,
+    IntField,
+    IPv4AddressField,
+    OptionalField,
+    ShortField,
+    StrField,
+)
+
+# Rejection reasons (subset of H.225.0).
+ARJ_CALLED_PARTY_NOT_REGISTERED = 1
+ARJ_RESOURCE_UNAVAILABLE = 2
+ARJ_CALLER_NOT_REGISTERED = 3
+RRJ_DUPLICATE_ALIAS = 1
+RRJ_UNDEFINED = 2
+
+
+class RasMessage(Packet):
+    """Base: RAS messages correlate by sequence number."""
+
+    name = "RAS"
+    fields = (ShortField("seq"),)
+
+
+class RasRrq(RasMessage):
+    """Registration Request: alias (MSISDN) + call-signalling address."""
+
+    name = "RAS_RRQ"
+    fields = RasMessage.fields + (
+        E164Field("alias"),
+        IPv4AddressField("signal_address"),
+        ShortField("signal_port"),
+        StrField("endpoint_type", "terminal"),
+        IntField("ttl", 3600),
+    )
+
+    def info(self) -> Dict[str, str]:
+        return {"alias": str(self.alias)}
+
+
+class RasRcf(RasMessage):
+    """Registration Confirm."""
+
+    name = "RAS_RCF"
+    fields = RasMessage.fields + (
+        E164Field("alias"),
+        IntField("ttl", 3600),
+    )
+
+
+class RasRrj(RasMessage):
+    """Registration Reject."""
+
+    name = "RAS_RRJ"
+    fields = RasMessage.fields + (ByteField("reason", RRJ_UNDEFINED),)
+
+
+class RasUrq(RasMessage):
+    """Unregistration Request (endpoint or gatekeeper initiated)."""
+
+    name = "RAS_URQ"
+    fields = RasMessage.fields + (E164Field("alias"),)
+
+
+class RasUcf(RasMessage):
+    """Unregistration Confirm."""
+
+    name = "RAS_UCF"
+    fields = RasMessage.fields
+
+
+class RasArq(RasMessage):
+    """Admission Request.
+
+    ``answer_call`` distinguishes the called side's ARQ (paper step 2.5)
+    from the calling side's (step 2.3).  For the calling side the
+    gatekeeper resolves ``called_alias`` through its address translation
+    table and returns the destination's call-signalling address in the
+    ACF — the lookup that, in Figure 8, keeps a call to a registered
+    roamer local.
+    """
+
+    name = "RAS_ARQ"
+    fields = RasMessage.fields + (
+        IntField("call_ref"),
+        E164Field("endpoint_alias"),
+        OptionalField(E164Field("called_alias")),
+        ShortField("bandwidth_kbps", 64),
+        ByteField("answer_call", 0),
+    )
+
+    def info(self) -> Dict[str, object]:
+        return {"call_ref": self.call_ref}
+
+
+class RasAcf(RasMessage):
+    """Admission Confirm; carries the destination signalling address."""
+
+    name = "RAS_ACF"
+    fields = RasMessage.fields + (
+        IntField("call_ref"),
+        OptionalField(IPv4AddressField("dest_signal_address")),
+        OptionalField(ShortField("dest_signal_port")),
+        ShortField("bandwidth_kbps", 64),
+    )
+
+
+class RasArj(RasMessage):
+    """Admission Reject."""
+
+    name = "RAS_ARJ"
+    fields = RasMessage.fields + (
+        IntField("call_ref"),
+        ByteField("reason", ARJ_CALLED_PARTY_NOT_REGISTERED),
+    )
+
+
+class RasDrq(RasMessage):
+    """Disengage Request, sent by both endpoints at call completion."""
+
+    name = "RAS_DRQ"
+    fields = RasMessage.fields + (
+        IntField("call_ref"),
+        E164Field("endpoint_alias"),
+        IntField("duration_ms", 0),
+    )
+
+
+class RasDcf(RasMessage):
+    """Disengage Confirm."""
+
+    name = "RAS_DCF"
+    fields = RasMessage.fields + (IntField("call_ref"),)

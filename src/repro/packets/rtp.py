@@ -1,0 +1,38 @@
+"""RTP voice framing.
+
+At the VMSC the vocoder translates circuit-switched TCH frames into RTP
+packets carried through the GPRS tunnel to the H.323 side (Figure 2(b),
+voice path (6)-(4)).  ``gen_time_us`` preserves the talker's generation
+instant across the transcoding boundary so experiment E9 can measure
+end-to-end mouth-to-ear delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.packets.base import Packet
+from repro.packets.fields import ByteField, BytesField, IntField, LongField, ShortField
+
+# RTP payload types (RFC 3551 static assignments).
+PT_PCMU = 0     # G.711 mu-law
+PT_GSM = 3      # GSM 06.10 full rate
+PT_G729 = 18
+
+
+class RtpPacket(Packet):
+    """One RTP packet: header plus an opaque codec frame."""
+
+    name = "RTP"
+    show_in_flow = False
+    fields = (
+        ByteField("payload_type", PT_PCMU),
+        ShortField("seq"),
+        IntField("timestamp"),
+        IntField("ssrc"),
+        LongField("gen_time_us"),
+        BytesField("frame", b""),
+    )
+
+    def info(self) -> Dict[str, int]:
+        return {"rtp_seq": self.seq}

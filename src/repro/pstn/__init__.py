@@ -1,0 +1,17 @@
+"""PSTN substrate: E.164 routing, ISUP switches, phones and the trunk
+ledger used to count international circuits (Figures 7-8).
+"""
+
+from repro.pstn.numbering import NumberingPlan
+from repro.pstn.trunks import TrunkLedger, TrunkRecord
+from repro.pstn.switch import PstnSwitch, RouteEntry
+from repro.pstn.phone import PstnPhone
+
+__all__ = [
+    "NumberingPlan",
+    "TrunkLedger",
+    "TrunkRecord",
+    "PstnSwitch",
+    "RouteEntry",
+    "PstnPhone",
+]

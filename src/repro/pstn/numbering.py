@@ -1,0 +1,55 @@
+"""E.164 numbering plan helpers.
+
+The tromboning scenario spans two countries (the paper uses the UK and
+Hong Kong); the plan tracks which country codes exist and classifies
+calls as local or international — the property the trunk ledger and the
+Figure 7/8 experiment count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import AddressError
+from repro.identities import E164Number
+
+#: Country codes used by the shipped scenarios.
+UK = "44"
+HONG_KONG = "852"
+TAIWAN = "886"
+USA = "1"
+
+DEFAULT_COUNTRY_CODES: Tuple[str, ...] = (USA, UK, HONG_KONG, TAIWAN)
+
+
+class NumberingPlan:
+    """A registry of known country codes with parsing and classification."""
+
+    def __init__(self, country_codes: Iterable[str] = DEFAULT_COUNTRY_CODES) -> None:
+        self._codes = tuple(sorted(set(country_codes), key=len, reverse=True))
+        if not self._codes:
+            raise AddressError("numbering plan needs at least one country code")
+        self._names: Dict[str, str] = {
+            USA: "USA",
+            UK: "United Kingdom",
+            HONG_KONG: "Hong Kong",
+            TAIWAN: "Taiwan",
+        }
+
+    @property
+    def country_codes(self) -> Tuple[str, ...]:
+        return self._codes
+
+    def parse(self, text: str) -> E164Number:
+        return E164Number.parse(text, known_ccs=self._codes)
+
+    def country_name(self, cc: str) -> str:
+        return self._names.get(cc, f"+{cc}")
+
+    def is_international(self, caller_cc: str, called: E164Number) -> bool:
+        return called.country_code != caller_cc
+
+    def number(self, cc: str, national: str) -> E164Number:
+        if cc not in self._codes:
+            raise AddressError(f"country code {cc!r} not in plan")
+        return E164Number(cc, national)

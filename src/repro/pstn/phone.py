@@ -1,0 +1,173 @@
+"""A plain telephone attached to a local exchange.
+
+The Figure 7/8 caller ("y in Hong Kong") is one of these.  It originates
+ISUP calls through its exchange, answers incoming ones after a
+configurable delay and can exchange PCM voice for end-to-end delay
+measurements across the circuit path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.identities import E164Number
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer
+from repro.sim.process import spawn
+from repro.packets.isup import (
+    CAUSE_NORMAL,
+    IsupAcm,
+    IsupAnm,
+    IsupIam,
+    IsupRel,
+    IsupRlc,
+    PcmFrame,
+)
+
+
+class PstnPhone(Node):
+    """A POTS subscriber line."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        number: E164Number,
+        answer_delay: float = 1.0,
+        cic_start: int = 700000,
+    ) -> None:
+        super().__init__(sim, name)
+        self.number = number
+        self.answer_delay = answer_delay
+        self.state = "idle"
+        self.active_cic: Optional[int] = None
+        self._cic_seq = Sequencer(start=cic_start)
+        self._voice_proc = None
+        self._voice_seq = 0
+        self.frames_received = 0
+        self.alerted_at: Optional[float] = None
+        self.answered_at: Optional[float] = None
+        self.released_at: Optional[float] = None
+        self.release_cause: Optional[int] = None
+        self.on_connected: Optional[Callable[[], None]] = None
+        self.on_released: Optional[Callable[[], None]] = None
+
+    def _exchange(self) -> Node:
+        return self.peer("isup")
+
+    # ------------------------------------------------------------------
+    # Origination
+    # ------------------------------------------------------------------
+    def place_call(self, called: E164Number) -> None:
+        if self.state != "idle":
+            raise ProtocolError(f"{self.name}: place_call in state {self.state}")
+        self.state = "calling"
+        self.active_cic = self._cic_seq.next()
+        self.send(
+            self._exchange(),
+            IsupIam(cic=self.active_cic, called=called, calling=self.number),
+        )
+
+    @handles(IsupAcm)
+    def on_acm(self, msg: IsupAcm, src: Node, interface: str) -> None:
+        if self.state == "calling":
+            self.state = "ringing-remote"
+            self.alerted_at = self.sim.now
+
+    @handles(IsupAnm)
+    def on_anm(self, msg: IsupAnm, src: Node, interface: str) -> None:
+        if self.state == "ringing-remote":
+            self.state = "in-call"
+            self.answered_at = self.sim.now
+            if self.on_connected is not None:
+                self.on_connected()
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    @handles(IsupIam)
+    def on_iam(self, msg: IsupIam, src: Node, interface: str) -> None:
+        if self.state != "idle":
+            self.send(src, IsupRel(cic=msg.cic, cause=17))  # user busy
+            return
+        self.state = "ringing"
+        self.active_cic = msg.cic
+        self.send(src, IsupAcm(cic=msg.cic))
+        self.sim.schedule(self.answer_delay, self._answer, msg.cic)
+
+    def _answer(self, cic: int) -> None:
+        if self.state != "ringing" or self.active_cic != cic:
+            return
+        self.state = "in-call"
+        self.answered_at = self.sim.now
+        self.send(self._exchange(), IsupAnm(cic=cic))
+        if self.on_connected is not None:
+            self.on_connected()
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def hangup(self) -> None:
+        if self.state not in ("in-call", "ringing-remote", "calling"):
+            raise ProtocolError(f"{self.name}: hangup in state {self.state}")
+        self.stop_talking()
+        if self.active_cic is not None:
+            self.send(self._exchange(), IsupRel(cic=self.active_cic))
+        self._release(CAUSE_NORMAL)
+
+    @handles(IsupRel)
+    def on_rel(self, msg: IsupRel, src: Node, interface: str) -> None:
+        self.send(src, IsupRlc(cic=msg.cic))
+        self._release(msg.cause)
+
+    @handles(IsupRlc)
+    def on_rlc(self, msg: IsupRlc, src: Node, interface: str) -> None:
+        pass
+
+    def _release(self, cause: int) -> None:
+        self.stop_talking()
+        self.state = "idle"
+        self.active_cic = None
+        self.released_at = self.sim.now
+        self.release_cause = cause
+        if self.on_released is not None:
+            self.on_released()
+
+    # ------------------------------------------------------------------
+    # Voice
+    # ------------------------------------------------------------------
+    def start_talking(self, frame_interval: float = 0.020, duration: Optional[float] = None) -> None:
+        if self.state != "in-call":
+            raise ProtocolError(f"{self.name}: start_talking in state {self.state}")
+        self.stop_talking()
+        self._voice_proc = spawn(self.sim, self._talk(frame_interval, duration))
+
+    def _talk(self, interval: float, duration: Optional[float]):
+        started = self.sim.now
+        while self.state == "in-call":
+            if duration is not None and self.sim.now - started >= duration:
+                break
+            if self.active_cic is None:
+                break
+            self._voice_seq += 1
+            self.send(
+                self._exchange(),
+                PcmFrame(
+                    cic=self.active_cic,
+                    seq=self._voice_seq,
+                    gen_time_us=int(self.sim.now * 1e6),
+                ),
+            )
+            yield interval
+
+    def stop_talking(self) -> None:
+        if self._voice_proc is not None:
+            self._voice_proc.interrupt()
+            self._voice_proc = None
+
+    @handles(PcmFrame)
+    def on_pcm(self, frame: PcmFrame, src: Node, interface: str) -> None:
+        self.frames_received += 1
+        delay = self.sim.now - frame.gen_time_us / 1e6
+        self.sim.metrics.histogram(f"{self.name}.mouth_to_ear").observe(delay)

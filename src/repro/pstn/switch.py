@@ -1,0 +1,225 @@
+"""ISUP circuit switches.
+
+A :class:`PstnSwitch` routes calls by longest-prefix match on the dialled
+E.164 number, bridges circuit legs, forwards PCM voice along established
+bridges and reports every seized trunk to the :class:`TrunkLedger`.
+
+Route entries are *ordered within a prefix*: when the preferred next hop
+releases an unanswered call with a routing cause, the switch falls back
+to the next entry.  This is how Figure 8's Hong Kong exchange tries the
+H.323 gateway first ("many local telephone companies are evolving into
+this configuration") and only uses the international trunk when the
+gatekeeper does not know the called roamer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.identities import E164Number
+from repro.net.node import Node, handles
+from repro.net.transactions import Sequencer
+from repro.pstn.trunks import TrunkLedger
+from repro.packets.isup import (
+    CAUSE_NO_ROUTE,
+    CAUSE_UNALLOCATED_NUMBER,
+    IsupAcm,
+    IsupAnm,
+    IsupIam,
+    IsupMessage,
+    IsupRel,
+    IsupRlc,
+    PcmFrame,
+)
+
+#: Release causes that trigger fallback to the next route entry.
+REROUTE_CAUSES = (CAUSE_NO_ROUTE, CAUSE_UNALLOCATED_NUMBER)
+
+
+@dataclass
+class RouteEntry:
+    """One routing-table row."""
+
+    prefix: str            # matched against str(called), e.g. "+852"
+    next_hop: str          # node name of the next switch / gateway / MSC
+    international: bool = False
+
+    def matches(self, called: E164Number) -> bool:
+        return str(called).startswith(self.prefix)
+
+
+@dataclass
+class _Bridge:
+    """One transit call: an upstream leg and (once routed) a downstream
+    leg, plus the fallback routes not yet tried."""
+
+    called: E164Number
+    calling: Optional[E164Number]
+    up: Tuple[str, int]
+    down: Optional[Tuple[str, int]] = None
+    routes_left: List[RouteEntry] = field(default_factory=list)
+    answered: bool = False
+
+
+class PstnSwitch(Node):
+    """A local exchange / transit switch."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        country_code: str,
+        ledger: Optional[TrunkLedger] = None,
+        cic_start: int = 1,
+    ) -> None:
+        super().__init__(sim, name)
+        self.country_code = country_code
+        self.ledger = ledger if ledger is not None else TrunkLedger()
+        self.routes: List[RouteEntry] = []
+        self.local_numbers: Dict[E164Number, str] = {}
+        self._cic_seq = Sequencer(start=cic_start)
+        self._legs: Dict[Tuple[str, int], _Bridge] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_route(self, prefix: str, next_hop: str, international: bool = False) -> None:
+        self.routes.append(RouteEntry(prefix, next_hop, international))
+
+    def add_local(self, number: E164Number, node_name: str) -> None:
+        """Attach a directly served subscriber (phone or gateway port)."""
+        self.local_numbers[number] = node_name
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _candidate_routes(self, called: E164Number) -> List[RouteEntry]:
+        matches = [r for r in self.routes if r.matches(called)]
+        # Longest prefix wins; equal prefixes keep configuration order
+        # (that order encodes "try the VoIP gateway first").
+        matches.sort(key=lambda r: len(r.prefix), reverse=True)
+        if not matches:
+            return []
+        best_len = len(matches[0].prefix)
+        return [r for r in matches if len(r.prefix) == best_len]
+
+    @handles(IsupIam)
+    def on_iam(self, msg: IsupIam, src: Node, interface: str) -> None:
+        bridge = _Bridge(
+            called=msg.called, calling=msg.calling, up=(src.name, msg.cic)
+        )
+        self._legs[bridge.up] = bridge
+        local = self.local_numbers.get(msg.called)
+        if local is not None:
+            bridge.routes_left = [RouteEntry(str(msg.called), local, False)]
+        else:
+            bridge.routes_left = self._candidate_routes(msg.called)
+        self._try_next_route(bridge)
+
+    def _try_next_route(self, bridge: _Bridge) -> None:
+        if not bridge.routes_left:
+            self.sim.metrics.counter(f"{self.name}.route_failures").inc()
+            self._send_up(bridge, IsupRel(cic=0, cause=CAUSE_NO_ROUTE))
+            self._legs.pop(bridge.up, None)
+            return
+        route = bridge.routes_left.pop(0)
+        cic = self._cic_seq.next()
+        bridge.down = (route.next_hop, cic)
+        self._legs[bridge.down] = bridge
+        self.ledger.seize(
+            self.sim.now,
+            self.name,
+            route.next_hop,
+            bridge.called,
+            route.international,
+            cic,
+        )
+        if route.international:
+            self.sim.metrics.counter(f"{self.name}.international_seizures").inc()
+        self.send(
+            route.next_hop,
+            IsupIam(cic=cic, called=bridge.called, calling=bridge.calling),
+        )
+
+    # ------------------------------------------------------------------
+    # Leg helpers
+    # ------------------------------------------------------------------
+    def _bridge_for(self, src: Node, cic: int) -> Optional[_Bridge]:
+        return self._legs.get((src.name, cic))
+
+    def _send_up(self, bridge: _Bridge, msg: IsupMessage) -> None:
+        peer, cic = bridge.up
+        msg.cic = cic
+        self.send(peer, msg)
+
+    def _send_down(self, bridge: _Bridge, msg: IsupMessage) -> None:
+        if bridge.down is None:
+            return
+        peer, cic = bridge.down
+        msg.cic = cic
+        self.send(peer, msg)
+
+    def _is_downstream(self, bridge: _Bridge, src: Node, cic: int) -> bool:
+        return bridge.down is not None and bridge.down == (src.name, cic)
+
+    def _teardown(self, bridge: _Bridge) -> None:
+        self._legs.pop(bridge.up, None)
+        if bridge.down is not None:
+            self._legs.pop(bridge.down, None)
+            self.ledger.release(self.sim.now, self.name, bridge.down[1])
+
+    # ------------------------------------------------------------------
+    # Call progress
+    # ------------------------------------------------------------------
+    @handles(IsupAcm)
+    def on_acm(self, msg: IsupAcm, src: Node, interface: str) -> None:
+        bridge = self._bridge_for(src, msg.cic)
+        if bridge is not None and self._is_downstream(bridge, src, msg.cic):
+            self._send_up(bridge, IsupAcm(cic=0))
+
+    @handles(IsupAnm)
+    def on_anm(self, msg: IsupAnm, src: Node, interface: str) -> None:
+        bridge = self._bridge_for(src, msg.cic)
+        if bridge is not None and self._is_downstream(bridge, src, msg.cic):
+            bridge.answered = True
+            self._send_up(bridge, IsupAnm(cic=0))
+
+    @handles(IsupRel)
+    def on_rel(self, msg: IsupRel, src: Node, interface: str) -> None:
+        bridge = self._bridge_for(src, msg.cic)
+        self.send(src, IsupRlc(cic=msg.cic))
+        if bridge is None:
+            return
+        if self._is_downstream(bridge, src, msg.cic):
+            self._legs.pop(bridge.down, None)
+            self.ledger.release(self.sim.now, self.name, bridge.down[1])
+            bridge.down = None
+            if not bridge.answered and msg.cause in REROUTE_CAUSES and bridge.routes_left:
+                # Fallback routing (Figure 8: roamer not at the local GK).
+                self._try_next_route(bridge)
+                return
+            self._send_up(bridge, IsupRel(cic=0, cause=msg.cause))
+            self._legs.pop(bridge.up, None)
+        else:
+            # Upstream released: clear downstream too.
+            self._send_down(bridge, IsupRel(cic=0, cause=msg.cause))
+            self._teardown(bridge)
+
+    @handles(IsupRlc)
+    def on_rlc(self, msg: IsupRlc, src: Node, interface: str) -> None:
+        self.sim.metrics.counter(f"{self.name}.rlc").inc()
+
+    # ------------------------------------------------------------------
+    # Voice
+    # ------------------------------------------------------------------
+    @handles(PcmFrame)
+    def on_pcm(self, frame: PcmFrame, src: Node, interface: str) -> None:
+        bridge = self._bridge_for(src, frame.cic)
+        if bridge is None:
+            return
+        out = PcmFrame(cic=0, seq=frame.seq, gen_time_us=frame.gen_time_us)
+        if self._is_downstream(bridge, src, frame.cic):
+            self._send_up(bridge, out)
+        else:
+            self._send_down(bridge, out)

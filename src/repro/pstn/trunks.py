@@ -1,0 +1,83 @@
+"""Trunk accounting.
+
+Figure 7's claim is quantitative: a call from Hong Kong to a UK
+subscriber roaming in Hong Kong "results in two international calls" in
+classic GSM, and zero in vGPRS (Figure 8).  Every switch reports each
+circuit it seizes to a :class:`TrunkLedger`; the tromboning experiment
+(E6) counts international records per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.identities import E164Number
+
+
+@dataclass
+class TrunkRecord:
+    """One seized circuit leg."""
+
+    seized_at: float
+    from_switch: str
+    to_switch: str
+    called: E164Number
+    international: bool
+    cic: int
+    released_at: Optional[float] = None
+
+    @property
+    def holding_time(self) -> Optional[float]:
+        if self.released_at is None:
+            return None
+        return self.released_at - self.seized_at
+
+
+class TrunkLedger:
+    """Collects :class:`TrunkRecord` entries across all switches."""
+
+    def __init__(self) -> None:
+        self.records: List[TrunkRecord] = []
+
+    def seize(
+        self,
+        now: float,
+        from_switch: str,
+        to_switch: str,
+        called: E164Number,
+        international: bool,
+        cic: int,
+    ) -> TrunkRecord:
+        record = TrunkRecord(now, from_switch, to_switch, called, international, cic)
+        self.records.append(record)
+        return record
+
+    def release(self, now: float, from_switch: str, cic: int) -> None:
+        for record in self.records:
+            if (
+                record.from_switch == from_switch
+                and record.cic == cic
+                and record.released_at is None
+            ):
+                record.released_at = now
+                return
+
+    # ------------------------------------------------------------------
+    # Queries for the experiments
+    # ------------------------------------------------------------------
+    def international_count(self, since: float = 0.0) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.international and r.seized_at >= since
+        )
+
+    def total_count(self, since: float = 0.0) -> int:
+        return sum(1 for r in self.records if r.seized_at >= since)
+
+    def active(self, now: float) -> List[TrunkRecord]:
+        return [r for r in self.records if r.released_at is None]
+
+    def clear(self) -> None:
+        self.records.clear()

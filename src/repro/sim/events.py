@@ -1,0 +1,118 @@
+"""Event objects and the deterministic event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+instant fire in the order they were scheduled, independent of callback
+identity.  Determinism matters here because the integration tests compare
+simulated message traces against the paper's figures step by step.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code normally only keeps a reference in order to :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "kwargs", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """A binary-heap event queue with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule *callback* at absolute *time* and return the event."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        event = Event(time, priority, next(self._counter), callback, args, kwargs or {})
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next non-cancelled event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled via :meth:`Event.cancel`."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

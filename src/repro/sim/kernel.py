@@ -1,0 +1,193 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns the virtual clock, the event queue, a
+deterministic random-stream factory, a trace recorder and a metrics
+registry.  Network elements never read wall-clock time; everything is
+driven through :meth:`Simulator.schedule`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1.5, fired.append, "hello")
+>>> sim.run()
+>>> (sim.now, fired)
+(1.5, ['hello'])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+
+class _Allocator:
+    """Simulation-wide monotonically increasing id source.
+
+    H.225 call references must be unique per gatekeeper; deriving them
+    per endpoint invites collisions, so every endpoint draws from this
+    shared allocator instead."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams.  Two simulators built
+        with the same seed and workload produce byte-identical traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.rng = RandomStreams(seed)
+        self.trace = TraceRecorder(clock=lambda: self._now)
+        self.metrics = MetricsRegistry(clock=lambda: self._now)
+        #: Globally unique H.225 call references for this simulation.
+        self.call_refs = _Allocator(start=1001)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule *callback(\\*args, \\*\\*kwargs)* after *delay* seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self._queue.push(self._now + delay, callback, args, kwargs, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
+            )
+        return self._queue.push(time, callback, args, kwargs, priority)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule *callback* at the current instant (after pending events
+        already scheduled for this instant)."""
+        return self._queue.push(self._now, callback, args, kwargs, 0)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a scheduled event.  Cancelling ``None`` or an already
+        cancelled event is a no-op, which simplifies timer handling."""
+        if event is None or event.cancelled:
+            return
+        event.cancel()
+        self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if none remain."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event queue produced an event in the past")
+        self._now = event.time
+        event.callback(*event.args, **event.kwargs)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains, *until* is reached, or :meth:`stop`.
+
+        Returns the number of events executed.  ``max_events`` is a guard
+        against runaway feedback loops in protocol state machines.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "probable protocol message loop"
+                    )
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return executed
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._queue)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next scheduled event, or ``None``."""
+        return self._queue.peek_time()
+
+    def run_until_true(
+        self, predicate: Callable[[], bool], timeout: float = 30.0
+    ) -> bool:
+        """Run events until *predicate* holds or *timeout* simulated
+        seconds elapse; returns the predicate's final value.  The main
+        driver loop for scenario code and tests."""
+        deadline = self._now + timeout
+        while not predicate():
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if next_time > deadline:
+                self._now = deadline
+                break
+            self.step()
+        return predicate()

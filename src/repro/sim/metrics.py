@@ -1,0 +1,171 @@
+"""Counters, histograms and time-weighted gauges.
+
+The Section-6 experiments need three measurement shapes:
+
+* :class:`Counter` — signalling-message counts per node;
+* :class:`Histogram` — latency distributions (setup delay, mouth-to-ear
+  delay, jitter);
+* :class:`Gauge` — time-weighted residency, e.g. "PDP contexts held at the
+  SGSN × seconds", the quantity behind the paper's idle-deactivation
+  trade-off discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Stores raw samples; small simulations make exact quantiles cheap."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile by linear interpolation; ``q`` in [0, 1]."""
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        pos = q * (len(data) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(data) - 1)
+        if data[lo] == data[hi]:
+            # Avoid float wobble when interpolating equal samples.
+            return data[lo]
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below *threshold* (e.g. the share
+        of voice frames meeting a delay budget)."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for x in self.samples if x < threshold) / len(self.samples)
+
+
+class Gauge:
+    """A time-weighted level (e.g. number of active PDP contexts).
+
+    ``integral()`` returns the level integrated over simulated time, i.e.
+    *context-seconds of residency*.
+    """
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self._clock = clock
+        self.value = 0.0
+        self._last_change = clock()
+        self._integral = 0.0
+        self.peak = 0.0
+
+    def _accumulate(self) -> None:
+        now = self._clock()
+        self._integral += self.value * (now - self._last_change)
+        self._last_change = now
+
+    def set(self, value: float) -> None:
+        self._accumulate()
+        self.value = value
+        self.peak = max(self.peak, value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def integral(self) -> float:
+        self._accumulate()
+        return self._integral
+
+    def time_average(self) -> float:
+        now = self._clock()
+        if now <= 0:
+            return self.value
+        return self.integral() / now
+
+
+class MetricsRegistry:
+    """Per-simulation registry; metrics are created on first access."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name, self._clock)
+        return g
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)

@@ -1,0 +1,101 @@
+"""Restartable protocol timers.
+
+GSM/GPRS/H.323 procedures are full of guard timers (T3210, T3310, RAS
+time-to-live, ...).  :class:`Timer` wraps the kernel's event API with the
+start/stop/restart semantics those specs assume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Timer:
+    """A named one-shot timer bound to a simulator.
+
+    The callback receives no arguments; bind context with a closure or
+    ``functools.partial``.  Restarting a running timer cancels the pending
+    expiry first, matching the "restart Txxxx" language of the GSM specs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        duration: float,
+        callback: Callable[[], Any],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.duration = duration
+        self.callback = callback
+        self._event: Optional[Event] = None
+        self.expiries = 0
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """(Re)start the timer; an already running instance is cancelled."""
+        self.stop()
+        self._event = self.sim.schedule(
+            self.duration if duration is None else duration, self._fire
+        )
+
+    # GSM specs say "restart"; provide the alias for readable call sites.
+    restart = start
+
+    def stop(self) -> None:
+        """Cancel the pending expiry, if any."""
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.expiries += 1
+        self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"<Timer {self.name} {self.duration}s {state}>"
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself after every expiry until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        period: float,
+        callback: Callable[[], Any],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.period = period
+        self.callback = callback
+        self._event: Optional[Event] = None
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self) -> None:
+        self.stop()
+        self._event = self.sim.schedule(self.period, self._fire)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self.ticks += 1
+        self._event = self.sim.schedule(self.period, self._fire)
+        self.callback()

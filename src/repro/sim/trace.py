@@ -1,0 +1,151 @@
+"""Message-sequence tracing.
+
+The paper's "results" are message-flow figures.  Every link-level send in
+the simulation is recorded as a :class:`TraceEntry`; integration tests and
+benches project the recorded trace onto ``(message, src, dst)`` triples and
+compare them against the golden flows transcribed from Figures 4–6
+(:mod:`repro.core.flows`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded protocol event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the message was *delivered*.
+    kind:
+        ``"msg"`` for link-level messages; procedures may record
+        ``"note"`` entries for internal milestones (e.g. "PDP context
+        created").
+    src, dst:
+        Node names.
+    interface:
+        Interface name the message crossed (``Um``, ``Abis``, ``A``,
+        ``Gb``, ``Gn``, ``ip``, ...).
+    message:
+        Message name, e.g. ``"MAP_Update_Location"`` or ``"RAS_RRQ"``.
+    info:
+        Free-form detail dictionary (call ids, IMSIs, ...).
+    """
+
+    time: float
+    kind: str
+    src: str
+    dst: str
+    interface: str
+    message: str
+    info: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def triple(self) -> Tuple[str, str, str]:
+        return (self.message, self.src, self.dst)
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEntry` records in simulation order."""
+
+    #: Message names never recorded — media frames would otherwise swamp
+    #: the signalling trace (they are measured through metrics instead).
+    DEFAULT_QUIET = frozenset({"TCH_Frame", "RTP", "PCM_Frame"})
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.entries: List[TraceEntry] = []
+        self.enabled = True
+        self.quiet_names = set(self.DEFAULT_QUIET)
+
+    def record(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        interface: str,
+        message: str,
+        **info: Any,
+    ) -> None:
+        if not self.enabled or message in self.quiet_names:
+            return
+        self.entries.append(
+            TraceEntry(self._clock(), kind, src, dst, interface, message, info)
+        )
+
+    def note(self, node: str, text: str, **info: Any) -> None:
+        """Record an internal milestone at *node*.  Info keys that would
+        shadow the positional fields are suffixed with ``_``."""
+        reserved = {"kind", "src", "dst", "interface", "message"}
+        safe = {(k + "_" if k in reserved else k): v for k, v in info.items()}
+        self.record("note", node, node, "-", text, **safe)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def messages(
+        self,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        interface: Optional[str] = None,
+        name: Optional[str] = None,
+        since: float = 0.0,
+    ) -> List[TraceEntry]:
+        """Filtered view of recorded ``"msg"`` entries."""
+        out = []
+        for e in self.entries:
+            if e.kind != "msg" or e.time < since:
+                continue
+            if src is not None and e.src != src:
+                continue
+            if dst is not None and e.dst != dst:
+                continue
+            if interface is not None and e.interface != interface:
+                continue
+            if name is not None and e.message != name:
+                continue
+            out.append(e)
+        return out
+
+    def triples(self, **filters: Any) -> List[Tuple[str, str, str]]:
+        """``(message, src, dst)`` projection, the golden-flow comparand."""
+        return [e.triple() for e in self.messages(**filters)]
+
+    def contains_subsequence(
+        self, expected: Iterable[Tuple[str, str, str]], **filters: Any
+    ) -> bool:
+        """True when *expected* appears in order (not necessarily
+        contiguously) within the recorded message triples."""
+        actual = self.triples(**filters)
+        it = iter(actual)
+        return all(any(step == got for got in it) for step in expected)
+
+    def first(self, name: str) -> Optional[TraceEntry]:
+        for e in self.entries:
+            if e.kind == "msg" and e.message == name:
+                return e
+        return None
+
+    def last(self, name: str) -> Optional[TraceEntry]:
+        for e in reversed(self.entries):
+            if e.kind == "msg" and e.message == name:
+                return e
+        return None
+
+    def count(self, name: Optional[str] = None) -> int:
+        return len(self.messages(name=name))
+
+    def span(self, first_name: str, last_name: str) -> Optional[float]:
+        """Elapsed simulated time between the first occurrence of
+        *first_name* and the last occurrence of *last_name*."""
+        a = self.first(first_name)
+        b = self.last(last_name)
+        if a is None or b is None:
+            return None
+        return b.time - a.time

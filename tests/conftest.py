@@ -1,0 +1,43 @@
+"""Shared fixtures: pre-built networks in common states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import scenarios
+from repro.core.network import build_vgprs_network
+from repro.sim.kernel import Simulator
+
+DEFAULT_IMSI = "466920000000001"
+DEFAULT_MSISDN = "+886935000001"
+TERM_ALIAS = "+886222000001"
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def vgprs():
+    """A fresh vGPRS network with one MS (off) and one H.323 terminal."""
+    nw = build_vgprs_network(seed=1)
+    nw.add_ms("MS1", DEFAULT_IMSI, DEFAULT_MSISDN, answer_delay=0.5)
+    nw.add_terminal("TERM1", TERM_ALIAS, answer_delay=0.5)
+    nw.sim.run(until=0.5)  # let the terminal register
+    return nw
+
+
+@pytest.fixture
+def registered(vgprs):
+    """The same network after MS1 completed Figure 4 registration."""
+    scenarios.register_ms(vgprs, vgprs.mss["MS1"])
+    return vgprs
+
+
+@pytest.fixture
+def in_call(registered):
+    """MS1 in an answered MO call with TERM1 (Figure 5 completed)."""
+    nw = registered
+    scenarios.call_ms_to_terminal(nw, nw.mss["MS1"], nw.terminals["TERM1"])
+    return nw

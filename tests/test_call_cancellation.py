@@ -1,0 +1,92 @@
+"""Call abandonment: the caller gives up while the far end is still
+ringing.  Both directions, for MS and terminal callers."""
+
+import pytest
+
+from repro.core import scenarios
+from repro.core.network import build_vgprs_network
+
+IMSI1 = "466920000000001"
+MSISDN1 = "+886935000001"
+TERM1 = "+886222000001"
+
+
+@pytest.fixture
+def slow_answer():
+    """Network where both parties take 30 s to answer (never reached)."""
+    nw = build_vgprs_network(seed=55)
+    ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=30.0)
+    term = nw.add_terminal("TERM1", TERM1, answer_delay=30.0)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+    return nw, ms, term
+
+
+class TestCallerAbandons:
+    def test_ms_abandons_while_terminal_rings(self, slow_answer):
+        nw, ms, term = slow_answer
+        ms.place_call(term.alias)
+        assert nw.sim.run_until_true(
+            lambda: ms.state == "mo-alerting", timeout=10
+        )
+        ms.hangup()
+        assert nw.sim.run_until_true(
+            lambda: ms.state == "idle" and not term.calls, timeout=10
+        )
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.vmsc.calls == {}
+        assert nw.gk.active_calls == {}
+        # The terminal's pending answer must not resurrect the call.
+        nw.sim.run(until=nw.sim.now + 35)
+        assert term.calls == {}
+        assert nw.sim.metrics.counters("unhandled") == {}
+
+    def test_terminal_abandons_while_ms_rings(self, slow_answer):
+        nw, ms, term = slow_answer
+        ref = term.place_call(ms.msisdn)
+        assert nw.sim.run_until_true(
+            lambda: ms.state == "mt-ringing", timeout=10
+        )
+        term.hangup(ref)
+        assert nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.vmsc.calls == {}
+        # The MS's scheduled answer must not fire into a dead call.
+        nw.sim.run(until=nw.sim.now + 35)
+        assert ms.state == "idle"
+        assert nw.sim.metrics.counters("unhandled") == {}
+
+    def test_radio_and_pdp_cleaned_after_abandon(self, slow_answer):
+        nw, ms, term = slow_answer
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda: ms.state == "mo-alerting", timeout=10)
+        ms.hangup()
+        nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.bscs[0].tch_in_use == 0
+        entry = nw.vmsc.ms_table.get(ms.imsi)
+        assert not entry.voice_ready  # never activated, never leaked
+        assert entry.signalling_ready
+
+    def test_new_call_works_after_abandon(self, slow_answer):
+        nw, ms, term = slow_answer
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda: ms.state == "mo-alerting", timeout=10)
+        ms.hangup()
+        nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
+        nw.sim.run(until=nw.sim.now + 2)
+        term.answer_delay = 0.3
+        outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+        assert outcome.connected_at is not None
+
+    def test_cdr_written_even_for_unanswered_call(self, slow_answer):
+        """Step 3.3 applies to every admitted call: the GK records the
+        (zero-duration) statistics."""
+        nw, ms, term = slow_answer
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda: ms.state == "mo-alerting", timeout=10)
+        ms.hangup()
+        nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
+        nw.sim.run(until=nw.sim.now + 2)
+        assert len(nw.gk.call_records) == 1
+        assert nw.gk.call_records[0].reported_duration_ms == 0

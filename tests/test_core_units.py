@@ -1,0 +1,149 @@
+"""Unit tests for core data structures: the MS table, transactions,
+relay helpers and RadioConn bookkeeping."""
+
+import pytest
+
+from repro.errors import ProtocolError, SubscriberError
+from repro.identities import IMSI, E164Number, IPv4Address
+from repro.core.ms_table import MsTable, MsTableEntry
+from repro.gprs.pdp import NSAPI_SIGNALLING, NSAPI_VOICE
+from repro.gsm.relay import find_imsi, rename_packet, subscriber_keys
+from repro.net.transactions import Sequencer, Transactions
+from repro.packets.bssap import AbisSetup, UmSetup
+
+IMSI1 = IMSI("466920000000001")
+IMSI2 = IMSI("466920000000002")
+NUM1 = E164Number("886", "935000001")
+IP1 = IPv4Address.parse("10.1.0.1")
+IP2 = IPv4Address.parse("10.1.0.2")
+
+
+class TestMsTable:
+    def test_ensure_is_idempotent(self):
+        table = MsTable()
+        a = table.ensure(IMSI1, now=1.0)
+        b = table.ensure(IMSI1, now=2.0)
+        assert a is b
+        assert a.created_at == 1.0
+        assert len(table) == 1
+
+    def test_require_raises_for_unknown(self):
+        with pytest.raises(SubscriberError):
+            MsTable().require(IMSI1)
+
+    def test_msisdn_index_updates_on_change(self):
+        table = MsTable()
+        entry = table.ensure(IMSI1)
+        table.set_msisdn(entry, NUM1)
+        assert table.by_msisdn(NUM1) is entry
+        new_number = E164Number("886", "935000999")
+        table.set_msisdn(entry, new_number)
+        assert table.by_msisdn(NUM1) is None
+        assert table.by_msisdn(new_number) is entry
+
+    def test_ip_index_and_shared_address(self):
+        table = MsTable()
+        entry = table.ensure(IMSI1)
+        table.set_ip(entry, NSAPI_SIGNALLING, IP1)
+        table.set_ip(entry, NSAPI_VOICE, IP1)
+        assert table.by_ip(IP1) is entry
+        # Dropping one context keeps the shared address routable.
+        table.clear_pdp(entry, NSAPI_VOICE)
+        assert table.by_ip(IP1) is entry
+        table.clear_pdp(entry, NSAPI_SIGNALLING)
+        assert table.by_ip(IP1) is None
+
+    def test_entry_ip_prefers_active_context(self):
+        entry = MsTableEntry(imsi=IMSI1)
+        assert entry.ip is None
+        state = entry.pdp_state(NSAPI_SIGNALLING)
+        state.pdp_address = IP1
+        assert entry.ip is None  # not active yet
+        state.active = True
+        assert entry.ip == IP1
+
+    def test_pdp_state_defaults_by_nsapi(self):
+        entry = MsTableEntry(imsi=IMSI1)
+        assert entry.pdp_state(NSAPI_SIGNALLING).qos.delay_class == 4
+        assert entry.pdp_state(NSAPI_VOICE).qos.delay_class == 1
+
+    def test_remove_clears_all_indexes(self):
+        table = MsTable()
+        entry = table.ensure(IMSI1)
+        table.set_msisdn(entry, NUM1)
+        table.set_ip(entry, NSAPI_SIGNALLING, IP1)
+        table.remove(IMSI1)
+        assert table.get(IMSI1) is None
+        assert table.by_msisdn(NUM1) is None
+        assert table.by_ip(IP1) is None
+
+    def test_iteration(self):
+        table = MsTable()
+        table.ensure(IMSI1)
+        table.ensure(IMSI2)
+        assert {e.imsi for e in table} == {IMSI1, IMSI2}
+
+
+class TestTransactions:
+    def test_open_close_roundtrip(self):
+        txn = Transactions()
+        tid = txn.open("ctx")
+        assert txn.close(tid) == "ctx"
+        assert len(txn) == 0
+
+    def test_close_unknown_raises(self):
+        with pytest.raises(ProtocolError):
+            Transactions().close(42)
+
+    def test_try_close_returns_none(self):
+        assert Transactions().try_close(42) is None
+
+    def test_open_with_id_rejects_duplicates(self):
+        txn = Transactions()
+        txn.open_with_id(7, "a")
+        with pytest.raises(ProtocolError):
+            txn.open_with_id(7, "b")
+
+    def test_ids_are_unique_and_increasing(self):
+        txn = Transactions()
+        ids = [txn.open(i) for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_sequencer(self):
+        seq = Sequencer(start=10)
+        assert [seq.next() for _ in range(3)] == [10, 11, 12]
+
+
+class TestRelayHelpers:
+    def test_rename_preserves_shared_fields(self):
+        um = UmSetup(ti=9, imsi=IMSI1, called=NUM1)
+        abis = rename_packet(um, AbisSetup)
+        assert type(abis) is AbisSetup
+        assert abis.ti == 9 and abis.imsi == IMSI1 and abis.called == NUM1
+
+    def test_rename_carries_payload(self):
+        from repro.packets.base import Raw
+
+        um = UmSetup(ti=1, imsi=IMSI1)
+        um.payload = Raw(data=b"x")
+        abis = rename_packet(um, AbisSetup)
+        assert abis.payload.data == b"x"
+
+    def test_find_imsi_in_nested_layers(self):
+        from repro.gprs.gb import GbUnitdata
+
+        frame = GbUnitdata(imsi=IMSI1, nsapi=5)
+        assert find_imsi(frame) == IMSI1
+
+    def test_subscriber_keys_both_identities(self):
+        um = UmSetup(ti=1, imsi=IMSI1)
+        keys = subscriber_keys(um)
+        assert ("imsi", IMSI1) in keys
+        pr = UmSetup(ti=1)
+        assert subscriber_keys(pr) == []
+
+    def test_subscriber_keys_finds_tmsi(self):
+        from repro.packets.bssap import UmPagingResponse
+
+        msg = UmPagingResponse(tmsi=0x1234)
+        assert ("tmsi", 0x1234) in subscriber_keys(msg)

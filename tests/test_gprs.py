@@ -1,0 +1,312 @@
+"""Unit/integration tests for the GPRS substrate (SGSN, GGSN, GTP)."""
+
+import pytest
+
+from repro.identities import IMSI, IPv4Address, TunnelId
+from repro.gprs.gb import GbUnitdata
+from repro.gprs.ggsn import Ggsn
+from repro.gprs.pdp import (
+    NSAPI_SIGNALLING,
+    NSAPI_VOICE,
+    PdpContext,
+    QosProfile,
+)
+from repro.gprs.sgsn import Sgsn
+from repro.net.interfaces import Interface
+from repro.net.ip import IPCloud
+from repro.net.iphost import IpHost
+from repro.net.node import Network, Node, handles
+from repro.packets.base import Raw
+from repro.packets.gmm import (
+    ActivatePdpContextAccept,
+    ActivatePdpContextReject,
+    ActivatePdpContextRequest,
+    DeactivatePdpContextAccept,
+    DeactivatePdpContextRequest,
+    GprsAttachAccept,
+    GprsAttachRequest,
+    GprsDetachAccept,
+    GprsDetachRequest,
+    RequestPdpContextActivation,
+)
+from repro.packets.ip import IPv4, UDP
+from repro.packets.rtp import RtpPacket
+from repro.sim.kernel import Simulator
+
+IMSI1 = IMSI("466920000000001")
+
+
+class AccessStub(Node):
+    """Stands in for the VMSC / BSC on the Gb interface."""
+
+    def __init__(self, sim, name="ACCESS"):
+        super().__init__(sim, name)
+        self.got = []
+
+    @handles(GprsAttachAccept, ActivatePdpContextAccept,
+             ActivatePdpContextReject, DeactivatePdpContextAccept,
+             GprsDetachAccept, RequestPdpContextActivation, GbUnitdata)
+    def on_msg(self, msg, src, interface):
+        self.got.append(msg)
+
+    def first(self, klass):
+        for m in self.got:
+            if isinstance(m, klass):
+                return m
+        return None
+
+
+@pytest.fixture
+def gprs_core():
+    sim = Simulator()
+    net = Network(sim)
+    cloud = net.add(IPCloud(sim))
+    ggsn = net.add(Ggsn(sim))
+    sgsn = net.add(Sgsn(sim))
+    access = net.add(AccessStub(sim))
+    host = net.add(IpHost(sim, "HOST", IPv4Address.parse("192.0.2.50")))
+    net.connect(ggsn, cloud, Interface.GI, 0.001)
+    net.connect(sgsn, ggsn, Interface.GN, 0.001)
+    net.connect(access, sgsn, Interface.GB, 0.001)
+    net.connect(host, cloud, Interface.IP, 0.001)
+    host.attach_to_cloud()
+    return sim, sgsn, ggsn, access, cloud, host
+
+
+def attach_and_activate(sim, sgsn, access, nsapi=NSAPI_SIGNALLING, static=None):
+    access.send(sgsn, GprsAttachRequest(imsi=IMSI1))
+    sim.run()
+    access.send(
+        sgsn,
+        ActivatePdpContextRequest(imsi=IMSI1, nsapi=nsapi,
+                                  static_pdp_address=static),
+    )
+    sim.run()
+    return access.first(ActivatePdpContextAccept)
+
+
+class TestAttach:
+    def test_attach_creates_mm_context(self, gprs_core):
+        sim, sgsn, _, access, _, _ = gprs_core
+        access.send(sgsn, GprsAttachRequest(imsi=IMSI1))
+        sim.run()
+        assert access.first(GprsAttachAccept) is not None
+        assert IMSI1 in sgsn.mm_contexts
+        assert sgsn.mm_contexts[IMSI1].access_node == "ACCESS"
+        assert sgsn.mm_contexts[IMSI1].ptmsi > 0x80000000
+
+    def test_detach_clears_everything(self, gprs_core):
+        sim, sgsn, ggsn, access, _, _ = gprs_core
+        attach_and_activate(sim, sgsn, access)
+        access.send(sgsn, GprsDetachRequest(imsi=IMSI1))
+        sim.run()
+        assert access.first(GprsDetachAccept) is not None
+        assert IMSI1 not in sgsn.mm_contexts
+        assert sgsn.context_count() == 0
+
+    def test_activation_without_attach_rejected(self, gprs_core):
+        sim, sgsn, _, access, _, _ = gprs_core
+        access.send(sgsn, ActivatePdpContextRequest(imsi=IMSI1, nsapi=5))
+        sim.run()
+        assert access.first(ActivatePdpContextReject) is not None
+
+
+class TestPdpActivation:
+    def test_dynamic_address_allocated(self, gprs_core):
+        sim, sgsn, ggsn, access, _, _ = gprs_core
+        accept = attach_and_activate(sim, sgsn, access)
+        assert accept is not None
+        assert str(accept.pdp_address).startswith("10.1.")
+        assert sgsn.context_count() == 1
+        assert ggsn.context_count() == 1
+
+    def test_static_address_honoured(self, gprs_core):
+        sim, sgsn, _, access, _, _ = gprs_core
+        static = IPv4Address.parse("10.2.0.9")
+        accept = attach_and_activate(sim, sgsn, access, static=static)
+        assert accept.pdp_address == static
+
+    def test_second_context_shares_address(self, gprs_core):
+        sim, sgsn, _, access, _, _ = gprs_core
+        first = attach_and_activate(sim, sgsn, access, nsapi=NSAPI_SIGNALLING)
+        access.got.clear()
+        access.send(
+            sgsn, ActivatePdpContextRequest(imsi=IMSI1, nsapi=NSAPI_VOICE)
+        )
+        sim.run()
+        second = access.first(ActivatePdpContextAccept)
+        # Paper §2: "an IP address is associated with every MS".
+        assert second.pdp_address == first.pdp_address
+        assert sgsn.context_count() == 2
+
+    def test_deactivation_removes_context(self, gprs_core):
+        sim, sgsn, ggsn, access, _, _ = gprs_core
+        attach_and_activate(sim, sgsn, access)
+        access.send(
+            sgsn, DeactivatePdpContextRequest(imsi=IMSI1, nsapi=NSAPI_SIGNALLING)
+        )
+        sim.run()
+        assert access.first(DeactivatePdpContextAccept) is not None
+        assert sgsn.context_count() == 0
+        assert ggsn.context_count() == 0
+
+    def test_deactivation_is_idempotent(self, gprs_core):
+        sim, sgsn, _, access, _, _ = gprs_core
+        access.send(sgsn, GprsAttachRequest(imsi=IMSI1))
+        sim.run()
+        access.send(
+            sgsn, DeactivatePdpContextRequest(imsi=IMSI1, nsapi=NSAPI_VOICE)
+        )
+        sim.run()
+        assert access.first(DeactivatePdpContextAccept) is not None
+
+    def test_context_cap_rejects(self):
+        sim = Simulator()
+        net = Network(sim)
+        cloud = net.add(IPCloud(sim))
+        ggsn = net.add(Ggsn(sim))
+        sgsn = net.add(Sgsn(sim, max_contexts=0))
+        access = net.add(AccessStub(sim))
+        net.connect(ggsn, cloud, Interface.GI, 0.001)
+        net.connect(sgsn, ggsn, Interface.GN, 0.001)
+        net.connect(access, sgsn, Interface.GB, 0.001)
+        access.send(sgsn, GprsAttachRequest(imsi=IMSI1))
+        sim.run()
+        access.send(sgsn, ActivatePdpContextRequest(imsi=IMSI1, nsapi=5))
+        sim.run()
+        assert access.first(ActivatePdpContextReject) is not None
+
+    def test_residency_gauge_tracks_context_seconds(self, gprs_core):
+        sim, sgsn, _, access, _, _ = gprs_core
+        attach_and_activate(sim, sgsn, access)
+        t0 = sim.now
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert sgsn.context_residency() >= (sim.now - t0) * 0.99
+
+
+class TestUserPlane:
+    def test_uplink_and_downlink_tpdu(self, gprs_core):
+        sim, sgsn, ggsn, access, cloud, host = gprs_core
+        accept = attach_and_activate(sim, sgsn, access)
+        ms_ip = accept.pdp_address
+        received = []
+
+        class RxHost(IpHost):
+            @handles(Raw)
+            def on_raw(self, msg, src, interface):
+                received.append(msg.data)
+                # Reply downlink toward the MS address.
+                self.send_ip(ms_ip, Raw(data=b"pong"), dport=99)
+
+        rx = RxHost(sim, "RX", IPv4Address.parse("192.0.2.60"))
+        cloud.network.add(rx)
+        cloud.network.connect(rx, cloud, Interface.IP, 0.001)
+        rx.attach_to_cloud()
+
+        frame = GbUnitdata(imsi=IMSI1, nsapi=NSAPI_SIGNALLING)
+        frame.payload = (
+            IPv4(src=ms_ip, dst=rx.ip) / UDP(sport=99, dport=99) / Raw(data=b"ping")
+        )
+        access.got.clear()
+        access.send(sgsn, frame)
+        sim.run()
+        assert received == [b"ping"]
+        downlink = access.first(GbUnitdata)
+        assert downlink is not None
+        assert downlink.payload.get_layer(Raw).data == b"pong"
+
+    def test_uplink_without_context_dropped(self, gprs_core):
+        sim, sgsn, _, access, _, host = gprs_core
+        frame = GbUnitdata(imsi=IMSI1, nsapi=NSAPI_SIGNALLING)
+        frame.payload = IPv4(src=host.ip, dst=host.ip) / Raw(data=b"")
+        access.send(sgsn, frame)
+        sim.run()
+        assert sim.metrics.counters("SGSN.uplink_no_context") == {
+            "SGSN.uplink_no_context": 1
+        }
+
+    def test_downlink_classifier_prefers_voice_context_for_rtp(self, gprs_core):
+        sim, sgsn, ggsn, access, cloud, host = gprs_core
+        accept = attach_and_activate(sim, sgsn, access, nsapi=NSAPI_SIGNALLING)
+        access.send(sgsn, ActivatePdpContextRequest(imsi=IMSI1, nsapi=NSAPI_VOICE))
+        sim.run()
+        ms_ip = accept.pdp_address
+        access.got.clear()
+        host.send_ip(
+            ms_ip,
+            RtpPacket(seq=1, timestamp=0, ssrc=1, gen_time_us=0, frame=b""),
+            dport=5004,
+        )
+        host.send_ip(ms_ip, Raw(data=b"sig"), dport=1719)
+        sim.run()
+        frames = [m for m in access.got if isinstance(m, GbUnitdata)]
+        nsapis = sorted(f.nsapi for f in frames)
+        assert nsapis == [NSAPI_SIGNALLING, NSAPI_VOICE]
+        rtp_frame = next(f for f in frames if f.nsapi == NSAPI_VOICE)
+        assert rtp_frame.payload.haslayer(RtpPacket)
+
+
+class TestNetworkRequestedActivation:
+    def test_pdu_notification_and_buffering(self, gprs_core):
+        sim, sgsn, ggsn, access, cloud, host = gprs_core
+        static = IPv4Address.parse("10.2.0.5")
+        ggsn.provision_static(IMSI1, static, sgsn.name)
+        access.send(sgsn, GprsAttachRequest(imsi=IMSI1))
+        sim.run()
+        # Downlink packet arrives with no context.
+        host.send_ip(static, Raw(data=b"wake"), dport=1720)
+        sim.run()
+        req = access.first(RequestPdpContextActivation)
+        assert req is not None and req.pdp_address == static
+        # The MS-side obliges; the buffered packet must then arrive.
+        access.got.clear()
+        access.send(
+            sgsn,
+            ActivatePdpContextRequest(imsi=IMSI1, nsapi=req.nsapi,
+                                      static_pdp_address=static),
+        )
+        sim.run()
+        frame = access.first(GbUnitdata)
+        assert frame is not None
+        assert frame.payload.get_layer(Raw).data == b"wake"
+
+    def test_unprovisioned_address_dropped(self, gprs_core):
+        sim, sgsn, ggsn, access, cloud, host = gprs_core
+        cloud.register(IPv4Address.parse("10.3.0.1"), ggsn)
+        host.send_ip(IPv4Address.parse("10.3.0.1"), Raw(data=b"x"), dport=1)
+        sim.run()
+        assert sim.metrics.counters("GGSN.downlink_no_context") == {
+            "GGSN.downlink_no_context": 1
+        }
+
+    def test_notification_sent_once_per_burst(self, gprs_core):
+        sim, sgsn, ggsn, access, cloud, host = gprs_core
+        static = IPv4Address.parse("10.2.0.6")
+        ggsn.provision_static(IMSI1, static, sgsn.name)
+        access.send(sgsn, GprsAttachRequest(imsi=IMSI1))
+        sim.run()
+        for _ in range(3):
+            host.send_ip(static, Raw(data=b"x"), dport=1)
+        sim.run()
+        requests = [
+            m for m in access.got if isinstance(m, RequestPdpContextActivation)
+        ]
+        assert len(requests) == 1
+
+
+class TestPdpDataclasses:
+    def test_qos_validation(self):
+        with pytest.raises(ValueError):
+            QosProfile(delay_class=0)
+        with pytest.raises(ValueError):
+            QosProfile(peak_kbps=0)
+
+    def test_qos_presets(self):
+        assert QosProfile.signalling().delay_class == 4
+        assert QosProfile.voice().delay_class == 1
+
+    def test_context_tid(self):
+        ctx = PdpContext(imsi=IMSI1, nsapi=6)
+        assert ctx.tid == TunnelId(IMSI1, 6)
+        assert ctx.key() == (IMSI1, 6)

@@ -1,0 +1,226 @@
+"""Unit tests for GSM security, subscriber records, HLR and VLR."""
+
+import pytest
+
+from repro.errors import SubscriberError
+from repro.identities import IMSI, E164Number
+from repro.gsm.hlr import Hlr
+from repro.gsm.security import (
+    AuthTriplet,
+    a3_sres,
+    a8_kc,
+    derive_ki,
+    generate_triplet,
+)
+from repro.gsm.subscriber import SubscriberProfile, SubscriberRecord
+from repro.net.node import Network, Node, handles
+from repro.net.interfaces import Interface
+from repro.packets.map import (
+    ERR_ABSENT_SUBSCRIBER,
+    ERR_UNKNOWN_SUBSCRIBER,
+    MapProvideRoamingNumber,
+    MapProvideRoamingNumberAck,
+    MapSendAuthInfo,
+    MapSendAuthInfoAck,
+    MapSendRoutingInformation,
+    MapSendRoutingInformationAck,
+    MapUpdateLocation,
+    MapUpdateLocationAck,
+    MapInsertSubsData,
+    MapInsertSubsDataAck,
+    MapCancelLocation,
+    MapCancelLocationAck,
+)
+from repro.sim.kernel import Simulator
+
+IMSI1 = IMSI("466920000000001")
+NUM1 = E164Number("886", "935000001")
+
+
+class TestSecurity:
+    def test_sres_width_and_determinism(self):
+        ki = derive_ki("466920000000001")
+        rand = b"\x01" * 16
+        assert len(a3_sres(ki, rand)) == 4
+        assert a3_sres(ki, rand) == a3_sres(ki, rand)
+
+    def test_kc_width(self):
+        assert len(a8_kc(b"k" * 16, b"r" * 16)) == 8
+
+    def test_different_keys_different_sres(self):
+        rand = b"\x02" * 16
+        assert a3_sres(b"a" * 16, rand) != a3_sres(b"b" * 16, rand)
+
+    def test_different_challenges_different_sres(self):
+        ki = b"k" * 16
+        assert a3_sres(ki, b"\x00" * 16) != a3_sres(ki, b"\x01" * 16)
+
+    def test_triplet_consistency(self):
+        ki, rand = b"k" * 16, b"r" * 16
+        t = generate_triplet(ki, rand)
+        assert t == AuthTriplet(rand, a3_sres(ki, rand), a8_kc(ki, rand))
+
+    def test_triplet_width_validation(self):
+        with pytest.raises(ValueError):
+            AuthTriplet(b"short", b"\x00" * 4, b"\x00" * 8)
+        with pytest.raises(ValueError):
+            AuthTriplet(b"\x00" * 16, b"\x00" * 3, b"\x00" * 8)
+        with pytest.raises(ValueError):
+            AuthTriplet(b"\x00" * 16, b"\x00" * 4, b"\x00" * 7)
+
+    def test_derive_ki_is_per_imsi(self):
+        assert derive_ki("466920000000001") != derive_ki("466920000000002")
+
+
+class TestSubscriberRecord:
+    def test_default_ki_derived(self):
+        rec = SubscriberRecord(imsi=IMSI1, msisdn=NUM1)
+        assert rec.ki == derive_ki(IMSI1.digits)
+
+    def test_registered_property(self):
+        rec = SubscriberRecord(imsi=IMSI1, msisdn=NUM1)
+        assert not rec.registered
+        rec.vlr_name = "VLR"
+        assert rec.registered
+
+    def test_profile_defaults(self):
+        assert SubscriberProfile().international_allowed
+        assert SubscriberProfile().gprs_allowed
+
+
+class _Probe(Node):
+    """Collects every MAP response the HLR sends us."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.got = []
+
+    @handles(MapSendAuthInfoAck, MapUpdateLocationAck,
+             MapSendRoutingInformationAck, MapInsertSubsData,
+             MapCancelLocation, MapProvideRoamingNumber)
+    def on_any(self, msg, src, interface):
+        self.got.append(msg)
+        if isinstance(msg, MapInsertSubsData):
+            self.send(src, MapInsertSubsDataAck(invoke_id=msg.invoke_id))
+        elif isinstance(msg, MapCancelLocation):
+            self.send(src, MapCancelLocationAck(invoke_id=msg.invoke_id))
+
+    def first(self, klass):
+        for msg in self.got:
+            if isinstance(msg, klass):
+                return msg
+        return None
+
+
+@pytest.fixture
+def hlr_setup():
+    sim = Simulator()
+    net = Network(sim)
+    hlr = net.add(Hlr(sim))
+    vlr = net.add(_Probe(sim, "VLR-PROBE"))
+    gmsc = net.add(_Probe(sim, "GMSC-PROBE"))
+    old_vlr = net.add(_Probe(sim, "OLD-VLR"))
+    net.connect(vlr, hlr, Interface.D, 0.001)
+    net.connect(old_vlr, hlr, Interface.D, 0.001)
+    net.connect(gmsc, hlr, Interface.C, 0.001)
+    hlr.add_subscriber(SubscriberRecord(imsi=IMSI1, msisdn=NUM1))
+    return sim, hlr, vlr, gmsc, old_vlr
+
+
+class TestHlr:
+    def test_duplicate_provisioning_rejected(self, hlr_setup):
+        _, hlr, *_ = hlr_setup
+        with pytest.raises(SubscriberError):
+            hlr.add_subscriber(SubscriberRecord(imsi=IMSI1, msisdn=NUM1))
+        with pytest.raises(SubscriberError):
+            hlr.add_subscriber(
+                SubscriberRecord(imsi=IMSI("466920000000099"), msisdn=NUM1)
+            )
+
+    def test_subscriber_lookup(self, hlr_setup):
+        _, hlr, *_ = hlr_setup
+        assert hlr.subscriber(IMSI1).msisdn == NUM1
+        assert hlr.imsi_for_msisdn(NUM1) == IMSI1
+        with pytest.raises(SubscriberError):
+            hlr.subscriber(IMSI("466920000000098"))
+
+    def test_update_location_downloads_profile(self, hlr_setup):
+        sim, hlr, vlr, _, _ = hlr_setup
+        vlr.send(hlr, MapUpdateLocation(
+            invoke_id=1, imsi=IMSI1, vlr_number="VLR-PROBE",
+            msc_number="MSC-X",
+        ))
+        sim.run()
+        insert = vlr.first(MapInsertSubsData)
+        assert insert is not None and insert.msisdn == NUM1
+        ack = vlr.first(MapUpdateLocationAck)
+        assert ack is not None and ack.error == 0
+        assert hlr.subscriber(IMSI1).vlr_name == "VLR-PROBE"
+
+    def test_update_location_unknown_subscriber(self, hlr_setup):
+        sim, hlr, vlr, _, _ = hlr_setup
+        vlr.send(hlr, MapUpdateLocation(
+            invoke_id=2, imsi=IMSI("466920000000077"),
+            vlr_number="VLR-PROBE", msc_number="M",
+        ))
+        sim.run()
+        assert vlr.first(MapUpdateLocationAck).error == ERR_UNKNOWN_SUBSCRIBER
+
+    def test_relocation_cancels_old_vlr(self, hlr_setup):
+        sim, hlr, vlr, _, old_vlr = hlr_setup
+        old_vlr.send(hlr, MapUpdateLocation(
+            invoke_id=1, imsi=IMSI1, vlr_number="OLD-VLR", msc_number="M",
+        ))
+        sim.run()
+        vlr.send(hlr, MapUpdateLocation(
+            invoke_id=2, imsi=IMSI1, vlr_number="VLR-PROBE", msc_number="M",
+        ))
+        sim.run()
+        assert old_vlr.first(MapCancelLocation) is not None
+        assert hlr.subscriber(IMSI1).vlr_name == "VLR-PROBE"
+
+    def test_auth_info_returns_valid_triplet(self, hlr_setup):
+        sim, hlr, vlr, _, _ = hlr_setup
+        vlr.send(hlr, MapSendAuthInfo(invoke_id=5, imsi=IMSI1))
+        sim.run()
+        ack = vlr.first(MapSendAuthInfoAck)
+        record = hlr.subscriber(IMSI1)
+        assert ack.sres == a3_sres(record.ki, ack.rand)
+        assert ack.kc == a8_kc(record.ki, ack.rand)
+
+    def test_auth_info_unknown_subscriber(self, hlr_setup):
+        sim, hlr, vlr, _, _ = hlr_setup
+        vlr.send(hlr, MapSendAuthInfo(invoke_id=6, imsi=IMSI("466920000000055")))
+        sim.run()
+        assert vlr.first(MapSendAuthInfoAck).error == ERR_UNKNOWN_SUBSCRIBER
+
+    def test_sri_absent_subscriber(self, hlr_setup):
+        sim, hlr, _, gmsc, _ = hlr_setup
+        gmsc.send(hlr, MapSendRoutingInformation(invoke_id=1, msisdn=NUM1))
+        sim.run()
+        assert gmsc.first(MapSendRoutingInformationAck).error == ERR_ABSENT_SUBSCRIBER
+
+    def test_sri_unknown_number(self, hlr_setup):
+        sim, hlr, _, gmsc, _ = hlr_setup
+        gmsc.send(hlr, MapSendRoutingInformation(
+            invoke_id=2, msisdn=E164Number("886", "999999999"),
+        ))
+        sim.run()
+        assert gmsc.first(MapSendRoutingInformationAck).error == ERR_UNKNOWN_SUBSCRIBER
+
+    def test_sri_interrogates_serving_vlr(self, hlr_setup):
+        sim, hlr, vlr, gmsc, _ = hlr_setup
+        # Register first so the HLR knows the serving VLR.
+        vlr.send(hlr, MapUpdateLocation(
+            invoke_id=1, imsi=IMSI1, vlr_number="VLR-PROBE", msc_number="M",
+        ))
+        sim.run()
+        gmsc.send(hlr, MapSendRoutingInformation(invoke_id=3, msisdn=NUM1))
+        sim.run()
+        prn = vlr.first(MapProvideRoamingNumber)
+        assert prn is not None and prn.imsi == IMSI1
+        # The probe VLR never answers, so no SRI ack arrives — now send one.
+        msrn = E164Number("886", "936001234")
+        vlr.send(hlr, MapProvideRoamingNumberAck(invoke_id=prn.invoke_id, msrn=msrn))
+        sim.run()
+        assert gmsc.first(MapSendRoutingInformationAck).msrn == msrn

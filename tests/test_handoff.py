@@ -1,0 +1,299 @@
+"""Integration tests for inter-system handoff (Figure 9, experiment E7)."""
+
+import pytest
+
+from repro.core import scenarios
+from repro.core.handoff import TARGET_CELL, build_handoff_network
+
+
+@pytest.fixture(params=["msc", "vmsc"])
+def handoff_call(request):
+    """A connected MO call, ready to hand off to a classic MSC or a
+    second VMSC ('inter-system handoff between two VMSCs follows the
+    same procedure', §7)."""
+    nw = build_handoff_network(seed=31, target=request.param)
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.vgprs.add_terminal("TERM1", "+886222000001", answer_delay=0.3)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw.vgprs, ms)
+    scenarios.call_ms_to_terminal(nw.vgprs, ms, term)
+    return nw, ms, term
+
+
+class TestHandoffProcedure:
+    def test_completes(self, handoff_call):
+        nw, ms, _ = handoff_call
+        nw.trigger_handoff()
+        assert nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+
+    def test_map_e_messages_exchanged(self, handoff_call):
+        nw, ms, _ = handoff_call
+        since = nw.sim.now
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        trace = nw.sim.trace
+        for name in ("MAP_Prepare_Handover", "MAP_Prepare_Handover_ack",
+                     "A_Handover_Request", "A_Handover_Command",
+                     "Um_Handover_Access", "MAP_Send_End_Signal"):
+            assert trace.messages(name=name, since=since), f"missing {name}"
+
+    def test_anchor_stays_in_path(self, handoff_call):
+        """Figure 9(b): 'the VMSC is an anchor MSC, which is always in
+        the call path after inter-system handoff'."""
+        nw, ms, _ = handoff_call
+        before = nw.voice_path()
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        after = nw.voice_path()
+        assert nw.vgprs.vmsc.name in before
+        assert nw.vgprs.vmsc.name in after
+        assert nw.target_msc.name in after
+        assert nw.target_msc.name not in before
+
+    def test_ms_retunes_to_target_cell(self, handoff_call):
+        nw, ms, _ = handoff_call
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        assert ms.serving_bts == nw.target_bts.name
+        assert ms.cells[TARGET_CELL] == nw.target_bts.name
+
+    def test_voice_continuity_both_directions(self, handoff_call):
+        nw, ms, term = handoff_call
+        ms.start_talking()
+        ref = next(iter(term.calls))
+        term.start_talking(ref)
+        nw.sim.run(until=nw.sim.now + 0.5)
+        up_before, down_before = term.frames_received, ms.frames_received
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        nw.sim.run(until=nw.sim.now + 1.0)
+        assert term.frames_received > up_before + 30
+        assert ms.frames_received > down_before + 30
+        ms.stop_talking()
+        term.stop_talking(ref)
+
+    def test_old_radio_channel_released(self, handoff_call):
+        nw, ms, _ = handoff_call
+        old_bsc = nw.vgprs.bscs[0]
+        assert old_bsc.tch_in_use == 1
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        nw.sim.run(until=nw.sim.now + 1)
+        assert old_bsc.tch_in_use == 0
+
+    def test_release_after_handoff_ms_initiated(self, handoff_call):
+        nw, ms, term = handoff_call
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        ms.hangup()
+        assert nw.sim.run_until_true(
+            lambda: ms.state == "idle" and not term.calls, timeout=10
+        )
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.vgprs.vmsc.calls == {}
+        conn = nw.vgprs.vmsc.conn(ms.imsi)
+        assert conn.via_msc is None
+
+    def test_release_after_handoff_remote_initiated(self, handoff_call):
+        nw, ms, term = handoff_call
+        nw.trigger_handoff()
+        nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        term.hangup(next(iter(term.calls)))
+        assert nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.vgprs.vmsc.calls == {}
+
+
+class TestHandoffFailures:
+    def test_unknown_target_cell_is_counted(self):
+        nw = build_handoff_network(seed=32)
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+        term = nw.vgprs.add_terminal("TERM1", "+886222000001", answer_delay=0.3)
+        nw.sim.run(until=0.5)
+        scenarios.register_ms(nw.vgprs, ms)
+        scenarios.call_ms_to_terminal(nw.vgprs, ms, term)
+        conn = nw.vgprs.vmsc.conn(ms.imsi)
+        nw.vgprs.bscs[0].report_handover_required(
+            ms.imsi, conn.ti or 0, "no-such-cell"
+        )
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.sim.metrics.counters("VMSC.handoff_no_target") == {
+            "VMSC.handoff_no_target": 1
+        }
+        # The call survives on the original cell.
+        assert ms.state == "in-call"
+
+    def test_target_congestion_fails_gracefully(self):
+        nw = build_handoff_network(seed=33)
+        nw.target_bsc.tch_capacity = 0
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+        term = nw.vgprs.add_terminal("TERM1", "+886222000001", answer_delay=0.3)
+        nw.sim.run(until=0.5)
+        scenarios.register_ms(nw.vgprs, ms)
+        scenarios.call_ms_to_terminal(nw.vgprs, ms, term)
+        nw.trigger_handoff()
+        nw.sim.run(until=nw.sim.now + 3)
+        assert not nw.handoff_complete()
+        assert ms.state == "in-call"  # stays on the serving cell
+
+
+class TestSubsequentHandoff:
+    @pytest.fixture
+    def handed_off(self):
+        nw = build_handoff_network(seed=34)
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+        term = nw.vgprs.add_terminal("TERM1", "+886222000001",
+                                     answer_delay=0.3)
+        nw.sim.run(until=0.5)
+        scenarios.register_ms(nw.vgprs, ms)
+        scenarios.call_ms_to_terminal(nw.vgprs, ms, term)
+        nw.trigger_handoff()
+        assert nw.sim.run_until_true(nw.handoff_complete, timeout=10)
+        return nw, ms, term
+
+    def test_handback_restores_original_path(self, handed_off):
+        nw, ms, _ = handed_off
+        before = nw.voice_path()
+        nw.trigger_handback()
+        assert nw.sim.run_until_true(
+            lambda: nw.vgprs.vmsc.conn(ms.imsi).via_msc is None, timeout=10
+        )
+        after = nw.voice_path()
+        assert nw.target_msc.name in before
+        assert nw.target_msc.name not in after
+        assert after[0:3] == ["MS1", "BTS1", "BSC"]
+        assert nw.sim.metrics.counters("VMSC.handbacks_completed") == {
+            "VMSC.handbacks_completed": 1
+        }
+
+    def test_handback_releases_trunk_and_target_radio(self, handed_off):
+        nw, ms, _ = handed_off
+        nw.trigger_handback()
+        nw.sim.run_until_true(
+            lambda: nw.vgprs.vmsc.conn(ms.imsi).via_msc is None, timeout=10
+        )
+        nw.sim.run(until=nw.sim.now + 1)
+        assert nw.target_bsc.tch_in_use == 0
+        assert nw.sim.metrics.counters("MSC2.e_trunk_released") or \
+            nw.sim.metrics.counters("VMSC.e_trunk_released")
+
+    def test_voice_survives_handback(self, handed_off):
+        nw, ms, term = handed_off
+        ms.start_talking()
+        ref = next(iter(term.calls))
+        term.start_talking(ref)
+        nw.sim.run(until=nw.sim.now + 0.5)
+        f0 = (ms.frames_received, term.frames_received)
+        nw.trigger_handback()
+        nw.sim.run_until_true(
+            lambda: nw.vgprs.vmsc.conn(ms.imsi).via_msc is None, timeout=10
+        )
+        nw.sim.run(until=nw.sim.now + 1.0)
+        assert ms.frames_received > f0[0] + 30
+        assert term.frames_received > f0[1] + 30
+        ms.stop_talking()
+        term.stop_talking(ref)
+
+    def test_chain_to_third_system_keeps_anchor(self, handed_off):
+        nw, ms, term = handed_off
+        nw.add_system("cell-3", "MSC3")
+        conn_t = nw.target_msc.conn(ms.imsi)
+        nw.target_bsc.report_handover_required(
+            ms.imsi, conn_t.ti or 0, "cell-3"
+        )
+        assert nw.sim.run_until_true(
+            lambda: nw.vgprs.vmsc.conn(ms.imsi).via_msc == "MSC3", timeout=10
+        )
+        nw.sim.run(until=nw.sim.now + 1)
+        # MSC2's radio and trunk are gone; the anchor stays in the path.
+        assert nw.target_bsc.tch_in_use == 0
+        ms.start_talking(duration=0.5)
+        nw.sim.run(until=nw.sim.now + 1.0)
+        assert term.frames_received >= 25
+
+    def test_release_after_handback_is_clean(self, handed_off):
+        nw, ms, term = handed_off
+        nw.trigger_handback()
+        nw.sim.run_until_true(
+            lambda: nw.vgprs.vmsc.conn(ms.imsi).via_msc is None, timeout=10
+        )
+        ms.hangup()
+        assert nw.sim.run_until_true(
+            lambda: ms.state == "idle" and not term.calls, timeout=10
+        )
+        nw.sim.run(until=nw.sim.now + 2)
+        assert nw.vgprs.vmsc.calls == {}
+        assert nw.vgprs.bscs[0].tch_in_use == 0
+
+
+class TestIntraMscHandover:
+    @pytest.fixture
+    def two_bsc_call(self):
+        from repro.core.network import build_vgprs_network
+        from repro.gsm.bsc import Bsc
+        from repro.gsm.bts import Bts
+        from repro.net.interfaces import Interface
+
+        nw = build_vgprs_network(seed=36)
+        bsc2 = nw.net.add(Bsc(nw.sim, "BSC2"))
+        bts2 = nw.net.add(Bts(nw.sim, "BTS2"))
+        nw.net.connect(bsc2, nw.vmsc, Interface.A, 0.002, wire_fidelity=True)
+        nw.net.connect(bts2, bsc2, Interface.ABIS, 0.002, wire_fidelity=True)
+        nw.vmsc.cells["cell-2"] = "BSC2"
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+        nw.add_coverage(ms, bts2)
+        ms.cells = {"cell-1": "BTS1", "cell-2": "BTS2"}
+        term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.3)
+        nw.sim.run(until=0.5)
+        scenarios.register_ms(nw, ms)
+        scenarios.call_ms_to_terminal(nw, ms, term)
+        return nw, bsc2, ms, term
+
+    def test_moves_between_own_bscs_without_e_interface(self, two_bsc_call):
+        nw, bsc2, ms, _ = two_bsc_call
+        conn = nw.vmsc.conn(ms.imsi)
+        since = nw.sim.now
+        nw.bscs[0].report_handover_required(ms.imsi, conn.ti or 0, "cell-2")
+        assert nw.sim.run_until_true(lambda: conn.bsc == "BSC2", timeout=10)
+        # No MAP-E signalling for an internal handover.
+        assert not nw.sim.trace.messages(name="MAP_Prepare_Handover",
+                                         since=since)
+        assert nw.sim.metrics.counters("VMSC.intra_handovers") == {
+            "VMSC.intra_handovers": 1
+        }
+
+    def test_channel_accounting_moves_with_the_call(self, two_bsc_call):
+        nw, bsc2, ms, _ = two_bsc_call
+        conn = nw.vmsc.conn(ms.imsi)
+        assert nw.bscs[0].tch_in_use == 1 and bsc2.tch_in_use == 0
+        nw.bscs[0].report_handover_required(ms.imsi, conn.ti or 0, "cell-2")
+        nw.sim.run_until_true(lambda: conn.bsc == "BSC2", timeout=10)
+        nw.sim.run(until=nw.sim.now + 1)
+        assert nw.bscs[0].tch_in_use == 0 and bsc2.tch_in_use == 1
+
+    def test_voice_continues_and_release_is_clean(self, two_bsc_call):
+        nw, bsc2, ms, term = two_bsc_call
+        conn = nw.vmsc.conn(ms.imsi)
+        ms.start_talking()
+        ref = next(iter(term.calls))
+        term.start_talking(ref)
+        nw.bscs[0].report_handover_required(ms.imsi, conn.ti or 0, "cell-2")
+        nw.sim.run_until_true(lambda: conn.bsc == "BSC2", timeout=10)
+        f0 = (ms.frames_received, term.frames_received)
+        nw.sim.run(until=nw.sim.now + 1.0)
+        assert ms.frames_received > f0[0] + 30
+        assert term.frames_received > f0[1] + 30
+        ms.stop_talking()
+        term.stop_talking(ref)
+        ms.hangup()
+        assert nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
+        nw.sim.run(until=nw.sim.now + 1)
+        assert bsc2.tch_in_use == 0
+
+    def test_handover_to_current_cell_is_noop(self, two_bsc_call):
+        nw, _, ms, _ = two_bsc_call
+        conn = nw.vmsc.conn(ms.imsi)
+        nw.bscs[0].report_handover_required(ms.imsi, conn.ti or 0, "cell-1")
+        nw.sim.run(until=nw.sim.now + 2)
+        assert conn.bsc == "BSC"
+        assert ms.state == "in-call"

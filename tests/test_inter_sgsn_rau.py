@@ -1,0 +1,122 @@
+"""Inter-SGSN routing-area update (GSM 03.60 §6.9): context transfer
+over Gn and GGSN tunnel re-pointing, exercised in the 3G TR network."""
+
+import pytest
+
+from repro.core.baseline_3gtr import build_3gtr_network
+from repro.net.interfaces import Interface
+
+IMSI1 = "466920000000001"
+MSISDN1 = "+886935000001"
+TERM1 = "+886222000001"
+
+
+@pytest.fixture
+def two_areas():
+    nw = build_3gtr_network(seed=95)
+    sgsn2, bsc2, bts2 = nw.add_routing_area("RA-2")
+    ms = nw.add_ms("MS1", IMSI1, MSISDN1)
+    nw.net.connect(ms, bts2, Interface.UM, nw.latencies.um, wire_fidelity=True)
+    term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
+    nw.sim.run(until=0.5)
+    ms.power_on()
+    assert nw.sim.run_until_true(lambda: ms.registered, timeout=30)
+    return nw, sgsn2, bts2, ms, term
+
+
+def rau_done(nw):
+    return nw.sim.metrics.counters("MS1.rau_accepted")
+
+
+class TestInterSgsnRau:
+    def test_rai_maps_cross_wired(self, two_areas):
+        nw, sgsn2, _, _, _ = two_areas
+        assert nw.sgsn.rai_map["RA-2"] == sgsn2.name
+        assert sgsn2.rai_map["RA-1"] == nw.sgsn.name
+
+    def test_contexts_move_between_sgsns(self, two_areas):
+        nw, sgsn2, bts2, ms, term = two_areas
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=30)
+        assert nw.sgsn.context_count() == 1
+        ms.move_to(bts2.name, "RA-2")
+        assert nw.sim.run_until_true(lambda: rau_done(nw), timeout=10)
+        assert nw.sgsn.context_count() == 0
+        assert sgsn2.context_count() == 1
+        counters = nw.sim.metrics.counters("SGSN")
+        assert counters["SGSN.contexts_transferred_out"] == 1
+        assert counters["SGSN-RA-2.contexts_transferred_in"] == 1
+
+    def test_ggsn_repointed_with_update_pdp(self, two_areas):
+        nw, sgsn2, bts2, ms, term = two_areas
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=30)
+        since = nw.sim.now
+        ms.move_to(bts2.name, "RA-2")
+        nw.sim.run_until_true(lambda: rau_done(nw), timeout=10)
+        updates = nw.sim.trace.messages(
+            name="Update_PDP_Context_Request", since=since
+        )
+        assert updates and updates[0].dst == "GGSN"
+        ctx = nw.ggsn.pdp_contexts[(ms.imsi, 5)]
+        assert ctx.sgsn_name == sgsn2.name
+
+    def test_media_flows_through_new_path_after_rau(self, two_areas):
+        nw, sgsn2, bts2, ms, term = two_areas
+        ms.place_call(term.alias)
+        nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=30)
+        ms.move_to(bts2.name, "RA-2")
+        nw.sim.run_until_true(lambda: rau_done(nw), timeout=10)
+        ms.start_talking(duration=0.5)
+        nw.sim.run(until=nw.sim.now + 1.5)
+        assert term.frames_received == 25
+        # Downlink reaches the MS through the new SGSN too.
+        ref = next(iter(term.calls))
+        term.start_talking(ref, duration=0.5)
+        nw.sim.run(until=nw.sim.now + 1.5)
+        assert ms.frames_received == 25
+
+    def test_idle_rau_moves_only_mm_context(self, two_areas):
+        nw, sgsn2, bts2, ms, _ = two_areas
+        nw.sim.run(until=nw.sim.now + 1.0)  # PDP torn down post-registration
+        assert nw.sgsn.context_count() == 0
+        ms.move_to(bts2.name, "RA-2")
+        assert nw.sim.run_until_true(lambda: rau_done(nw), timeout=10)
+        assert ms.imsi in sgsn2.mm_contexts
+        assert ms.imsi not in nw.sgsn.mm_contexts
+        assert sgsn2.context_count() == 0
+
+    def test_mt_call_after_idle_rau(self, two_areas):
+        """The old SGSN is gone from the picture: the GGSN must notify
+        the *new* SGSN for the next incoming call."""
+        nw, sgsn2, bts2, ms, term = two_areas
+        nw.sim.run(until=nw.sim.now + 1.0)
+        ms.move_to(bts2.name, "RA-2")
+        nw.sim.run_until_true(lambda: rau_done(nw), timeout=10)
+        # Point the provisioning at the new SGSN, as the HLR-driven
+        # lookup would after the location change.
+        nw.ggsn.provision_static(ms.imsi, ms.static_ip, sgsn2.name)
+        nw.sim.run(until=nw.sim.now + 6.0)
+        ref = term.place_call(ms.msisdn)
+        assert nw.sim.run_until_true(
+            lambda: ref in term.calls and term.calls[ref].state == "in-call",
+            timeout=30,
+        )
+
+    def test_unknown_old_area_counted(self, two_areas):
+        nw, sgsn2, bts2, ms, _ = two_areas
+        nw.sim.run(until=nw.sim.now + 1.0)
+        ms.routing_area = "RA-NOWHERE"
+        ms.move_to(bts2.name, "RA-2")
+        nw.sim.run(until=nw.sim.now + 5.0)
+        assert nw.sim.metrics.counters("SGSN-RA-2.rau_unknown") == {
+            "SGSN-RA-2.rau_unknown": 1
+        }
+
+    def test_intra_sgsn_rau_is_local(self, two_areas):
+        nw, _, _, ms, _ = two_areas
+        since = nw.sim.now
+        ms.move_to(ms.serving_bts, "RA-1")  # same area
+        assert nw.sim.run_until_true(lambda: rau_done(nw), timeout=10)
+        assert not nw.sim.trace.messages(name="SGSN_Context_Request",
+                                         since=since)

@@ -1,0 +1,106 @@
+"""MS-to-MS calls within one vGPRS network (paper §4: "the called party
+can be another MS in the same GPRS network").
+
+Both call legs terminate on the same VMSC: the Q.931 Setup hairpins
+through the GGSN, and voice is transcoded twice (TCH -> RTP -> TCH).
+"""
+
+import pytest
+
+from repro.core import scenarios
+from repro.core.network import build_vgprs_network
+
+
+@pytest.fixture
+def two_ms():
+    nw = build_vgprs_network(seed=91)
+    ms1 = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    ms2 = nw.add_ms("MS2", "466920000000002", "+886935000002",
+                    answer_delay=0.5)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms1)
+    scenarios.register_ms(nw, ms2)
+    return nw, ms1, ms2
+
+
+class TestMsToMsCall:
+    def connect(self, nw, ms1, ms2):
+        ms1.place_call(ms2.msisdn)
+        assert nw.sim.run_until_true(
+            lambda: ms1.state == "in-call" and ms2.state == "in-call",
+            timeout=30,
+        )
+
+    def test_call_connects(self, two_ms):
+        self.connect(*two_ms)
+
+    def test_both_legs_tracked_separately(self, two_ms):
+        nw, ms1, ms2 = two_ms
+        self.connect(nw, ms1, ms2)
+        call1 = nw.vmsc.call_for(ms1.imsi)
+        call2 = nw.vmsc.call_for(ms2.imsi)
+        assert call1 is not call2
+        assert call1.call_ref == call2.call_ref  # shared reference
+        assert call1.direction == "mo" and call2.direction == "mt"
+
+    def test_setup_hairpins_through_the_ggsn(self, two_ms):
+        nw, ms1, ms2 = two_ms
+        since = nw.sim.now
+        self.connect(nw, ms1, ms2)
+        setups = nw.sim.trace.messages(name="Q931_Setup", since=since)
+        hops = [(e.src, e.dst) for e in setups]
+        assert ("VMSC", "SGSN") in hops      # MO leg out
+        assert ("SGSN", "VMSC") in hops      # MT leg back in
+        assert ("GGSN", "IPNET") in hops     # via the packet network
+
+    def test_voice_both_ways_double_transcoded(self, two_ms):
+        nw, ms1, ms2 = two_ms
+        self.connect(nw, ms1, ms2)
+        ms1.start_talking(duration=0.5)
+        ms2.start_talking(duration=0.5)
+        nw.sim.run(until=nw.sim.now + 1.5)
+        assert ms1.frames_received == 25
+        assert ms2.frames_received == 25
+        counters = nw.sim.metrics.counters("VMSC.frames_transcoded")
+        # 25 frames each way, each transcoded up (TCH->RTP) and down.
+        assert counters["VMSC.frames_transcoded_up"] == 50
+        assert counters["VMSC.frames_transcoded_down"] == 50
+
+    def test_voice_pdp_context_per_ms(self, two_ms):
+        nw, ms1, ms2 = two_ms
+        self.connect(nw, ms1, ms2)
+        nw.sim.run(until=nw.sim.now + 0.5)
+        for ms in (ms1, ms2):
+            assert nw.vmsc.ms_table.get(ms.imsi).voice_ready
+
+    def test_release_clears_both_legs(self, two_ms):
+        nw, ms1, ms2 = two_ms
+        self.connect(nw, ms1, ms2)
+        nw.sim.run(until=nw.sim.now + 1.0)
+        ms1.hangup()
+        assert nw.sim.run_until_true(
+            lambda: ms1.state == "idle" and ms2.state == "idle", timeout=30
+        )
+        nw.sim.run(until=nw.sim.now + 2.0)
+        assert nw.vmsc.calls == {}
+        assert len(nw.gk.call_records) == 1
+        for ms in (ms1, ms2):
+            assert not nw.vmsc.ms_table.get(ms.imsi).voice_ready
+
+    def test_callee_hangup_also_works(self, two_ms):
+        nw, ms1, ms2 = two_ms
+        self.connect(nw, ms1, ms2)
+        nw.sim.run(until=nw.sim.now + 1.0)
+        ms2.hangup()
+        assert nw.sim.run_until_true(
+            lambda: ms1.state == "idle" and ms2.state == "idle", timeout=30
+        )
+        assert nw.vmsc.calls == {}
+
+    def test_ms_calling_itself_is_busy(self, two_ms):
+        nw, ms1, _ = two_ms
+        ms1.place_call(ms1.msisdn)
+        nw.sim.run(until=nw.sim.now + 10.0)
+        # The MT leg finds the MS busy (it is the caller) and clears.
+        assert ms1.state == "idle"
+        assert nw.vmsc.calls == {}

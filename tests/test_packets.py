@@ -1,0 +1,215 @@
+"""Unit tests for the packet base class and the protocol message sets."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.identities import IMSI, E164Number, IPv4Address, TunnelId
+from repro.packets.base import Packet, Raw
+from repro.packets.bssap import (
+    AuthenticationRequest,
+    TchFrame,
+    UmLocationUpdateRequest,
+    UmSetup,
+)
+from repro.packets.gmm import ActivatePdpContextRequest, GprsAttachRequest
+from repro.packets.gtp import GtpCreatePdpContextRequest, GtpHeader, MSG_T_PDU
+from repro.packets.ip import IPv4, TCPLite, UDP
+from repro.packets.isup import IsupIam, IsupRel, PcmFrame
+from repro.packets.map import MapInsertSubsData, MapUpdateLocationArea
+from repro.packets.q931 import Q931Connect, Q931ReleaseComplete, Q931Setup
+from repro.packets.ras import RasAcf, RasArq, RasRrq
+from repro.packets.rtp import RtpPacket
+
+IMSI1 = IMSI("466920000000001")
+NUM = E164Number("886", "935000001")
+IP_A = IPv4Address.parse("10.0.0.1")
+IP_B = IPv4Address.parse("10.0.0.2")
+
+
+class TestLayering:
+    def test_div_stacks_layers(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=2) / Raw(data=b"x")
+        layers = list(pkt.layers())
+        assert [type(l) for l in layers] == [IPv4, UDP, Raw]
+
+    def test_div_appends_to_innermost(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=2)
+        pkt = pkt / Raw(data=b"y")
+        assert isinstance(pkt.innermost(), Raw)
+
+    def test_get_layer_and_haslayer(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / UDP(sport=9, dport=10)
+        assert pkt.get_layer(UDP).sport == 9
+        assert pkt.haslayer(IPv4)
+        assert not pkt.haslayer(Raw)
+
+    def test_flow_name_picks_innermost_visible(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=2) / RasRrq(
+            seq=1, alias=NUM, signal_address=IP_A, signal_port=1720
+        )
+        assert pkt.flow_name() == "RAS_RRQ"
+
+    def test_flow_name_falls_back_to_outermost(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=2)
+        assert pkt.flow_name() == "IPv4"
+
+    def test_trace_info_merges_layers(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / Q931Setup(
+            call_ref=7, called=NUM, signal_address=IP_A, signal_port=1720,
+            media_address=IP_A, media_port=5004,
+        )
+        info = pkt.trace_info()
+        assert info["ip_src"] == "10.0.0.1"
+        assert info["call_ref"] == 7
+
+
+class TestFieldsAccess:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(PacketError):
+            UDP(sport=1, dport=2, bogus=3)
+
+    def test_attribute_read_write(self):
+        pkt = UDP(sport=1, dport=2)
+        pkt.sport = 99
+        assert pkt.sport == 99
+
+    def test_attribute_write_validates(self):
+        pkt = UDP(sport=1, dport=2)
+        with pytest.raises(Exception):
+            pkt.sport = -5
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            UDP(sport=1, dport=2).nonexistent
+
+    def test_defaults_applied(self):
+        pkt = IPv4(src=IP_A, dst=IP_B)
+        assert pkt.ttl == 64
+
+
+class TestWireCodec:
+    def assert_roundtrip(self, pkt):
+        wire = pkt.build()
+        back = type(pkt).parse(wire)
+        assert back == pkt
+        return wire
+
+    def test_single_layer_roundtrip(self):
+        self.assert_roundtrip(UDP(sport=1719, dport=1719))
+
+    def test_multi_layer_roundtrip(self):
+        self.assert_roundtrip(
+            IPv4(src=IP_A, dst=IP_B)
+            / TCPLite(sport=1720, dport=1720)
+            / Q931Setup(
+                call_ref=1, called=NUM, calling=NUM,
+                signal_address=IP_A, signal_port=1720,
+                media_address=IP_A, media_port=5004,
+            )
+        )
+
+    def test_unset_mandatory_field_fails_build(self):
+        with pytest.raises(PacketError):
+            IPv4().build()  # src/dst unset
+
+    def test_parse_wrong_outer_class(self):
+        wire = UDP(sport=1, dport=2).build()
+        with pytest.raises(PacketError):
+            IPv4.parse(wire)
+
+    def test_parse_base_class_dispatches(self):
+        wire = UDP(sport=1, dport=2).build()
+        assert isinstance(Packet.parse(wire), UDP)
+
+    def test_trailing_garbage_rejected(self):
+        wire = UDP(sport=1, dport=2).build() + b"\x00"
+        with pytest.raises(PacketError):
+            Packet.parse(wire)
+
+    def test_unknown_wire_id(self):
+        with pytest.raises(PacketError):
+            Packet.parse(b"\xff\xff")
+
+    def test_copy_is_deep_for_chain(self):
+        pkt = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=2)
+        clone = pkt.copy()
+        clone.get_layer(UDP).sport = 42
+        assert pkt.get_layer(UDP).sport == 1
+        assert clone == IPv4(src=IP_A, dst=IP_B) / UDP(sport=42, dport=2)
+
+    def test_equality_includes_payload(self):
+        a = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=2)
+        b = IPv4(src=IP_A, dst=IP_B) / UDP(sport=1, dport=3)
+        assert a != b
+
+    def test_show_contains_fields(self):
+        text = (IPv4(src=IP_A, dst=IP_B) / UDP(sport=7, dport=8)).show()
+        assert "IPv4" in text and "sport" in text
+
+    def test_repr_skips_unset(self):
+        assert "calling" not in repr(UmSetup(ti=1, imsi=IMSI1, called=NUM))
+
+
+PROTO_SAMPLES = [
+    UmLocationUpdateRequest(imsi=IMSI1, lai="LAI-1"),
+    UmSetup(ti=1, imsi=IMSI1, called=NUM, calling=NUM),
+    AuthenticationRequest(imsi=IMSI1, rand=b"\x01" * 16),
+    TchFrame(ti=1, imsi=IMSI1, seq=3, gen_time_us=123456, voice=b"\x00" * 33),
+    MapUpdateLocationArea(invoke_id=1, imsi=IMSI1, lai="LAI-1"),
+    MapInsertSubsData(invoke_id=2, imsi=IMSI1, msisdn=NUM),
+    GprsAttachRequest(imsi=IMSI1),
+    ActivatePdpContextRequest(imsi=IMSI1, nsapi=5),
+    GtpHeader(msg_type=MSG_T_PDU, seq=9, tid=TunnelId(IMSI1, 5)),
+    GtpCreatePdpContextRequest(nsapi=5, sgsn_address="SGSN"),
+    RasRrq(seq=1, alias=NUM, signal_address=IP_A, signal_port=1720),
+    RasArq(seq=2, call_ref=10, endpoint_alias=NUM, called_alias=NUM),
+    RasAcf(seq=3, call_ref=10, dest_signal_address=IP_B, dest_signal_port=1720),
+    Q931Setup(call_ref=5, called=NUM, signal_address=IP_A, signal_port=1720,
+              media_address=IP_A, media_port=5004),
+    Q931Connect(call_ref=5, media_address=IP_B, media_port=5004),
+    Q931ReleaseComplete(call_ref=5),
+    IsupIam(cic=77, called=NUM, calling=NUM),
+    IsupRel(cic=77),
+    PcmFrame(cic=77, seq=2, gen_time_us=55),
+    RtpPacket(seq=1, timestamp=160, ssrc=42, gen_time_us=1000, frame=b"\x00" * 160),
+]
+
+
+@pytest.mark.parametrize("pkt", PROTO_SAMPLES, ids=lambda p: type(p).__name__)
+def test_protocol_message_roundtrip(pkt):
+    wire = pkt.build()
+    assert type(pkt).parse(wire) == pkt
+
+
+@pytest.mark.parametrize("pkt", PROTO_SAMPLES, ids=lambda p: type(p).__name__)
+def test_protocol_message_tunnelled_roundtrip(pkt):
+    """Every message survives encapsulation in IP/UDP/GTP."""
+    tid = TunnelId(IMSI1, 5)
+    frame = (
+        IPv4(src=IP_A, dst=IP_B)
+        / UDP(sport=3386, dport=3386)
+        / GtpHeader(msg_type=MSG_T_PDU, seq=0, tid=tid)
+        / pkt.copy()
+    )
+    back = IPv4.parse(frame.build())
+    assert back == frame
+    assert back.flow_name() == frame.flow_name()
+    if pkt.show_in_flow:
+        assert back.flow_name() == pkt.flow_name()
+
+
+def test_wire_ids_unique_across_registry():
+    from repro.packets.base import _WIRE_REGISTRY
+
+    assert len(_WIRE_REGISTRY) == len(set(_WIRE_REGISTRY))
+    names = [cls.__name__ for cls in _WIRE_REGISTRY.values()]
+    assert len(names) == len(set(names))
+
+
+def test_duplicate_field_names_rejected():
+    from repro.packets.fields import ByteField
+
+    with pytest.raises(PacketError):
+        class Dup(Packet):  # noqa: F811
+            name = "Dup"
+            fields = (ByteField("x"), ByteField("x"))

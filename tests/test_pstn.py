@@ -1,0 +1,195 @@
+"""Unit/integration tests for the PSTN substrate."""
+
+import pytest
+
+from repro.identities import E164Number
+from repro.net.interfaces import Interface
+from repro.net.node import Network
+from repro.pstn.numbering import HONG_KONG, NumberingPlan, TAIWAN, UK
+from repro.pstn.phone import PstnPhone
+from repro.pstn.switch import PstnSwitch
+from repro.pstn.trunks import TrunkLedger
+from repro.sim.kernel import Simulator
+
+
+class TestNumberingPlan:
+    def test_parse_known_codes(self):
+        plan = NumberingPlan()
+        n = plan.parse("+85221234567")
+        assert n.country_code == HONG_KONG
+
+    def test_is_international(self):
+        plan = NumberingPlan()
+        n = plan.parse("+447700900123")
+        assert plan.is_international(HONG_KONG, n)
+        assert not plan.is_international(UK, n)
+
+    def test_number_constructor_validates_cc(self):
+        plan = NumberingPlan(country_codes=(TAIWAN,))
+        from repro.errors import AddressError
+
+        with pytest.raises(AddressError):
+            plan.number("44", "123")
+
+    def test_country_name(self):
+        assert NumberingPlan().country_name("44") == "United Kingdom"
+        assert NumberingPlan().country_name("7") == "+7"
+
+
+@pytest.fixture
+def pstn():
+    """Two exchanges (HK and TW) with one phone each."""
+    sim = Simulator()
+    net = Network(sim)
+    ledger = TrunkLedger()
+    ex_hk = net.add(PstnSwitch(sim, "EX-HK", HONG_KONG, ledger, cic_start=1000))
+    ex_tw = net.add(PstnSwitch(sim, "EX-TW", TAIWAN, ledger, cic_start=2000))
+    net.connect(ex_hk, ex_tw, Interface.ISUP, 0.050)
+    a = net.add(PstnPhone(sim, "A", E164Number.parse("+85221110001"),
+                          answer_delay=0.3))
+    b = net.add(PstnPhone(sim, "B", E164Number.parse("+88622220001"),
+                          answer_delay=0.3))
+    net.connect(a, ex_hk, Interface.ISUP, 0.002)
+    net.connect(b, ex_tw, Interface.ISUP, 0.002)
+    ex_hk.add_local(a.number, a.name)
+    ex_tw.add_local(b.number, b.name)
+    ex_hk.add_route("+886", "EX-TW", international=True)
+    ex_tw.add_route("+852", "EX-HK", international=True)
+    return sim, ledger, ex_hk, ex_tw, a, b
+
+
+class TestSwitchRouting:
+    def test_international_call_connects(self, pstn):
+        sim, ledger, _, _, a, b = pstn
+        a.place_call(b.number)
+        assert sim.run_until_true(
+            lambda: a.state == "in-call" and b.state == "in-call", timeout=10
+        )
+        assert ledger.international_count() == 1
+
+    def test_voice_travels_the_circuit(self, pstn):
+        sim, _, _, _, a, b = pstn
+        a.place_call(b.number)
+        sim.run_until_true(lambda: a.state == "in-call", timeout=10)
+        a.start_talking(duration=0.5)
+        b.start_talking(duration=0.5)
+        sim.run(until=sim.now + 1.5)
+        assert a.frames_received == 25
+        assert b.frames_received == 25
+        m2e = sim.metrics.get_histogram("B.mouth_to_ear")
+        # One international hop plus two subscriber lines.
+        assert m2e.mean == pytest.approx(0.054, abs=0.002)
+
+    def test_release_clears_both_ends_and_ledger(self, pstn):
+        sim, ledger, _, _, a, b = pstn
+        a.place_call(b.number)
+        sim.run_until_true(lambda: a.state == "in-call", timeout=10)
+        a.hangup()
+        assert sim.run_until_true(
+            lambda: a.state == "idle" and b.state == "idle", timeout=10
+        )
+        assert all(r.released_at is not None for r in ledger.records)
+        assert all(r.holding_time > 0 for r in ledger.records)
+
+    def test_callee_hangup_releases_caller(self, pstn):
+        sim, _, _, _, a, b = pstn
+        a.place_call(b.number)
+        sim.run_until_true(lambda: b.state == "in-call", timeout=10)
+        b.hangup()
+        assert sim.run_until_true(lambda: a.state == "idle", timeout=10)
+
+    def test_no_route_released_with_cause(self, pstn):
+        sim, _, _, _, a, _ = pstn
+        a.place_call(E164Number.parse("+14155550100"))
+        sim.run(until=sim.now + 5)
+        assert a.state == "idle"
+        from repro.packets.isup import CAUSE_NO_ROUTE
+
+        assert a.release_cause == CAUSE_NO_ROUTE
+
+    def test_busy_callee_releases_with_cause(self, pstn):
+        sim, _, ex_hk, _, a, b = pstn
+        c = PstnPhone(sim, "C", E164Number.parse("+85221110002"))
+        ex_hk.network.add(c)
+        ex_hk.network.connect(c, ex_hk, Interface.ISUP, 0.002)
+        ex_hk.add_local(c.number, c.name)
+        a.place_call(b.number)
+        sim.run_until_true(lambda: a.state == "in-call", timeout=10)
+        c.place_call(b.number)
+        sim.run(until=sim.now + 3)
+        assert c.state == "idle"
+        assert c.release_cause == 17  # user busy
+
+    def test_longest_prefix_wins(self):
+        sim = Simulator()
+        net = Network(sim)
+        sw = net.add(PstnSwitch(sim, "SW", TAIWAN))
+        sw.add_route("+886", "GENERIC")
+        sw.add_route("+8869", "MOBILE")
+        routes = sw._candidate_routes(E164Number.parse("+886935000001"))
+        assert [r.next_hop for r in routes] == ["MOBILE"]
+
+    def test_equal_prefix_keeps_configuration_order(self):
+        sim = Simulator()
+        net = Network(sim)
+        sw = net.add(PstnSwitch(sim, "SW", HONG_KONG))
+        sw.add_route("+44", "GATEWAY")
+        sw.add_route("+44", "INTL", international=True)
+        routes = sw._candidate_routes(E164Number.parse("+447700900123"))
+        assert [r.next_hop for r in routes] == ["GATEWAY", "INTL"]
+
+
+class TestFallbackRouting:
+    def test_reroute_on_no_route_release(self):
+        """The first route releases with a routing cause; the switch must
+        try the second (the Figure 8 gateway-first pattern)."""
+        sim = Simulator()
+        net = Network(sim)
+        ledger = TrunkLedger()
+        sw = net.add(PstnSwitch(sim, "SW", HONG_KONG, ledger))
+        # "DEAD" rejects everything with no-route; "LIVE" hosts the callee.
+        dead = net.add(PstnSwitch(sim, "DEAD", HONG_KONG, ledger, cic_start=5000))
+        live = net.add(PstnSwitch(sim, "LIVE", HONG_KONG, ledger, cic_start=6000))
+        net.connect(sw, dead, Interface.ISUP, 0.002)
+        net.connect(sw, live, Interface.ISUP, 0.002)
+        caller = net.add(PstnPhone(sim, "CALLER", E164Number.parse("+85221110001")))
+        callee = net.add(PstnPhone(sim, "CALLEE", E164Number.parse("+85221110009"),
+                                   answer_delay=0.1))
+        net.connect(caller, sw, Interface.ISUP, 0.002)
+        net.connect(callee, live, Interface.ISUP, 0.002)
+        sw.add_local(caller.number, caller.name)
+        live.add_local(callee.number, callee.name)
+        sw.add_route("+8522111000", "DEAD")
+        sw.add_route("+8522111000", "LIVE")
+        caller.place_call(callee.number)
+        assert sim.run_until_true(lambda: caller.state == "in-call", timeout=10)
+        assert sim.metrics.counters("DEAD.route_failures") == {
+            "DEAD.route_failures": 1
+        }
+
+
+class TestTrunkLedger:
+    def test_seize_release_accounting(self):
+        ledger = TrunkLedger()
+        n = E164Number.parse("+447700900123")
+        ledger.seize(1.0, "A", "B", n, True, 7)
+        ledger.seize(2.0, "B", "C", n, False, 8)
+        assert ledger.total_count() == 2
+        assert ledger.international_count() == 1
+        assert len(ledger.active(2.5)) == 2
+        ledger.release(5.0, "A", 7)
+        assert ledger.records[0].holding_time == 4.0
+        assert len(ledger.active(6.0)) == 1
+
+    def test_since_filter(self):
+        ledger = TrunkLedger()
+        n = E164Number.parse("+447700900123")
+        ledger.seize(1.0, "A", "B", n, True, 1)
+        ledger.seize(10.0, "A", "B", n, True, 2)
+        assert ledger.international_count(since=5.0) == 1
+
+    def test_clear(self):
+        ledger = TrunkLedger()
+        ledger.seize(1.0, "A", "B", E164Number.parse("+447700900123"), True, 1)
+        ledger.clear()
+        assert ledger.total_count() == 0

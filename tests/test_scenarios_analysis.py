@@ -1,0 +1,179 @@
+"""Tests for the scenario drivers and the analysis/reporting helpers."""
+
+import pytest
+
+from repro.core import scenarios
+from repro.core.flows import FlowMismatch, FlowStep, match_flow
+from repro.analysis.latency import breakdown_registration, post_dial_delay
+from repro.analysis.modifications import modification_matrix
+from repro.analysis.msc_chart import render_msc
+from repro.analysis.report import format_table
+from repro.sim.trace import TraceRecorder
+
+
+class TestScenarioDrivers:
+    def test_register_returns_latency(self, vgprs):
+        latency = scenarios.register_ms(vgprs, vgprs.mss["MS1"])
+        assert 0.05 < latency < 2.0
+
+    def test_register_failure_raises(self, vgprs):
+        from repro.errors import RegistrationError
+
+        ms = vgprs.mss["MS1"]
+        ms.ki = b"\xff" * 16  # breaks authentication
+        with pytest.raises(RegistrationError):
+            scenarios.register_ms(vgprs, ms, timeout=5.0)
+
+    def test_mo_outcome_timing_ordered(self, registered):
+        outcome = scenarios.call_ms_to_terminal(
+            registered, registered.mss["MS1"], registered.terminals["TERM1"]
+        )
+        assert outcome.alerting_at is not None
+        assert outcome.dialled_at < outcome.alerting_at < outcome.connected_at
+        assert outcome.setup_delay > 0
+        assert outcome.answer_delay >= outcome.setup_delay
+
+    def test_mt_outcome_timing_ordered(self, registered):
+        outcome = scenarios.call_terminal_to_ms(
+            registered, registered.terminals["TERM1"], registered.mss["MS1"]
+        )
+        assert outcome.alerting_at is not None
+        assert outcome.connected_at is not None
+
+    def test_message_count_deltas(self, registered):
+        before = scenarios.message_counts(registered)
+        scenarios.call_ms_to_terminal(
+            registered, registered.mss["MS1"], registered.terminals["TERM1"]
+        )
+        after = scenarios.message_counts(registered)
+        delta = scenarios.delta_counts(before, after)
+        # Every core element participated in call setup.
+        for node in ("MS1", "BTS1", "BSC", "VMSC", "VLR", "SGSN", "GGSN", "GK"):
+            assert delta.get(node, 0) > 0, node
+        # The HLR is not involved in call setup beyond authentication.
+        assert delta.get("HLR", 0) <= 2
+
+    def test_settle_advances_clock(self, vgprs):
+        t0 = vgprs.sim.now
+        scenarios.settle(vgprs, period=2.5)
+        assert vgprs.sim.now == pytest.approx(t0 + 2.5)
+
+
+class TestFlowMatcher:
+    def make_trace(self, *names):
+        clock = {"t": 0.0}
+        trace = TraceRecorder(clock=lambda: clock["t"])
+        for name in names:
+            clock["t"] += 1.0
+            trace.record("msg", "A", "B", "i", name)
+        return trace
+
+    def test_simple_chain_matches(self):
+        trace = self.make_trace("M1", "M2", "M3")
+        steps = [FlowStep("1", "M1"), FlowStep("2", "M2"), FlowStep("3", "M3")]
+        matched = match_flow(trace, steps)
+        assert [matched[s].time for s in ("1", "2", "3")] == [1.0, 2.0, 3.0]
+
+    def test_out_of_order_fails(self):
+        trace = self.make_trace("M2", "M1")
+        steps = [FlowStep("1", "M1"), FlowStep("2", "M2")]
+        with pytest.raises(FlowMismatch):
+            match_flow(trace, steps)
+
+    def test_explicit_after_allows_branches(self):
+        trace = self.make_trace("ROOT", "B", "A")
+        steps = [
+            FlowStep("root", "ROOT"),
+            FlowStep("a", "A", after=("root",)),
+            FlowStep("b", "B", after=("root",)),
+        ]
+        matched = match_flow(trace, steps)
+        assert matched["a"].time == 3.0 and matched["b"].time == 2.0
+
+    def test_missing_step_reports_candidates(self):
+        trace = self.make_trace("M1")
+        with pytest.raises(FlowMismatch) as err:
+            match_flow(trace, [FlowStep("1", "M1"), FlowStep("2", "M2")])
+        assert "M2" in str(err.value)
+
+    def test_unknown_dependency_rejected(self):
+        trace = self.make_trace("M1")
+        with pytest.raises(FlowMismatch):
+            match_flow(trace, [FlowStep("1", "M1", after=("nope",))])
+
+    def test_src_dst_constraints(self):
+        clock = {"t": 0.0}
+        trace = TraceRecorder(clock=lambda: clock["t"])
+        trace.record("msg", "X", "Y", "i", "M")
+        trace.record("msg", "A", "B", "i", "M")
+        matched = match_flow(trace, [FlowStep("1", "M", src="A", dst="B")])
+        assert matched["1"].src == "A"
+
+    def test_entries_not_reused(self):
+        trace = self.make_trace("M", "M")
+        matched = match_flow(trace, [FlowStep("1", "M"), FlowStep("2", "M")])
+        assert matched["1"].time != matched["2"].time
+        with pytest.raises(FlowMismatch):
+            match_flow(
+                trace,
+                [FlowStep("1", "M"), FlowStep("2", "M"), FlowStep("3", "M")],
+            )
+
+    def test_since_scopes_the_trace(self):
+        trace = self.make_trace("M", "N")
+        with pytest.raises(FlowMismatch):
+            match_flow(trace, [FlowStep("1", "M")], since=1.5)
+
+
+class TestAnalysis:
+    def test_registration_breakdown(self, vgprs):
+        scenarios.register_ms(vgprs, vgprs.mss["MS1"])
+        breakdown = breakdown_registration(vgprs.sim.trace)
+        assert breakdown is not None
+        assert breakdown.total > breakdown.gsm_phase
+        assert breakdown.gprs_phase > 0
+        assert breakdown.h323_phase > 0
+        millis = breakdown.as_millis()
+        assert millis["total_ms"] == pytest.approx(breakdown.total * 1000, rel=0.01)
+
+    def test_breakdown_none_without_data(self):
+        trace = TraceRecorder(clock=lambda: 0.0)
+        assert breakdown_registration(trace) is None
+
+    def test_post_dial_delay(self, registered):
+        since = registered.sim.now
+        scenarios.call_ms_to_terminal(
+            registered, registered.mss["MS1"], registered.terminals["TERM1"]
+        )
+        pdd = post_dial_delay(registered.sim.trace, since=since)
+        assert pdd is not None and 0 < pdd < 1.0
+
+    def test_render_msc_contains_arrows(self, registered):
+        text = render_msc(
+            registered.sim.trace.entries,
+            ["MS1", "BTS1", "BSC", "VMSC"],
+            include={"Um_Location_Update_Request", "A_Location_Update"},
+            col_width=30,
+        )
+        assert "Um_Location_Update_Request" in text
+        assert ">" in text
+
+    def test_render_msc_skips_unknown_nodes(self):
+        trace = TraceRecorder(clock=lambda: 0.0)
+        trace.record("msg", "GHOST", "ALSO-GHOST", "i", "M")
+        text = render_msc(trace.entries, ["A", "B"])
+        assert "M" not in text
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in table
+        assert "2.500" in table
+
+    def test_modification_matrix_all_verified(self):
+        rows = modification_matrix()
+        assert len(rows) >= 5
+        assert all(row.verified for row in rows)

@@ -1,0 +1,101 @@
+"""Unit tests for protocol timers."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_after_duration(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, "T1", 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [2.0]
+        assert timer.expiries == 1
+
+    def test_stop_prevents_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, "T1", 2.0, lambda: fired.append(1))
+        timer.start()
+        sim.schedule(1.0, timer.stop)
+        sim.run()
+        assert fired == []
+        assert not timer.running
+
+    def test_restart_extends_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, "T1", 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(1.5, timer.restart)
+        sim.run()
+        assert fired == [3.5]
+
+    def test_start_with_override_duration(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, "T1", 10.0, lambda: fired.append(sim.now))
+        timer.start(duration=1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_running_property(self):
+        sim = Simulator()
+        timer = Timer(sim, "T1", 1.0, lambda: None)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        sim.run()
+        assert not timer.running
+
+    def test_stop_when_not_running_is_noop(self):
+        sim = Simulator()
+        timer = Timer(sim, "T1", 1.0, lambda: None)
+        timer.stop()
+        assert not timer.running
+
+    def test_can_restart_after_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, "T1", 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        timer.start()
+        sim.run()
+        assert fired == [1.0, 2.0]
+        assert timer.expiries == 2
+
+
+class TestPeriodicTimer:
+    def test_ticks_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, "P1", 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert timer.ticks == 3
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, "P1", 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run()
+        assert ticks == [1.0, 2.0]
+
+    def test_callback_may_stop_timer(self):
+        sim = Simulator()
+        ticks = []
+
+        def once():
+            ticks.append(sim.now)
+            timer.stop()
+
+        timer = PeriodicTimer(sim, "P1", 1.0, once)
+        timer.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0]

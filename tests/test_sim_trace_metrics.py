@@ -1,0 +1,183 @@
+"""Unit tests for the trace recorder, metrics and RNG streams."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Gauge, Histogram
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def make(self):
+        clock = {"t": 0.0}
+        trace = TraceRecorder(clock=lambda: clock["t"])
+        return trace, clock
+
+    def test_record_and_query(self):
+        trace, clock = self.make()
+        trace.record("msg", "A", "B", "Um", "Hello")
+        clock["t"] = 1.0
+        trace.record("msg", "B", "C", "Abis", "World")
+        assert trace.count() == 2
+        assert trace.count("Hello") == 1
+        assert trace.triples() == [("Hello", "A", "B"), ("World", "B", "C")]
+
+    def test_filters(self):
+        trace, clock = self.make()
+        trace.record("msg", "A", "B", "Um", "M1")
+        clock["t"] = 2.0
+        trace.record("msg", "A", "C", "A", "M1")
+        assert len(trace.messages(dst="B")) == 1
+        assert len(trace.messages(interface="A")) == 1
+        assert len(trace.messages(since=1.0)) == 1
+        assert len(trace.messages(src="A")) == 2
+
+    def test_quiet_names_suppressed(self):
+        trace, _ = self.make()
+        trace.record("msg", "A", "B", "Um", "TCH_Frame")
+        trace.record("msg", "A", "B", "Um", "RTP")
+        trace.record("msg", "A", "B", "Um", "PCM_Frame")
+        trace.record("msg", "A", "B", "Um", "Real_Message")
+        assert trace.count() == 1
+
+    def test_disabled_recorder_drops_everything(self):
+        trace, _ = self.make()
+        trace.enabled = False
+        trace.record("msg", "A", "B", "Um", "M1")
+        assert trace.count() == 0
+
+    def test_first_last_span(self):
+        trace, clock = self.make()
+        trace.record("msg", "A", "B", "Um", "Start")
+        clock["t"] = 5.0
+        trace.record("msg", "B", "A", "Um", "End")
+        clock["t"] = 7.0
+        trace.record("msg", "B", "A", "Um", "End")
+        assert trace.first("Start").time == 0.0
+        assert trace.last("End").time == 7.0
+        assert trace.span("Start", "End") == 7.0
+        assert trace.span("Start", "Missing") is None
+
+    def test_contains_subsequence(self):
+        trace, _ = self.make()
+        for name in ("A1", "B1", "C1"):
+            trace.record("msg", "x", "y", "i", name)
+        assert trace.contains_subsequence(
+            [("A1", "x", "y"), ("C1", "x", "y")]
+        )
+        assert not trace.contains_subsequence(
+            [("C1", "x", "y"), ("A1", "x", "y")]
+        )
+
+    def test_note_sanitises_reserved_keys(self):
+        trace, _ = self.make()
+        trace.note("NODE", "EVENT", dst="10.0.0.1", detail=5)
+        entry = trace.entries[0]
+        assert entry.kind == "note"
+        assert entry.info["dst_"] == "10.0.0.1"
+        assert entry.info["detail"] == 5
+
+    def test_clear(self):
+        trace, _ = self.make()
+        trace.record("msg", "A", "B", "Um", "M1")
+        trace.clear()
+        assert trace.entries == []
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == 2.5
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+        assert h.quantile(0.5) == 2.5
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.fraction_below(1.0) == 0.0
+        assert h.stdev == 0.0
+
+    def test_fraction_below(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 4, 5):
+            h.observe(float(v))
+        assert h.fraction_below(3.0) == 0.4
+
+    def test_stdev(self):
+        h = Histogram("h")
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            h.observe(v)
+        assert h.stdev == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_sample_quantile(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        assert h.quantile(0.7) == 42.0
+
+
+class TestGauge:
+    def test_time_weighted_integral(self):
+        clock = {"t": 0.0}
+        g = Gauge("g", clock=lambda: clock["t"])
+        g.set(2.0)
+        clock["t"] = 5.0
+        g.set(0.0)
+        clock["t"] = 10.0
+        assert g.integral() == pytest.approx(10.0)
+        assert g.time_average() == pytest.approx(1.0)
+
+    def test_inc_dec_and_peak(self):
+        clock = {"t": 0.0}
+        g = Gauge("g", clock=lambda: clock["t"])
+        g.inc()
+        g.inc()
+        assert g.peak == 2.0
+        g.dec()
+        assert g.value == 1.0
+        assert g.peak == 2.0
+
+    def test_metrics_registry_reuses_instances(self):
+        sim = Simulator()
+        assert sim.metrics.counter("x") is sim.metrics.counter("x")
+        assert sim.metrics.histogram("y") is sim.metrics.histogram("y")
+        assert sim.metrics.gauge("z") is sim.metrics.gauge("z")
+
+    def test_counters_prefix_filter(self):
+        sim = Simulator()
+        sim.metrics.counter("a.one").inc()
+        sim.metrics.counter("a.two").inc(3)
+        sim.metrics.counter("b.other").inc()
+        assert sim.metrics.counters("a.") == {"a.one": 1, "a.two": 3}
+
+
+class TestRandomStreams:
+    def test_streams_are_independent(self):
+        streams = RandomStreams(seed=1)
+        a1 = [streams.uniform("a", 0, 1) for _ in range(3)]
+        streams2 = RandomStreams(seed=1)
+        # Drawing from "b" first must not perturb "a".
+        streams2.uniform("b", 0, 1)
+        a2 = [streams2.uniform("a", 0, 1) for _ in range(3)]
+        assert a1 == a2
+
+    def test_deterministic_per_seed(self):
+        assert RandomStreams(5).randint("x", 0, 100) == RandomStreams(5).randint(
+            "x", 0, 100
+        )
+
+    def test_different_seeds_differ(self):
+        draws1 = [RandomStreams(1).getrandbits("x", 64) for _ in range(1)]
+        draws2 = [RandomStreams(2).getrandbits("x", 64) for _ in range(1)]
+        assert draws1 != draws2
+
+    def test_expovariate_positive(self):
+        streams = RandomStreams(3)
+        assert all(streams.expovariate("e", 2.0) > 0 for _ in range(10))

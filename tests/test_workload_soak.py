@@ -1,0 +1,151 @@
+"""Soak test: a population of subscribers making random calls for
+minutes of simulated time, with system-wide invariants checked at the
+end.  This is the failure-injection and leak-detection net for the whole
+stack."""
+
+import pytest
+
+from repro.core import scenarios
+
+
+def drain(nw, pairs, rounds: int = 5) -> None:
+    """Hang up every call that is active or still connecting; calls
+    admitted just before the workload stopped may only reach the
+    connected state a few seconds later."""
+    for _ in range(rounds):
+        nw.sim.run(until=nw.sim.now + 3.0)
+        for ms, _ in pairs:
+            if ms.state == "in-call":
+                ms.hangup()
+        for _, term in pairs:
+            for ref, call in list(term.calls.items()):
+                if call.state == "in-call":
+                    term.hangup(ref)
+    nw.sim.run(until=nw.sim.now + 10.0)
+from repro.core.network import build_vgprs_network
+from repro.core.workload import CallWorkload, build_population
+from repro.gprs.pdp import NSAPI_VOICE
+
+
+@pytest.fixture(scope="module")
+def soaked():
+    """Run a 120-simulated-second mixed workload over 6 pairs once and
+    share the result across the invariant checks."""
+    nw = build_vgprs_network(seed=99)
+    pairs = build_population(nw, size=6)
+    nw.sim.run(until=0.5)
+    for ms, _ in pairs:
+        scenarios.register_ms(nw, ms)
+    workload = CallWorkload(nw, pairs, call_rate=0.15, hold_range=(1.0, 4.0))
+    workload.start()
+    nw.sim.run(until=nw.sim.now + 120.0)
+    workload.stop()
+    drain(nw, pairs)
+    return nw, pairs, workload
+
+
+class TestSoakInvariants:
+    def test_meaningful_load_was_generated(self, soaked):
+        _, _, workload = soaked
+        assert workload.stats.attempted >= 20
+        assert workload.stats.attempted_mo > 0
+        assert workload.stats.attempted_mt > 0
+        assert workload.stats.completion_ratio > 0.8
+
+    def test_no_unhandled_messages(self, soaked):
+        nw, _, _ = soaked
+        assert nw.sim.metrics.counters("unhandled") == {}
+
+    def test_all_radio_channels_returned(self, soaked):
+        nw, _, _ = soaked
+        assert nw.bscs[0].tch_in_use == 0
+
+    def test_no_voice_contexts_leaked(self, soaked):
+        nw, pairs, _ = soaked
+        for ms, _ in pairs:
+            assert (ms.imsi, NSAPI_VOICE) not in nw.sgsn.pdp_contexts
+            entry = nw.vmsc.ms_table.get(ms.imsi)
+            assert entry.signalling_ready and not entry.voice_ready
+
+    def test_no_dangling_calls_anywhere(self, soaked):
+        nw, pairs, _ = soaked
+        assert nw.vmsc.calls == {}
+        assert nw.gk.active_calls == {}
+        for _, term in pairs:
+            assert term.calls == {}
+        for ms, _ in pairs:
+            assert ms.state == "idle"
+
+    def test_every_connected_call_was_charged(self, soaked):
+        nw, _, workload = soaked
+        # Calls that connected in the instant the workload stopped are
+        # drained (and charged) without being counted in the stats, so
+        # the record count can exceed the counted connections — never
+        # the reverse, and every record must be complete.
+        assert len(nw.gk.call_records) >= workload.stats.connected
+        assert all(cdr.complete for cdr in nw.gk.call_records)
+
+    def test_signalling_context_survived_the_soak(self, soaked):
+        nw, pairs, _ = soaked
+        # One signalling context per subscriber, held throughout.
+        assert nw.sgsn.context_count() == len(pairs)
+
+    def test_voice_frames_flowed(self, soaked):
+        nw, pairs, _ = soaked
+        total = sum(term.frames_received for _, term in pairs)
+        assert total > 100
+
+    def test_deterministic_given_seed(self):
+        def run():
+            nw = build_vgprs_network(seed=123)
+            pairs = build_population(nw, size=3)
+            nw.sim.run(until=0.5)
+            for ms, _ in pairs:
+                scenarios.register_ms(nw, ms)
+            workload = CallWorkload(nw, pairs, call_rate=0.2)
+            workload.start()
+            nw.sim.run(until=nw.sim.now + 40.0)
+            workload.stop()
+            return (
+                workload.stats.attempted,
+                workload.stats.connected,
+                len(nw.sim.trace.entries),
+            )
+
+        assert run() == run()
+
+
+class TestSoakProperty:
+    """Hypothesis over workload seeds: core invariants hold for any
+    random call pattern."""
+
+    def test_invariants_hold_for_random_seeds(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=5, deadline=None)
+        @given(st.integers(min_value=0, max_value=2**16))
+        def run(seed):
+            nw = build_vgprs_network(seed=seed)
+            pairs = build_population(nw, size=3)
+            nw.sim.run(until=0.5)
+            for ms, _ in pairs:
+                scenarios.register_ms(nw, ms)
+            workload = CallWorkload(
+                nw, pairs, call_rate=0.3, hold_range=(0.5, 2.0), talk=False
+            )
+            workload.start()
+            nw.sim.run(until=nw.sim.now + 30.0)
+            workload.stop()
+            drain(nw, pairs)
+            assert nw.sim.metrics.counters("unhandled") == {}
+            assert nw.bscs[0].tch_in_use == 0
+            assert nw.vmsc.calls == {}
+            assert nw.gk.active_calls == {}
+            for ms, _ in pairs:
+                assert ms.state == "idle"
+                entry = nw.vmsc.ms_table.get(ms.imsi)
+                assert entry.signalling_ready and not entry.voice_ready
+            assert len(nw.gk.call_records) >= workload.stats.connected
+            assert all(cdr.complete for cdr in nw.gk.call_records)
+
+        run()
