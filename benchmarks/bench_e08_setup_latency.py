@@ -11,98 +11,31 @@ Q.931 Setup to its delivery at the called side's endpoint.  This
 isolates the PDP-context handling the claim is about; radio-side call
 procedures (paging, authentication, ciphering, channel assignment) are
 common to both architectures and are reported separately by E2-E5.
-Swept over the packet-core latency (Gb/Gn/Gi/IP scaled 1x-8x).
+Swept over the packet-core latency (Gb/Gn/Gi/IP scaled 1x-8x); the
+sweep points run through :func:`repro.sim.sweep.run_sweep`, so setting
+``REPRO_SWEEP_JOBS`` fans them across worker processes with identical
+results.
 """
 
 from repro.analysis.report import format_table
-from repro.core import scenarios
-from repro.core.baseline_3gtr import build_3gtr_network
-from repro.core.network import LatencyProfile, build_vgprs_network
+from repro.core.sweeps import setup_latency_point, vgprs_mt
+from repro.sim.sweep import run_sweep, sweep_grid
 
-IMSI1 = "466920000000001"
-MSISDN1 = "+886935000001"
-TERM1 = "+886222000001"
 SWEEP = (1.0, 2.0, 4.0, 8.0)
-
-
-def _setup_path_delay(nw, place_call):
-    t0 = nw.sim.now
-    place_call()
-    trace = nw.sim.trace
-    assert nw.sim.run_until_true(
-        lambda: trace.first("Q931_Call_Proceeding") is not None
-        and trace.first("Q931_Call_Proceeding").time >= t0,
-        timeout=60,
-    )
-    setups = trace.messages(name="Q931_Setup", since=t0)
-    return setups[-1].time - setups[0].time
-
-
-def vgprs_mt(factor: float) -> float:
-    nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
-    ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
-    term = nw.add_terminal("TERM1", TERM1)
-    nw.sim.run(until=0.5)
-    scenarios.register_ms(nw, ms)
-    nw.sim.run(until=nw.sim.now + 6.0)  # idle; vGPRS keeps the context
-    nw.sim.trace.clear()
-    return _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
-
-
-def tgtr_mt(factor: float) -> float:
-    nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
-    ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
-    term = nw.add_terminal("TERM1", TERM1)
-    nw.sim.run(until=0.5)
-    ms.power_on()
-    assert nw.sim.run_until_true(lambda: ms.registered, timeout=30)
-    nw.sim.run(until=nw.sim.now + 6.0)  # idle; 3G TR tore the context down
-    nw.sim.trace.clear()
-    return _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
-
-
-def vgprs_mo_admission(factor: float) -> float:
-    """MO side: time from A_Setup at the VMSC to the ACF returning —
-    immediate in vGPRS because the signalling context exists."""
-    nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
-    ms = nw.add_ms("MS1", IMSI1, MSISDN1)
-    term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
-    nw.sim.run(until=0.5)
-    scenarios.register_ms(nw, ms)
-    nw.sim.run(until=nw.sim.now + 6.0)
-    since = nw.sim.now
-    scenarios.call_ms_to_terminal(nw, ms, term)
-    trace = nw.sim.trace
-    a_setup = trace.messages(name="A_Setup", since=since)[0]
-    acf = trace.messages(name="RAS_ACF", dst="VMSC", since=since)[0]
-    return acf.time - a_setup.time
-
-
-def tgtr_mo_admission(factor: float) -> float:
-    """MO side in 3G TR: PDP activation precedes the ARQ."""
-    nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
-    ms = nw.add_ms("MS1", IMSI1, MSISDN1)
-    term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
-    nw.sim.run(until=0.5)
-    ms.power_on()
-    assert nw.sim.run_until_true(lambda: ms.registered, timeout=30)
-    nw.sim.run(until=nw.sim.now + 6.0)
-    since = nw.sim.now
-    ms.place_call(term.alias)
-    trace = nw.sim.trace
-    assert nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=60)
-    acf = trace.messages(name="RAS_ACF", since=since)[0]
-    return acf.time - since
 
 
 def test_e08_setup_latency_sweep(benchmark, report):
     benchmark.pedantic(lambda: vgprs_mt(1.0), rounds=3, iterations=1)
 
+    results = run_sweep(setup_latency_point, sweep_grid(factor=SWEEP))
+
     mt_rows = []
     mo_rows = []
-    for factor in SWEEP:
-        v_mt, t_mt = vgprs_mt(factor), tgtr_mt(factor)
-        v_mo, t_mo = vgprs_mo_admission(factor), tgtr_mo_admission(factor)
+    for result in results:
+        p = result.value
+        factor = p["factor"]
+        v_mt, t_mt = p["vgprs_mt"], p["tgtr_mt"]
+        v_mo, t_mo = p["vgprs_mo"], p["tgtr_mo"]
         mt_rows.append((f"{factor:.0f}x", v_mt * 1000, t_mt * 1000,
                         t_mt / v_mt))
         mo_rows.append((f"{factor:.0f}x", v_mo * 1000, t_mo * 1000,

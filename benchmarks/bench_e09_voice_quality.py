@@ -14,104 +14,30 @@ Measured: mouth-to-ear delay, jitter and the fraction of frames within a
   channel pool, but jitter-free voice);
 * 3G TR: all calls share the cell's packet channel (no blocking, but
   queueing delay and jitter grow with load).
+
+The load sweep runs through :func:`repro.sim.sweep.run_sweep`; set
+``REPRO_SWEEP_JOBS`` to evaluate the load points in parallel.
 """
 
 from repro.analysis.report import format_table
-from repro.core import scenarios
-from repro.core.baseline_3gtr import build_3gtr_network
-from repro.core.network import build_vgprs_network
+from repro.core.sweeps import vgprs_under_load, voice_quality_point
+from repro.sim.sweep import run_sweep, sweep_grid
 
-BUDGET_S = 0.150
-TALK_S = 2.0
-
-
-def vgprs_under_load(num_calls: int, tch_capacity: int = 8):
-    nw = build_vgprs_network(tch_capacity=tch_capacity)
-    pairs = []
-    for i in range(num_calls):
-        ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}")
-        term = nw.add_terminal(f"TERM{i}", f"+88622200010{i}", answer_delay=0.2)
-        pairs.append((ms, term))
-    nw.sim.run(until=0.5)
-    connected = 0
-    for ms, term in pairs:
-        scenarios.register_ms(nw, ms)
-        try:
-            scenarios.call_ms_to_terminal(nw, ms, term, timeout=10)
-            connected += 1
-            ms.start_talking(duration=TALK_S)
-        except Exception:
-            pass  # blocked: no TCH available
-    nw.sim.run(until=nw.sim.now + TALK_S + 1.0)
-    delays, jitters, within = [], [], []
-    for i, (ms, term) in enumerate(pairs):
-        m2e = nw.sim.metrics.get_histogram(f"TERM{i}.mouth_to_ear")
-        jit = nw.sim.metrics.get_histogram(f"TERM{i}.jitter")
-        if m2e is not None and m2e.count:
-            delays.append(m2e.mean)
-            within.append(m2e.fraction_below(BUDGET_S))
-        if jit is not None and jit.count:
-            jitters.append(jit.quantile(0.95))
-    blocked = nw.sim.metrics.counters("BSC.tch_blocked").get("BSC.tch_blocked", 0)
-    return {
-        "connected": connected,
-        "blocked": blocked,
-        "mean_m2e_ms": 1000 * sum(delays) / len(delays) if delays else 0.0,
-        "p95_jitter_ms": 1000 * max(jitters) if jitters else 0.0,
-        "within_budget": min(within) if within else 0.0,
-    }
-
-
-def tgtr_under_load(num_calls: int, channel_bps: float = 40_000.0):
-    nw = build_3gtr_network(packet_channel_bps=channel_bps)
-    pairs = []
-    for i in range(num_calls):
-        ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}",
-                       answer_delay=0.2)
-        term = nw.add_terminal(f"TERM{i}", f"+88622200010{i}", answer_delay=0.2)
-        pairs.append((ms, term))
-    nw.sim.run(until=0.5)
-    connected = 0
-    for ms, term in pairs:
-        ms.power_on()
-        nw.sim.run_until_true(lambda m=ms: m.registered, timeout=30)
-    nw.sim.run(until=nw.sim.now + 1.0)
-    for ms, term in pairs:
-        ms.place_call(term.alias)
-        if nw.sim.run_until_true(lambda m=ms: m.state == "in-call", timeout=20):
-            connected += 1
-    for ms, _ in pairs:
-        if ms.state == "in-call":
-            ms.start_talking(duration=TALK_S)
-    nw.sim.run(until=nw.sim.now + TALK_S + 3.0)
-    delays, jitters, within = [], [], []
-    for i, _ in enumerate(pairs):
-        m2e = nw.sim.metrics.get_histogram(f"TERM{i}.mouth_to_ear")
-        jit = nw.sim.metrics.get_histogram(f"TERM{i}.jitter")
-        if m2e is not None and m2e.count:
-            delays.append(m2e.mean)
-            within.append(m2e.fraction_below(BUDGET_S))
-        if jit is not None and jit.count:
-            jitters.append(jit.quantile(0.95))
-    return {
-        "connected": connected,
-        "blocked": 0,
-        "mean_m2e_ms": 1000 * sum(delays) / len(delays) if delays else 0.0,
-        "p95_jitter_ms": 1000 * max(jitters) if jitters else 0.0,
-        "within_budget": min(within) if within else 0.0,
-    }
+LOADS = (1, 2, 4, 6)
 
 
 def test_e09_voice_quality(benchmark, report):
     benchmark.pedantic(lambda: vgprs_under_load(1), rounds=1, iterations=1)
 
+    results = run_sweep(voice_quality_point, sweep_grid(num_calls=LOADS))
+
     rows = []
-    loads = (1, 2, 4, 6)
     v_results = {}
     t_results = {}
-    for n in loads:
-        v = vgprs_under_load(n)
-        t = tgtr_under_load(n)
+    for result in results:
+        n = result.value["calls"]
+        v = result.value["vgprs"]
+        t = result.value["tgtr"]
         v_results[n], t_results[n] = v, t
         rows.append((
             n,
@@ -137,7 +63,7 @@ def test_e09_voice_quality(benchmark, report):
     assert t_results[6]["p95_jitter_ms"] > t_results[1]["p95_jitter_ms"]
     assert t_results[6]["mean_m2e_ms"] > t_results[1]["mean_m2e_ms"]
     assert t_results[6]["within_budget"] < 1.0
-    assert all(v_results[n]["within_budget"] == 1.0 for n in loads
+    assert all(v_results[n]["within_budget"] == 1.0 for n in LOADS
                if v_results[n]["connected"])
 
     # Blocking: push past the TCH pool to show the circuit trade-off.

@@ -11,17 +11,19 @@ Two sides of the paper's "PDP context activation" discussion:
   SGSN/GGSN ("the SGSN and the GGSN do not need to maintain the PDP
   contexts of MSs when they are idle" is 3G TR's advantage).
 
-Swept over call rate to show where each side pays.
+Swept over call rate (through :func:`repro.sim.sweep.run_sweep`, so
+``REPRO_SWEEP_JOBS`` parallelises the rate points) to show where each
+side pays.
 """
 
 from repro.analysis.report import format_table
 from repro.core import scenarios
 from repro.core.baseline_3gtr import build_3gtr_network
 from repro.core.network import build_vgprs_network
+from repro.core.sweeps import IMSI1, MSISDN1, TERM1, residency_point
+from repro.sim.sweep import run_sweep, sweep_grid
 
-IMSI1 = "466920000000001"
-MSISDN1 = "+886935000001"
-TERM1 = "+886222000001"
+CALL_RATES = (0.0, 60.0, 240.0)
 
 
 def vgprs_per_call_counts():
@@ -64,60 +66,6 @@ def tgtr_per_call_counts():
     return nw, scenarios.delta_counts(before, after)
 
 
-def residency_sweep(calls_per_hour: float, horizon: float = 60.0):
-    """Context-seconds at the SGSN over *horizon* simulated seconds with
-    one subscriber making Poisson-ish periodic calls."""
-    period = 3600.0 / calls_per_hour if calls_per_hour else None
-
-    def run(builder, is_vgprs):
-        nw = builder()
-        if is_vgprs:
-            ms = nw.add_ms("MS1", IMSI1, MSISDN1)
-            term = nw.add_terminal("TERM1", TERM1, answer_delay=0.2)
-            nw.sim.run(until=0.5)
-            scenarios.register_ms(nw, ms)
-        else:
-            ms = nw.add_ms("MS1", IMSI1, MSISDN1)
-            term = nw.add_terminal("TERM1", TERM1, answer_delay=0.2)
-            nw.sim.run(until=0.5)
-            ms.power_on()
-            nw.sim.run_until_true(lambda: ms.registered, timeout=30)
-        start = nw.sim.now
-        base_residency = nw.sgsn.context_residency()
-        activations0 = nw.sim.metrics.counters("SGSN.pdp_activations").get(
-            "SGSN.pdp_activations", 0
-        )
-        next_call = nw.sim.now + (period / 2 if period else horizon * 2)
-        while nw.sim.now - start < horizon:
-            if period is not None and nw.sim.now >= next_call:
-                next_call += period
-                try:
-                    if is_vgprs:
-                        scenarios.call_ms_to_terminal(nw, ms, term, timeout=15)
-                        nw.sim.run(until=nw.sim.now + 10.0)  # 10 s call
-                        scenarios.hangup_from_ms(nw, ms)
-                    else:
-                        ms.place_call(term.alias)
-                        nw.sim.run_until_true(
-                            lambda: ms.state == "in-call", timeout=15
-                        )
-                        nw.sim.run(until=nw.sim.now + 10.0)
-                        ms.hangup()
-                        nw.sim.run(until=nw.sim.now + 2.0)
-                except Exception:
-                    pass
-            step_to = min(next_call, start + horizon)
-            nw.sim.run(until=max(nw.sim.now, step_to))
-        activations = nw.sim.metrics.counters("SGSN.pdp_activations").get(
-            "SGSN.pdp_activations", 0
-        ) - activations0
-        return nw.sgsn.context_residency() - base_residency, activations
-
-    v_res, v_act = run(build_vgprs_network, True)
-    t_res, t_act = run(build_3gtr_network, False)
-    return v_res, v_act, t_res, t_act
-
-
 def test_e11_signalling_load(benchmark, report):
     (nw_v, v_delta) = benchmark.pedantic(
         vgprs_per_call_counts, rounds=3, iterations=1
@@ -141,8 +89,9 @@ def test_e11_signalling_load(benchmark, report):
     assert t_delta.get("SGSN", 0) > 0
 
     sweep_rows = []
-    for cph in (0.0, 60.0, 240.0):
-        v_res, v_act, t_res, t_act = residency_sweep(cph)
+    for result in run_sweep(residency_point, sweep_grid(calls_per_hour=CALL_RATES)):
+        cph = result.point.params["calls_per_hour"]
+        v_res, v_act, t_res, t_act = result.value
         sweep_rows.append((
             f"{cph:.0f}", f"{v_res:.0f}", f"{t_res:.0f}", v_act, t_act,
         ))

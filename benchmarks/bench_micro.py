@@ -1,13 +1,18 @@
 """Micro-benchmarks: engineering throughput numbers (not paper figures).
 
 * packet build/parse throughput for the scapy-style codec;
-* discrete-event kernel throughput;
-* end-to-end simulated call throughput (full signalling per call).
+* discrete-event kernel throughput — a soak-style *population* shape
+  (1000 pending events at all times, exercising heap ordering) and a
+  serial *chain* shape (one pending event, pure dispatch overhead);
+* end-to-end simulated call throughput (full signalling per call);
+* a workload soak in throughput mode (codec and tracing off), the
+  configuration used for hour-scale capacity runs.
 """
 
 from repro.identities import IMSI, E164Number, IPv4Address, TunnelId
 from repro.core import scenarios
 from repro.core.network import build_vgprs_network
+from repro.core.workload import CallWorkload, build_population
 from repro.packets.base import Packet
 from repro.packets.gtp import GtpHeader, MSG_T_PDU
 from repro.packets.ip import IPv4, UDP
@@ -50,6 +55,33 @@ def test_micro_packet_roundtrip(benchmark):
 
 
 def test_micro_event_throughput(benchmark):
+    """Soak-style population shape: ~1000 events pending at all times
+    with randomised delays, so heap ordering cost — the kernel's real
+    bottleneck under workload soaks — dominates."""
+
+    def run_events():
+        sim = Simulator()
+        count = {"n": 0}
+        rng = sim.rng.stream("bench")
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 10_000:
+                sim.schedule(0.5 + rng.random(), tick)
+
+        for _ in range(1000):
+            sim.schedule(rng.random(), tick)
+        sim.run()
+        return count["n"]
+
+    # 1000 seed events plus 9999 respawned ticks drain deterministically.
+    assert benchmark(run_events) == 10_999
+
+
+def test_micro_event_chain(benchmark):
+    """Serial chain shape: one pending event, measuring pure
+    schedule/dispatch overhead with no heap pressure."""
+
     def run_events():
         sim = Simulator()
         count = {"n": 0}
@@ -81,3 +113,28 @@ def test_micro_end_to_end_call(benchmark):
 
     benchmark.pedantic(one_call, rounds=20, iterations=1)
     assert len(nw.gk.call_records) >= 20
+
+
+def test_micro_soak_workload(benchmark):
+    """120 simulated seconds of random calls over 20 pairs in throughput
+    mode (``wire_fidelity=False``, trace disabled) — the configuration
+    capacity soaks run with, so this tracks the whole message path:
+    kernel, links, dispatch and the event-driven workload waits."""
+
+    def run_soak():
+        nw = build_vgprs_network(seed=7, wire_fidelity=False)
+        nw.sim.trace.enabled = False
+        pairs = build_population(nw, size=20, answer_delay=1.5)
+        nw.sim.run(until=0.5)
+        for ms, _ in pairs:
+            scenarios.register_ms(nw, ms)
+        wl = CallWorkload(nw, pairs, call_rate=0.5, hold_range=(2.0, 6.0),
+                          talk=False)
+        wl.start()
+        nw.sim.run(until=nw.sim.now + 120.0)
+        wl.stop()
+        return wl.stats
+
+    stats = benchmark.pedantic(run_soak, rounds=3, iterations=1)
+    assert stats.connected > 100
+    assert stats.completion_ratio > 0.9

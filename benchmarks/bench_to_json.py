@@ -1,0 +1,116 @@
+"""Post-process a pytest-benchmark JSON dump into ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro.py -q \\
+        --benchmark-json=/tmp/bench.json
+    python benchmarks/bench_to_json.py /tmp/bench.json -o BENCH_kernel.json
+
+The output records the kernel-relevant numbers in one small, diffable
+file: per-benchmark min/mean seconds, derived throughputs (events/s for
+the kernel shapes, calls/s end-to-end, simulated-seconds-per-wall-second
+for the soak) and the speedup against the recorded seed baseline.
+
+Baselines default to the seed-revision measurements taken on the same
+container this file was generated on; override with repeated
+``--baseline name=seconds`` for other machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+#: min-seconds at the seed revision (commit 744c730), measured with the
+#: identical benchmark bodies on the reference container.
+SEED_BASELINES: Dict[str, float] = {
+    "test_micro_event_throughput": 0.05340,
+    "test_micro_event_chain": 0.01303,
+    "test_micro_soak_workload": 1.0211,
+}
+
+#: events executed per round, for events/s derivation.
+EVENTS_PER_ROUND = {
+    "test_micro_event_throughput": 10_999,
+    "test_micro_event_chain": 10_000,
+}
+
+#: simulated seconds per round of the soak benchmark.
+SOAK_SIM_SECONDS = 120.0
+
+
+def summarise(raw: dict, baselines: Dict[str, float]) -> dict:
+    out: dict = {
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
+        or raw.get("machine_info", {}).get("machine", "unknown"),
+        "benchmarks": {},
+        "derived": {},
+        "speedup_vs_seed": {},
+    }
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"]
+        stats = bench["stats"]
+        entry = {
+            "min_s": stats["min"],
+            "mean_s": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+        out["benchmarks"][name] = entry
+        if name in EVENTS_PER_ROUND:
+            out["derived"][name.replace("test_micro_", "") + "_events_per_s"] = (
+                EVENTS_PER_ROUND[name] / stats["min"]
+            )
+        if name == "test_micro_end_to_end_call":
+            out["derived"]["end_to_end_calls_per_s"] = 1.0 / stats["mean"]
+        if name == "test_micro_soak_workload":
+            out["derived"]["soak_sim_seconds_per_wall_s"] = (
+                SOAK_SIM_SECONDS / stats["min"]
+            )
+        baseline = baselines.get(name)
+        if baseline:
+            out["speedup_vs_seed"][name] = {
+                "seed_min_s": baseline,
+                "min_s": stats["min"],
+                "speedup": baseline / stats["min"],
+            }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", help="pytest-benchmark JSON dump")
+    parser.add_argument("-o", "--output", default="BENCH_kernel.json")
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        default=[],
+        metavar="NAME=SECONDS",
+        help="override a seed baseline (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = dict(SEED_BASELINES)
+    for spec in args.baseline:
+        name, _, value = spec.partition("=")
+        if not value:
+            parser.error(f"--baseline needs NAME=SECONDS, got {spec!r}")
+        baselines[name] = float(value)
+
+    with open(args.input) as fh:
+        raw = json.load(fh)
+    summary = summarise(raw, baselines)
+    with open(args.output, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for name, cmp in sorted(summary["speedup_vs_seed"].items()):
+        print(f"{name}: {cmp['seed_min_s']:.4f}s -> {cmp['min_s']:.4f}s "
+              f"({cmp['speedup']:.2f}x)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

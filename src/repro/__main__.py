@@ -6,7 +6,9 @@ Scenarios:
   (Figures 4 and 5);
 * ``tromboning``     — classic-GSM vs vGPRS roamer call (Figures 7-8);
 * ``handoff``        — mid-call inter-system handoff (Figure 9);
-* ``flows``          — print all three message-flow figures as charts.
+* ``flows``          — print all three message-flow figures as charts;
+* ``sweep``          — run a parameter sweep (E8/E9/E11 style), optionally
+  in parallel with ``--jobs N``.
 """
 
 from __future__ import annotations
@@ -127,12 +129,51 @@ def demo_flows() -> None:
                      col_width=13, max_label=11))
 
 
+def demo_sweep(experiment: str, jobs=None) -> None:
+    """Run one of the parameterised experiments through the parallel
+    sweep runner.  Results merge in input order, so ``--jobs N`` output
+    is identical to the serial run."""
+    from repro.core import sweeps
+    from repro.sim.sweep import resolve_jobs, run_sweep, sweep_grid
+
+    jobs = resolve_jobs(jobs)
+    print(f"sweep {experiment!r} with {jobs} job(s)")
+    if experiment == "setup-latency":
+        points = sweep_grid(factor=(1.0, 2.0, 4.0, 8.0))
+        for result in run_sweep(sweeps.setup_latency_point, points, jobs=jobs):
+            p = result.value
+            print(f"core x{p['factor']:<4.0f} MT setup "
+                  f"vGPRS {p['vgprs_mt'] * 1000:7.1f} ms  "
+                  f"3G TR {p['tgtr_mt'] * 1000:7.1f} ms  "
+                  f"(ratio {p['tgtr_mt'] / p['vgprs_mt']:.1f}x)")
+    elif experiment == "voice-quality":
+        points = sweep_grid(num_calls=(1, 2, 4, 6))
+        for result in run_sweep(sweeps.voice_quality_point, points, jobs=jobs):
+            v, t = result.value["vgprs"], result.value["tgtr"]
+            print(f"{result.value['calls']} call(s): m2e "
+                  f"vGPRS {v['mean_m2e_ms']:6.1f} ms  "
+                  f"3G TR {t['mean_m2e_ms']:6.1f} ms  "
+                  f"jitter p95 {v['p95_jitter_ms']:.2f}/{t['p95_jitter_ms']:.2f} ms")
+    elif experiment == "residency":
+        points = sweep_grid(calls_per_hour=(0.0, 60.0, 240.0))
+        for result in run_sweep(sweeps.residency_point, points, jobs=jobs):
+            cph = result.point.params["calls_per_hour"]
+            v_res, v_act, t_res, t_act = result.value
+            print(f"{cph:5.0f} calls/h: ctx-s@SGSN "
+                  f"vGPRS {v_res:5.0f}  3G TR {t_res:5.0f}; "
+                  f"PDP activations {v_act}/{t_act}")
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown experiment {experiment!r}")
+
+
 SCENARIOS = {
     "call": demo_call,
     "tromboning": demo_tromboning,
     "handoff": demo_handoff,
     "flows": demo_flows,
 }
+
+SWEEP_EXPERIMENTS = ("setup-latency", "voice-quality", "residency")
 
 
 def main(argv=None) -> int:
@@ -144,11 +185,28 @@ def main(argv=None) -> int:
         "scenario",
         nargs="?",
         default="call",
-        choices=sorted(SCENARIOS),
+        choices=sorted(SCENARIOS) + ["sweep"],
         help="which demonstration to run (default: call)",
     )
+    parser.add_argument(
+        "--experiment",
+        default="setup-latency",
+        choices=SWEEP_EXPERIMENTS,
+        help="which sweep to run (sweep scenario only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep scenario "
+             "(default: $REPRO_SWEEP_JOBS or serial)",
+    )
     args = parser.parse_args(argv)
-    SCENARIOS[args.scenario]()
+    if args.scenario == "sweep":
+        demo_sweep(args.experiment, jobs=args.jobs)
+    else:
+        SCENARIOS[args.scenario]()
     return 0
 
 

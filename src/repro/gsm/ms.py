@@ -21,7 +21,7 @@ from repro.errors import ProtocolError
 from repro.identities import IMSI, E164Number
 from repro.gsm.security import a3_sres
 from repro.net.node import Node, handles
-from repro.sim.process import spawn
+from repro.sim.process import Signal, spawn
 from repro.packets.bssap import (
     AuthenticationRequest,
     ImsiDetachIndication,
@@ -93,7 +93,10 @@ class MobileStation(Node):
         self.cells: Dict[str, str] = {}
         self.tmsi: Optional[int] = None
         self.registered = False
-        self.state = "off"
+        #: Fired after every call-state transition; workloads and
+        #: scenarios block on this instead of polling ``state``.
+        self.state_changed = Signal(f"{name}.state")
+        self._state = "off"
         self._access_purpose = ""
         self.ti: Optional[int] = None
         self._ti_seq = int(imsi.digits[-6:]) * 100
@@ -113,6 +116,16 @@ class MobileStation(Node):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @state.setter
+    def state(self, value: str) -> None:
+        if value != self._state:
+            self._state = value
+            self.state_changed.fire()
+
     def _tx(self, packet) -> None:
         self.send(self.serving_bts, packet)
 

@@ -17,7 +17,7 @@ from repro.identities import E164Number, IPv4Address
 from repro.net.iphost import IpHost
 from repro.net.node import Node, handles
 from repro.net.transactions import Sequencer
-from repro.sim.process import spawn
+from repro.sim.process import Signal, spawn
 from repro.packets.ip import PORT_H225_CS, PORT_H225_RAS, PORT_RTP
 from repro.packets.q931 import (
     CAUSE_CALL_REJECTED,
@@ -75,6 +75,10 @@ class H323Terminal(IpHost):
         self.answer_delay = answer_delay
         self.registered = False
         self.calls: Dict[int, TerminalCall] = {}
+        #: Fired after any per-call state change (admission, ringing,
+        #: connect, release, removal); workloads block on this instead
+        #: of polling ``calls``.
+        self.calls_changed = Signal(f"{name}.calls")
         self._ras_seq = Sequencer()
         self._voice_procs: Dict[int, object] = {}
         self._voice_seq = 0
@@ -156,6 +160,7 @@ class H323Terminal(IpHost):
                 return
             call.remote_signal = (msg.dest_signal_address, msg.dest_signal_port or PORT_H225_CS)
             call.state = "setup-sent"
+            self.calls_changed.fire()
             self.send_ip(
                 call.remote_signal[0],
                 Q931Setup(
@@ -175,6 +180,7 @@ class H323Terminal(IpHost):
             # Step 2.5 (answer side admitted): alert the user.
             call.state = "ringing"
             call.alerting_at = self.sim.now
+            self.calls_changed.fire()
             self._send_q931(call, Q931Alerting(call_ref=call.call_ref))
             self.sim.schedule(self.answer_delay, self._answer, call.call_ref)
 
@@ -195,6 +201,7 @@ class H323Terminal(IpHost):
         call.state = "released"
         call.released_at = self.sim.now
         self.calls.pop(call.call_ref, None)
+        self.calls_changed.fire()
         self.sim.metrics.counter(f"{self.name}.calls_failed").inc()
         if self.on_rejected is not None:
             self.on_rejected(call)
@@ -214,6 +221,7 @@ class H323Terminal(IpHost):
             remote_media=(msg.media_address, msg.media_port),
         )
         self.calls[msg.call_ref] = call
+        self.calls_changed.fire()
         # Step 2.4: Call Proceeding back to the caller.
         self._send_q931(call, Q931CallProceeding(call_ref=msg.call_ref))
         # Step 2.5: the called terminal's own admission request.
@@ -237,6 +245,7 @@ class H323Terminal(IpHost):
             return
         call.state = "in-call"
         call.connected_at = self.sim.now
+        self.calls_changed.fire()
         self._send_q931(
             call,
             Q931Connect(
@@ -255,6 +264,7 @@ class H323Terminal(IpHost):
         call = self.calls.get(msg.call_ref)
         if call is not None and call.state == "setup-sent":
             call.state = "proceeding"
+            self.calls_changed.fire()
 
     @handles(Q931Alerting)
     def on_alerting(self, msg: Q931Alerting, src: Node, interface: str) -> None:
@@ -262,6 +272,7 @@ class H323Terminal(IpHost):
         if call is not None:
             call.state = "alerting"
             call.alerting_at = self.sim.now
+            self.calls_changed.fire()
 
     @handles(Q931Connect)
     def on_connect(self, msg: Q931Connect, src: Node, interface: str) -> None:
@@ -271,6 +282,7 @@ class H323Terminal(IpHost):
         call.state = "in-call"
         call.connected_at = self.sim.now
         call.remote_media = (msg.media_address, msg.media_port)
+        self.calls_changed.fire()
         self.sim.metrics.counter(f"{self.name}.calls_connected").inc()
         if self.on_connected is not None:
             self.on_connected(call)
@@ -317,6 +329,7 @@ class H323Terminal(IpHost):
             sport=PORT_H225_RAS,
         )
         self.calls.pop(call.call_ref, None)
+        self.calls_changed.fire()
 
     @handles(RasDcf)
     def on_dcf(self, msg: RasDcf, src: Node, interface: str) -> None:

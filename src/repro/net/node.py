@@ -46,6 +46,13 @@ class Node:
         # switch may have several trunks on the same interface name)
         self._links: Dict[str, List[Link]] = {}
         self.network: Optional["Network"] = None
+        # (peer name, interface) -> Link, filled on first send; cleared
+        # whenever topology changes.  Route resolution is per-message on
+        # the hot path.
+        self._route_cache: Dict[Tuple[str, Optional[str]], Link] = {}
+        # packet type -> bound handler (or None for unhandled), filled on
+        # first receive of each type; avoids the MRO walk per message.
+        self._dispatch_cache: Dict[type, Optional[Callable]] = {}
 
     # ------------------------------------------------------------------
     # Handler registry
@@ -67,6 +74,7 @@ class Node:
     # ------------------------------------------------------------------
     def attach_link(self, link: Link) -> None:
         self._links.setdefault(link.interface, []).append(link)
+        self._route_cache.clear()
 
     def links_on(self, interface: str) -> List[Link]:
         return self._links.get(interface, [])
@@ -75,6 +83,9 @@ class Node:
         """Find the link toward *peer*, optionally constrained to an
         interface name.  Raises :class:`TopologyError` if absent."""
         peer_name = peer if isinstance(peer, str) else peer.name
+        link = self._route_cache.get((peer_name, interface))
+        if link is not None:
+            return link
         candidates = (
             self._links.get(interface, [])
             if interface is not None
@@ -82,6 +93,7 @@ class Node:
         )
         for link in candidates:
             if link.peer_of(self).name == peer_name:
+                self._route_cache[(peer_name, interface)] = link
                 return link
         raise TopologyError(
             f"{self.name!r} has no link to {peer_name!r}"
@@ -114,12 +126,24 @@ class Node:
 
     def receive(self, packet, src: "Node", interface: str) -> None:
         """Dispatch an arriving packet to the registered handler."""
+        ptype = type(packet)
+        cache = self._dispatch_cache
+        if ptype in cache:
+            handler = cache[ptype]
+            if handler is None:
+                self.on_unhandled(packet, src, interface)
+            else:
+                handler(packet, src, interface)
+            return
         table = type(self)._handlers()
-        for klass in type(packet).__mro__:
+        for klass in ptype.__mro__:
             attr_name = table.get(klass)
             if attr_name is not None:
-                getattr(self, attr_name)(packet, src, interface)
+                handler = getattr(self, attr_name)
+                cache[ptype] = handler
+                handler(packet, src, interface)
                 return
+        cache[ptype] = None
         self.on_unhandled(packet, src, interface)
 
     def on_unhandled(self, packet, src: "Node", interface: str) -> None:

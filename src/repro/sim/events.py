@@ -5,6 +5,12 @@ makes ordering total and deterministic: two events scheduled for the same
 instant fire in the order they were scheduled, independent of callback
 identity.  Determinism matters here because the integration tests compare
 simulated message traces against the paper's figures step by step.
+
+The heap stores plain ``(time, priority, seq, event)`` tuples rather than
+:class:`Event` objects, so sift comparisons run as C-level tuple
+comparisons instead of Python ``__lt__`` calls — the single hottest
+operation in soak runs.  The unique sequence number guarantees the
+``event`` element is never compared.
 """
 
 from __future__ import annotations
@@ -23,7 +29,16 @@ class Event:
     user code normally only keeps a reference in order to :meth:`cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "kwargs", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "_queue",
+    )
 
     def __init__(
         self,
@@ -33,6 +48,7 @@ class Event:
         callback: Callable[..., Any],
         args: tuple,
         kwargs: dict,
+        queue: "Optional[EventQueue]" = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -41,17 +57,32 @@ class Event:
         self.args = args
         self.kwargs = kwargs
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when it is popped."""
+        """Mark the event so the kernel skips it when it is popped.
+
+        Accounting is handled here: the owning queue's live count drops
+        exactly once however the cancellation is reached (directly, or
+        via :meth:`repro.sim.kernel.Simulator.cancel`)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
 
     @property
     def sort_key(self) -> tuple:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key < other.sort_key
+        # Flattened tuple comparison — no property call on the hot path.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
@@ -63,7 +94,7 @@ class EventQueue:
     """A binary-heap event queue with lazy cancellation."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -84,8 +115,9 @@ class EventQueue:
         """Schedule *callback* at absolute *time* and return the event."""
         if time != time:  # NaN guard
             raise SimulationError("event time is NaN")
-        event = Event(time, priority, next(self._counter), callback, args, kwargs or {})
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, priority, seq, callback, args, kwargs or {}, self)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -94,25 +126,65 @@ class EventQueue:
 
         Raises :class:`SimulationError` when the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
             return event
         raise SimulationError("pop from empty event queue")
 
+    def pop_next(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` when empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def pop_due(self, limit: float) -> Optional[Event]:
+        """Remove and return the next live event with ``time <= limit``.
+
+        Returns ``None`` without popping when the queue is empty or the
+        next live event lies beyond *limit*.  This fuses the kernel's
+        peek-then-pop sequence into one heap access per executed event.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            if entry[0] > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return entry[3]
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
-    def note_cancelled(self) -> None:
-        """Account for an event cancelled via :meth:`Event.cancel`."""
+    def _note_cancel(self) -> None:
         if self._live > 0:
             self._live -= 1
 
+    def note_cancelled(self) -> None:
+        """Deprecated compatibility shim.
+
+        Live-count accounting now happens inside :meth:`Event.cancel`
+        itself, so every cancellation path (direct or via the simulator)
+        is counted exactly once; calling this is a no-op."""
+
     def clear(self) -> None:
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0

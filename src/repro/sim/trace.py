@@ -5,6 +5,14 @@ the simulation is recorded as a :class:`TraceEntry`; integration tests and
 benches project the recorded trace onto ``(message, src, dst)`` triples and
 compare them against the golden flows transcribed from Figures 4–6
 (:mod:`repro.core.flows`).
+
+Recorded ``"msg"`` entries are additionally indexed by message name, so
+:meth:`TraceRecorder.first` / :meth:`~TraceRecorder.last` /
+:meth:`~TraceRecorder.count` — which scenario drivers call once per
+executed event while waiting for a flow step — are O(1) instead of
+rescanning the entry list.  For soak runs the recorder can be disabled
+(``enabled = False``) or bounded (:meth:`TraceRecorder.set_limit`), which
+keeps memory flat over hours of simulated time.
 """
 
 from __future__ import annotations
@@ -60,6 +68,29 @@ class TraceRecorder:
         self.entries: List[TraceEntry] = []
         self.enabled = True
         self.quiet_names = set(self.DEFAULT_QUIET)
+        # message name -> list of "msg"-kind entries bearing that name,
+        # in recording order.
+        self._msg_index: Dict[str, List[TraceEntry]] = {}
+        self._msg_count = 0
+        self._limit: Optional[int] = None
+        self.dropped = 0
+
+    def set_limit(self, limit: Optional[int]) -> None:
+        """Bound the recorder to roughly *limit* entries (``None`` for
+        unbounded).  When the bound is exceeded the oldest half of the
+        entries is discarded in one batch — amortised O(1) per record —
+        so soak runs keep a window of recent history instead of growing
+        without bound.  Windowed traces are for monitoring and metrics;
+        golden-flow comparisons need the unbounded mode."""
+        if limit is not None and limit < 2:
+            raise ValueError(f"trace limit must be >= 2, got {limit!r}")
+        self._limit = limit
+        if limit is not None and len(self.entries) > limit:
+            self._trim(limit)
+
+    @property
+    def limit(self) -> Optional[int]:
+        return self._limit
 
     def record(
         self,
@@ -72,9 +103,30 @@ class TraceRecorder:
     ) -> None:
         if not self.enabled or message in self.quiet_names:
             return
-        self.entries.append(
-            TraceEntry(self._clock(), kind, src, dst, interface, message, info)
-        )
+        entry = TraceEntry(self._clock(), kind, src, dst, interface, message, info)
+        self.entries.append(entry)
+        if kind == "msg":
+            self._msg_count += 1
+            bucket = self._msg_index.get(message)
+            if bucket is None:
+                bucket = self._msg_index[message] = []
+            bucket.append(entry)
+        if self._limit is not None and len(self.entries) > self._limit:
+            self._trim(self._limit)
+
+    def _trim(self, limit: int) -> None:
+        keep_from = len(self.entries) - limit // 2
+        dropped = self.entries[:keep_from]
+        del self.entries[:keep_from]
+        self.dropped += len(dropped)
+        # Rebuild the index from the surviving window; batch-trimming
+        # keeps this amortised O(1) per recorded entry.
+        self._msg_index = {}
+        self._msg_count = 0
+        for entry in self.entries:
+            if entry.kind == "msg":
+                self._msg_count += 1
+                self._msg_index.setdefault(entry.message, []).append(entry)
 
     def note(self, node: str, text: str, **info: Any) -> None:
         """Record an internal milestone at *node*.  Info keys that would
@@ -85,6 +137,9 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self.entries.clear()
+        self._msg_index.clear()
+        self._msg_count = 0
+        self.dropped = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -98,8 +153,10 @@ class TraceRecorder:
         since: float = 0.0,
     ) -> List[TraceEntry]:
         """Filtered view of recorded ``"msg"`` entries."""
+        # A name filter narrows the scan to that message's index bucket.
+        pool = self.entries if name is None else self._msg_index.get(name, [])
         out = []
-        for e in self.entries:
+        for e in pool:
             if e.kind != "msg" or e.time < since:
                 continue
             if src is not None and e.src != src:
@@ -107,8 +164,6 @@ class TraceRecorder:
             if dst is not None and e.dst != dst:
                 continue
             if interface is not None and e.interface != interface:
-                continue
-            if name is not None and e.message != name:
                 continue
             out.append(e)
         return out
@@ -127,19 +182,17 @@ class TraceRecorder:
         return all(any(step == got for got in it) for step in expected)
 
     def first(self, name: str) -> Optional[TraceEntry]:
-        for e in self.entries:
-            if e.kind == "msg" and e.message == name:
-                return e
-        return None
+        bucket = self._msg_index.get(name)
+        return bucket[0] if bucket else None
 
     def last(self, name: str) -> Optional[TraceEntry]:
-        for e in reversed(self.entries):
-            if e.kind == "msg" and e.message == name:
-                return e
-        return None
+        bucket = self._msg_index.get(name)
+        return bucket[-1] if bucket else None
 
     def count(self, name: Optional[str] = None) -> int:
-        return len(self.messages(name=name))
+        if name is None:
+            return self._msg_count
+        return len(self._msg_index.get(name, ()))
 
     def span(self, first_name: str, last_name: str) -> Optional[float]:
         """Elapsed simulated time between the first occurrence of

@@ -216,3 +216,50 @@ class TestSimulator:
 
         assert run(42) == run(42)
         assert run(42) != run(43)
+
+
+class TestCancellationAccounting:
+    """Regression tests: event cancellation must keep the live count
+    honest through every path (direct Event.cancel, Simulator.cancel,
+    the legacy note_cancelled shim)."""
+
+    def test_direct_event_cancel_decrements_live_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        event.cancel()  # bypassing Simulator.cancel used to leak a count
+        assert sim.pending_events == 1
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.cancel(event)
+        assert sim.pending_events == 0
+
+    def test_cancel_plus_note_cancelled_no_double_decrement(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        q.note_cancelled()  # legacy callers; must not decrement again
+        assert len(q) == 1
+
+    def test_simulator_cancel_routes_through_event(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        assert event.cancelled
+        assert sim.pending_events == 0
+
+    def test_live_count_stable_over_cancel_heavy_run(self):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(float(i), fired.append, i) for i in range(1, 11)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        assert fired == [2, 4, 6, 8, 10]
+        assert sim.pending_events == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.sweep import (
+    SweepError,
+    SweepPoint,
+    resolve_jobs,
+    run_sweep,
+    sweep_grid,
+)
+
+
+def tiny_sim(seed, delay):
+    """Picklable worker: a minimal seeded simulation."""
+    sim = Simulator(seed=seed)
+    fired = []
+    sim.schedule(delay, lambda: fired.append(sim.rng.stream("w").random()))
+    sim.run()
+    return (sim.now, fired[0])
+
+
+def boom(x):
+    raise ValueError(f"bad point {x}")
+
+
+class TestGrid:
+    def test_cartesian_product_row_major(self):
+        points = sweep_grid(seed=(0, 1), factor=(1.0, 2.0))
+        assert [p.params for p in points] == [
+            {"seed": 0, "factor": 1.0},
+            {"seed": 0, "factor": 2.0},
+            {"seed": 1, "factor": 1.0},
+            {"seed": 1, "factor": 2.0},
+        ]
+        assert points[0].key == (("seed", 0), ("factor", 1.0))
+
+    def test_empty_grid(self):
+        assert sweep_grid() == []
+
+    def test_point_from_params(self):
+        p = SweepPoint.from_params(b=2, a=1)
+        assert p.key == (("a", 1), ("b", 2))
+        assert p.params == {"a": 1, "b": 2}
+
+
+class TestRunSweep:
+    POINTS = sweep_grid(seed=(0, 1, 2), delay=(0.5, 1.5))
+
+    def test_serial_evaluates_in_order(self):
+        results = run_sweep(tiny_sim, self.POINTS, jobs=1)
+        assert [r.point for r in results] == self.POINTS
+        assert all(r.value[0] == r.point.params["delay"] for r in results)
+
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(tiny_sim, self.POINTS, jobs=1)
+        parallel = run_sweep(tiny_sim, self.POINTS, jobs=2)
+        assert [(r.point, r.value) for r in serial] == [
+            (r.point, r.value) for r in parallel
+        ]
+
+    def test_single_point_stays_serial(self):
+        (result,) = run_sweep(tiny_sim, sweep_grid(seed=(5,), delay=(1.0,)),
+                              jobs=8)
+        assert result.value[0] == 1.0
+
+    def test_error_names_the_point(self):
+        with pytest.raises(SweepError, match="x=2"):
+            run_sweep(boom, sweep_grid(x=(2,)), jobs=1)
+
+    def test_parallel_error_names_the_point(self):
+        points = sweep_grid(x=(1, 2))
+        with pytest.raises(SweepError, match="bad point"):
+            run_sweep(boom, points, jobs=2)
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(SweepError):
+            resolve_jobs(0)
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "many")
+        with pytest.raises(SweepError):
+            resolve_jobs()

@@ -181,3 +181,81 @@ class TestRandomStreams:
     def test_expovariate_positive(self):
         streams = RandomStreams(3)
         assert all(streams.expovariate("e", 2.0) > 0 for _ in range(10))
+
+
+class TestTraceIndexAndLimits:
+    def make(self):
+        clock = {"t": 0.0}
+        trace = TraceRecorder(clock=lambda: clock["t"])
+        return trace, clock
+
+    def fill(self, trace, clock, n, name="M"):
+        for i in range(n):
+            clock["t"] = float(i)
+            trace.record("msg", "A", "B", "Um", name)
+
+    def test_index_matches_linear_scan(self):
+        trace, clock = self.make()
+        for i in range(10):
+            clock["t"] = float(i)
+            trace.record("msg", "A", "B", "Um", f"M{i % 3}")
+        for name in ("M0", "M1", "M2"):
+            scan = [e for e in trace.entries if e.kind == "msg" and e.message == name]
+            assert trace.messages(name=name) == scan
+            assert trace.count(name) == len(scan)
+            assert trace.first(name) is scan[0]
+            assert trace.last(name) is scan[-1]
+
+    def test_notes_not_in_message_index(self):
+        trace, clock = self.make()
+        trace.note("A", "milestone")
+        trace.record("msg", "A", "B", "Um", "M")
+        assert trace.count() == 1
+        assert trace.first("milestone") is None
+
+    def test_clear_resets_index(self):
+        trace, clock = self.make()
+        self.fill(trace, clock, 5)
+        trace.clear()
+        assert trace.count() == 0
+        assert trace.first("M") is None
+        assert trace.dropped == 0
+
+    def test_limit_trims_oldest_half(self):
+        trace, clock = self.make()
+        trace.set_limit(10)
+        self.fill(trace, clock, 11)
+        # Exceeding the bound drops down to limit // 2 entries.
+        assert len(trace.entries) == 5
+        assert trace.dropped == 6
+        assert trace.entries[0].time == 6.0
+        # The index tracks the surviving window.
+        assert trace.count("M") == 5
+        assert trace.first("M") is trace.entries[0]
+
+    def test_limit_applies_retroactively(self):
+        trace, clock = self.make()
+        self.fill(trace, clock, 20)
+        trace.set_limit(8)
+        assert len(trace.entries) == 4
+        assert trace.dropped == 16
+
+    def test_unbounded_by_default(self):
+        trace, clock = self.make()
+        self.fill(trace, clock, 100)
+        assert trace.limit is None
+        assert len(trace.entries) == 100
+        assert trace.dropped == 0
+
+    def test_limit_below_two_rejected(self):
+        trace, _ = self.make()
+        with pytest.raises(ValueError):
+            trace.set_limit(1)
+
+    def test_disable_reenable_keeps_index_consistent(self):
+        trace, clock = self.make()
+        self.fill(trace, clock, 3)
+        trace.enabled = False
+        self.fill(trace, clock, 3)
+        trace.enabled = True
+        assert trace.count("M") == 3
