@@ -91,7 +91,9 @@ def test_e11_signalling_load(benchmark, report):
     sweep_rows = []
     for result in run_sweep(residency_point, sweep_grid(calls_per_hour=CALL_RATES)):
         cph = result.point.params["calls_per_hour"]
-        v_res, v_act, t_res, t_act = result.value
+        p = result.value
+        v_res, v_act = p["vgprs_residency"], p["vgprs_activations"]
+        t_res, t_act = p["tgtr_residency"], p["tgtr_activations"]
         sweep_rows.append((
             f"{cph:.0f}", f"{v_res:.0f}", f"{t_res:.0f}", v_act, t_act,
         ))

@@ -41,6 +41,33 @@ EVENTS_PER_ROUND = {
 SOAK_SIM_SECONDS = 120.0
 
 
+def reference_metrics() -> dict:
+    """Metrics snapshot of one seeded reference call (the ``call`` demo
+    shape), embedded in the bench JSON so throughput numbers and the
+    simulation counters they were measured against travel together."""
+    try:
+        from repro.core import scenarios
+        from repro.core.network import build_vgprs_network
+    except ImportError:  # running from the repo root without PYTHONPATH
+        import os
+
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(__file__), "..", "src")
+        )
+        from repro.core import scenarios
+        from repro.core.network import build_vgprs_network
+
+    nw = build_vgprs_network()
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+    scenarios.call_ms_to_terminal(nw, ms, term)
+    scenarios.hangup_from_ms(nw, ms)
+    nw.sim.run(until=nw.sim.now + 1.0)
+    return nw.sim.metrics.snapshot()
+
+
 def summarise(raw: dict, baselines: Dict[str, float]) -> dict:
     out: dict = {
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
@@ -89,6 +116,11 @@ def main(argv=None) -> int:
         metavar="NAME=SECONDS",
         help="override a seed baseline (repeatable)",
     )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip embedding the reference-call metrics snapshot",
+    )
     args = parser.parse_args(argv)
 
     baselines = dict(SEED_BASELINES)
@@ -101,6 +133,8 @@ def main(argv=None) -> int:
     with open(args.input) as fh:
         raw = json.load(fh)
     summary = summarise(raw, baselines)
+    if not args.no_metrics:
+        summary["metrics_snapshot"] = reference_metrics()
     with open(args.output, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")

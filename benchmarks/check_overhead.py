@@ -1,0 +1,81 @@
+"""Guard against instrumentation overhead creeping into the kernel.
+
+Compares a fresh pytest-benchmark JSON dump against the recorded
+``BENCH_kernel.json`` numbers and fails when a kernel benchmark got
+slower than the allowed factor::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro.py -q \\
+        -k "event_throughput or event_chain" --benchmark-json=/tmp/b.json
+    python benchmarks/check_overhead.py /tmp/b.json --tolerance 1.6
+
+The observability layer (spans, profiler hooks, trace sink) must be
+free when disabled: the fast event loop is untouched and the per-entry
+sink is one attribute check.  Local regression budget is 5%
+(``--tolerance 1.05``); CI shares cores with other jobs, so its default
+budget is looser — the guard is for order-of-magnitude mistakes (an
+accidentally always-on profiler), not for microbenchmark jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Benchmarks that exercise the bare kernel dispatch loop.
+KERNEL_BENCHES = ("test_micro_event_throughput", "test_micro_event_chain")
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list:
+    failures = []
+    fresh_by_name = {b["name"]: b["stats"] for b in fresh.get("benchmarks", [])}
+    base_by_name = baseline.get("benchmarks", {})
+    for name in KERNEL_BENCHES:
+        stats = fresh_by_name.get(name)
+        base = base_by_name.get(name)
+        if stats is None or base is None:
+            print(f"{name}: skipped (not present in both inputs)")
+            continue
+        ratio = stats["min"] / base["min_s"]
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        print(
+            f"{name}: baseline {base['min_s']:.5f}s, fresh "
+            f"{stats['min']:.5f}s ({ratio:.2f}x, budget {tolerance:.2f}x) "
+            f"{verdict}"
+        )
+        if ratio > tolerance:
+            failures.append((name, ratio))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", help="fresh pytest-benchmark JSON dump")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_kernel.json",
+        help="recorded kernel numbers (default: BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.6,
+        help="allowed fresh/baseline min-time ratio (default: 1.6)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.input) as fh:
+        fresh = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    failures = check(fresh, baseline, args.tolerance)
+    if failures:
+        names = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        print(f"FAILED: kernel overhead above budget: {names}")
+        return 1
+    print("kernel overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,14 @@ Scenarios:
 * ``flows``          — print all three message-flow figures as charts;
 * ``sweep``          — run a parameter sweep (E8/E9/E11 style), optionally
   in parallel with ``--jobs N``.
+
+Every scenario accepts the observability flags:
+
+* ``--trace-out FILE``   — JSONL trace with correlated call spans;
+* ``--metrics-out FILE`` — Prometheus text-format metrics snapshot
+  (sweeps merge the per-worker snapshots deterministically);
+* ``--profile``          — per-event-type kernel profile table;
+* ``--heartbeat SECS``   — progress lines on stderr for long runs.
 """
 
 from __future__ import annotations
@@ -16,12 +24,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.obs import ObsSession
 
-def demo_call() -> None:
+
+def demo_call(obs: ObsSession) -> None:
     from repro.core import scenarios
     from repro.core.network import build_vgprs_network
 
     nw = build_vgprs_network()
+    obs.watch(nw.sim, run="call")
     ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
     term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
     nw.sim.run(until=0.5)
@@ -38,13 +49,14 @@ def demo_call() -> None:
     print(f"released; {len(nw.gk.call_records)} charging record(s)")
 
 
-def demo_tromboning() -> None:
+def demo_tromboning(obs: ObsSession) -> None:
     from repro.core.baseline_gsm import build_classic_roaming_network
     from repro.core.tromboning import build_vgprs_roaming_network
 
     roamer = ("MS-X", "234150000000001", "+447700900123")
     print("=== classic GSM (Figure 7) ===")
     nw = build_classic_roaming_network()
+    obs.watch(nw.sim, run="classic-gsm")
     x = nw.add_roamer(*roamer, answer_delay=0.5)
     y = nw.add_phone("PHONE-Y", "+85221234567")
     x.power_on()
@@ -56,6 +68,7 @@ def demo_tromboning() -> None:
 
     print("=== vGPRS (Figure 8) ===")
     nw2 = build_vgprs_roaming_network()
+    obs.watch(nw2.sim, run="vgprs")
     x2 = nw2.add_roamer(*roamer, answer_delay=0.5)
     nw2.sim.run(until=1.0)
     x2.power_on()
@@ -66,11 +79,12 @@ def demo_tromboning() -> None:
     print(f"international trunks: {nw2.ledger.international_count(since=since)}")
 
 
-def demo_handoff() -> None:
+def demo_handoff(obs: ObsSession) -> None:
     from repro.core import scenarios
     from repro.core.handoff import build_handoff_network
 
     nw = build_handoff_network()
+    obs.watch(nw.sim, run="handoff")
     ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
     term = nw.vgprs.add_terminal("TERM1", "+886222000001", answer_delay=0.4)
     nw.sim.run(until=0.5)
@@ -82,7 +96,7 @@ def demo_handoff() -> None:
     print("after: ", " -> ".join(nw.voice_path()))
 
 
-def demo_flows() -> None:
+def demo_flows(obs: ObsSession) -> None:
     from repro.analysis.msc_chart import render_msc
     from repro.core import scenarios
     from repro.core.flows import (
@@ -98,6 +112,7 @@ def demo_flows() -> None:
              "IPNET", "GK", "TERM1"]
     names = NodeNames()
     nw = build_vgprs_network()
+    obs.watch(nw.sim, run="flows")
     ms = nw.add_ms("MS1", "466920000000001", "+886935000001",
                    answer_delay=0.6)
     term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
@@ -129,7 +144,7 @@ def demo_flows() -> None:
                      col_width=13, max_label=11))
 
 
-def demo_sweep(experiment: str, jobs=None) -> None:
+def demo_sweep(experiment: str, obs: ObsSession, jobs=None) -> None:
     """Run one of the parameterised experiments through the parallel
     sweep runner.  Results merge in input order, so ``--jobs N`` output
     is identical to the serial run."""
@@ -138,9 +153,11 @@ def demo_sweep(experiment: str, jobs=None) -> None:
 
     jobs = resolve_jobs(jobs)
     print(f"sweep {experiment!r} with {jobs} job(s)")
+    results = []
     if experiment == "setup-latency":
         points = sweep_grid(factor=(1.0, 2.0, 4.0, 8.0))
-        for result in run_sweep(sweeps.setup_latency_point, points, jobs=jobs):
+        results = run_sweep(sweeps.setup_latency_point, points, jobs=jobs)
+        for result in results:
             p = result.value
             print(f"core x{p['factor']:<4.0f} MT setup "
                   f"vGPRS {p['vgprs_mt'] * 1000:7.1f} ms  "
@@ -148,7 +165,8 @@ def demo_sweep(experiment: str, jobs=None) -> None:
                   f"(ratio {p['tgtr_mt'] / p['vgprs_mt']:.1f}x)")
     elif experiment == "voice-quality":
         points = sweep_grid(num_calls=(1, 2, 4, 6))
-        for result in run_sweep(sweeps.voice_quality_point, points, jobs=jobs):
+        results = run_sweep(sweeps.voice_quality_point, points, jobs=jobs)
+        for result in results:
             v, t = result.value["vgprs"], result.value["tgtr"]
             print(f"{result.value['calls']} call(s): m2e "
                   f"vGPRS {v['mean_m2e_ms']:6.1f} ms  "
@@ -156,14 +174,22 @@ def demo_sweep(experiment: str, jobs=None) -> None:
                   f"jitter p95 {v['p95_jitter_ms']:.2f}/{t['p95_jitter_ms']:.2f} ms")
     elif experiment == "residency":
         points = sweep_grid(calls_per_hour=(0.0, 60.0, 240.0))
-        for result in run_sweep(sweeps.residency_point, points, jobs=jobs):
+        results = run_sweep(sweeps.residency_point, points, jobs=jobs)
+        for result in results:
             cph = result.point.params["calls_per_hour"]
-            v_res, v_act, t_res, t_act = result.value
+            p = result.value
             print(f"{cph:5.0f} calls/h: ctx-s@SGSN "
-                  f"vGPRS {v_res:5.0f}  3G TR {t_res:5.0f}; "
-                  f"PDP activations {v_act}/{t_act}")
+                  f"vGPRS {p['vgprs_residency']:5.0f}  "
+                  f"3G TR {p['tgtr_residency']:5.0f}; "
+                  f"PDP activations "
+                  f"{p['vgprs_activations']}/{p['tgtr_activations']}")
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown experiment {experiment!r}")
+    # Sweep workers build their own simulators in their own processes;
+    # whatever snapshots they embedded in the result values are the
+    # metrics we can export.
+    for result in results:
+        obs.extra_snapshots.extend(result.snapshots())
 
 
 SCENARIOS = {
@@ -202,11 +228,40 @@ def main(argv=None) -> int:
         help="worker processes for the sweep scenario "
              "(default: $REPRO_SWEEP_JOBS or serial)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a JSONL trace (spans + events) to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a Prometheus text-format metrics snapshot to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the kernel and print a per-event-type table",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="print a progress line to stderr every SECS simulated seconds",
+    )
     args = parser.parse_args(argv)
+    obs = ObsSession(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile=args.profile,
+        heartbeat=args.heartbeat,
+    )
     if args.scenario == "sweep":
-        demo_sweep(args.experiment, jobs=args.jobs)
+        demo_sweep(args.experiment, obs, jobs=args.jobs)
     else:
-        SCENARIOS[args.scenario]()
+        SCENARIOS[args.scenario](obs)
+    obs.finish()
     return 0
 
 

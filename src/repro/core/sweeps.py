@@ -10,7 +10,7 @@ the same sweeps from the command line.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core import scenarios
 from repro.core.baseline_3gtr import build_3gtr_network
@@ -37,7 +37,17 @@ def _setup_path_delay(nw, place_call) -> float:
     return setups[-1].time - setups[0].time
 
 
-def vgprs_mt(factor: float) -> float:
+def _collect(snapshots: Optional[List[Dict[str, Any]]], nw) -> None:
+    """Append the network's metrics snapshot when a collector is given
+    (sweep workers run in their own processes; only snapshots embedded in
+    the result value can reach ``--metrics-out``)."""
+    if snapshots is not None:
+        snapshots.append(nw.sim.metrics.snapshot())
+
+
+def vgprs_mt(
+    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+) -> float:
     """MT setup-path delay (caller's Q.931 Setup -> called endpoint) in
     vGPRS, where the PDP context is already activated."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
@@ -47,10 +57,14 @@ def vgprs_mt(factor: float) -> float:
     scenarios.register_ms(nw, ms)
     nw.sim.run(until=nw.sim.now + 6.0)  # idle; vGPRS keeps the context
     nw.sim.trace.clear()
-    return _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
+    delay = _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
+    _collect(snapshots, nw)
+    return delay
 
 
-def tgtr_mt(factor: float) -> float:
+def tgtr_mt(
+    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+) -> float:
     """MT setup-path delay in the 3G TR 23.923 baseline, which must
     re-activate the PDP context per call arrival."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
@@ -61,10 +75,14 @@ def tgtr_mt(factor: float) -> float:
     assert nw.sim.run_until_true(lambda: ms.registered, timeout=30)
     nw.sim.run(until=nw.sim.now + 6.0)  # idle; 3G TR tore the context down
     nw.sim.trace.clear()
-    return _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
+    delay = _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
+    _collect(snapshots, nw)
+    return delay
 
 
-def vgprs_mo_admission(factor: float) -> float:
+def vgprs_mo_admission(
+    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+) -> float:
     """MO side: time from A_Setup at the VMSC to the ACF returning —
     immediate in vGPRS because the signalling context exists."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
@@ -78,10 +96,13 @@ def vgprs_mo_admission(factor: float) -> float:
     trace = nw.sim.trace
     a_setup = trace.messages(name="A_Setup", since=since)[0]
     acf = trace.messages(name="RAS_ACF", dst="VMSC", since=since)[0]
+    _collect(snapshots, nw)
     return acf.time - a_setup.time
 
 
-def tgtr_mo_admission(factor: float) -> float:
+def tgtr_mo_admission(
+    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+) -> float:
     """MO side in 3G TR: PDP activation precedes the ARQ."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
@@ -95,18 +116,21 @@ def tgtr_mo_admission(factor: float) -> float:
     trace = nw.sim.trace
     assert nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=60)
     acf = trace.messages(name="RAS_ACF", since=since)[0]
+    _collect(snapshots, nw)
     return acf.time - since
 
 
-def setup_latency_point(factor: float) -> Dict[str, float]:
+def setup_latency_point(factor: float) -> Dict[str, Any]:
     """One E8 sweep point: all four setup-latency measurements at the
     given core-latency *factor*."""
+    snapshots: List[Dict[str, Any]] = []
     return {
         "factor": factor,
-        "vgprs_mt": vgprs_mt(factor),
-        "tgtr_mt": tgtr_mt(factor),
-        "vgprs_mo": vgprs_mo_admission(factor),
-        "tgtr_mo": tgtr_mo_admission(factor),
+        "vgprs_mt": vgprs_mt(factor, snapshots),
+        "tgtr_mt": tgtr_mt(factor, snapshots),
+        "vgprs_mo": vgprs_mo_admission(factor, snapshots),
+        "tgtr_mo": tgtr_mo_admission(factor, snapshots),
+        "metrics": snapshots,
     }
 
 
@@ -152,6 +176,9 @@ def vgprs_under_load(num_calls: int, tch_capacity: int = 8) -> Dict[str, Any]:
         "mean_m2e_ms": 1000 * sum(delays) / len(delays) if delays else 0.0,
         "p95_jitter_ms": 1000 * max(jitters) if jitters else 0.0,
         "within_budget": min(within) if within else 0.0,
+        # Full registry snapshot: workers run in their own processes, so
+        # this is the only way their metrics reach --metrics-out.
+        "metrics": nw.sim.metrics.snapshot(),
     }
 
 
@@ -194,6 +221,7 @@ def tgtr_under_load(num_calls: int, channel_bps: float = 40_000.0) -> Dict[str, 
         "mean_m2e_ms": 1000 * sum(delays) / len(delays) if delays else 0.0,
         "p95_jitter_ms": 1000 * max(jitters) if jitters else 0.0,
         "within_budget": min(within) if within else 0.0,
+        "metrics": nw.sim.metrics.snapshot(),
     }
 
 
@@ -211,11 +239,11 @@ def voice_quality_point(num_calls: int) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 def residency_point(
     calls_per_hour: float, horizon: float = 60.0
-) -> Tuple[float, int, float, int]:
+) -> Dict[str, Any]:
     """Context-seconds at the SGSN over *horizon* simulated seconds with
-    one subscriber making Poisson-ish periodic calls.  Returns
-    ``(vgprs_residency, vgprs_activations, tgtr_residency,
-    tgtr_activations)``."""
+    one subscriber making Poisson-ish periodic calls.  Returns a dict
+    with ``vgprs_residency``/``vgprs_activations``/``tgtr_residency``/
+    ``tgtr_activations`` plus the two workers' metrics snapshots."""
     period = 3600.0 / calls_per_hour if calls_per_hour else None
 
     def run(builder, is_vgprs):
@@ -260,8 +288,15 @@ def residency_point(
         activations = nw.sim.metrics.counters("SGSN.pdp_activations").get(
             "SGSN.pdp_activations", 0
         ) - activations0
-        return nw.sgsn.context_residency() - base_residency, activations
+        residency = nw.sgsn.context_residency() - base_residency
+        return residency, activations, nw.sim.metrics.snapshot()
 
-    v_res, v_act = run(build_vgprs_network, True)
-    t_res, t_act = run(build_3gtr_network, False)
-    return v_res, v_act, t_res, t_act
+    v_res, v_act, v_snap = run(build_vgprs_network, True)
+    t_res, t_act, t_snap = run(build_3gtr_network, False)
+    return {
+        "vgprs_residency": v_res,
+        "vgprs_activations": v_act,
+        "tgtr_residency": t_res,
+        "tgtr_activations": t_act,
+        "metrics": [v_snap, t_snap],
+    }

@@ -91,6 +91,7 @@ class VmscCall:
     voice_pdp_pending: bool = False
     uplink_buffer: List[TchFrame] = field(default_factory=list)
     rtp_seq: int = 0
+    span: Optional[object] = None         # repro.obs.spans.Span (MT leg)
 
 
 class Vmsc(MscBase):
@@ -487,6 +488,12 @@ class Vmsc(MscBase):
         )
         self.calls[(call.call_ref, conn.imsi)] = call
         self._call_by_imsi[conn.imsi] = call
+        # The handset's call span (opened at place_call, keyed by IMSI)
+        # learns the allocated H.225 call reference here, so the RAS and
+        # Q.931 legs of Figure 5 attach to the same tree.
+        ms_call = self.sim.spans.find_open("imsi", conn.imsi, name="call")
+        if ms_call is not None:
+            ms_call.bind("call_ref", call.call_ref)
         # Step 2.3: ARQ/ACF with the gatekeeper.
         self._send_h323(
             entry,
@@ -583,6 +590,15 @@ class Vmsc(MscBase):
         )
         self.calls[(call.call_ref, entry.imsi)] = call
         self._call_by_imsi[entry.imsi] = call
+        # MT leg span: auto-parents to the calling terminal's span via
+        # the shared call_ref; the paged MS's own call span will nest
+        # under this one via the shared IMSI.
+        call.span = self.sim.spans.open(
+            "mt-leg",
+            keys={"imsi": entry.imsi, "call_ref": call.call_ref},
+            node=self.name,
+            calling=str(msg.calling) if msg.calling is not None else None,
+        )
         # Step 4.2 tail: Call Proceeding back to the calling party.
         self._send_q931(entry, call, Q931CallProceeding(call_ref=call.call_ref))
         # Step 4.3: the VMSC's own admission request.
@@ -734,6 +750,9 @@ class Vmsc(MscBase):
                 self._sgsn(),
                 DeactivatePdpContextRequest(imsi=entry.imsi, nsapi=NSAPI_VOICE),
             )
+        if call.span is not None:
+            call.span.attrs["duration_ms"] = duration_ms
+            call.span.close(status="ok")
         self._drop_call(call)
         self._arm_idle_timer(entry)
 
@@ -760,6 +779,8 @@ class Vmsc(MscBase):
             self.disconnect_ms(conn, cause=cause)
 
     def _drop_call(self, call: VmscCall) -> None:
+        if call.span is not None:
+            call.span.close(status="dropped")
         self.calls.pop((call.call_ref, call.imsi), None)
         current = self._call_by_imsi.get(call.imsi)
         if current is call:

@@ -79,6 +79,14 @@ class CallWorkload:
             proc.interrupt()
         self._procs.clear()
 
+    def progress_line(self) -> str:
+        """One-line workload summary for heartbeat ``extra`` hooks."""
+        s = self.stats
+        return (
+            f"calls={s.attempted} ok={s.connected} fail={s.failed} "
+            f"busy={s.skipped_busy} ratio={s.completion_ratio:.2f}"
+        )
+
     # ------------------------------------------------------------------
     def _pair_loop(self, ms: MobileStation, term: H323Terminal):
         sim = self.nw.sim

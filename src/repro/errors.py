@@ -16,6 +16,12 @@ class SimulationError(ReproError):
     the past, running a stopped simulator)."""
 
 
+class TraceWindowError(SimulationError):
+    """A trace query asked about a message name whose entries were
+    evicted by the recorder's retention window (:meth:`TraceRecorder.
+    set_limit`) — the answer would be silently wrong, not merely empty."""
+
+
 class PacketError(ReproError):
     """A packet could not be built or parsed."""
 

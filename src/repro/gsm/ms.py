@@ -106,6 +106,13 @@ class MobileStation(Node):
         self.frames_sent = 0
         self.frames_received = 0
         self._last_rx_time: Optional[float] = None
+        # Procedure spans (repro.obs.spans); opened/closed alongside the
+        # state machine so a run renders as a per-call tree.
+        self._reg_span = None
+        self._call_span = None
+        self._setup_span = None
+        self._talk_span = None
+        self._release_span = None
         # Event callbacks for scenarios/tests.
         self.on_registered: Optional[Callable[[], None]] = None
         self.on_connected: Optional[Callable[[], None]] = None
@@ -140,6 +147,12 @@ class MobileStation(Node):
         """Step 1.1: 'An MS is turned on.'"""
         if self.state != "off":
             raise ProtocolError(f"{self.name}: power_on in state {self.state}")
+        self._reg_span = self.sim.spans.open(
+            "registration",
+            keys={"imsi": self.imsi, "alias": self.msisdn},
+            node=self.name,
+            kind="power-on",
+        )
         self.state = "accessing"
         self._access_purpose = "lu"
         self._tx(UmChannelRequest(establishment_cause=1))
@@ -151,6 +164,9 @@ class MobileStation(Node):
             raise ProtocolError(f"{self.name}: hang up before power_off")
         if self.state != "off":
             self._tx(ImsiDetachIndication(imsi=self.imsi, tmsi=self.tmsi))
+        if self._reg_span is not None:
+            self._reg_span.close(status="aborted")
+            self._reg_span = None
         self.registered = False
         self.state = "off"
 
@@ -159,6 +175,13 @@ class MobileStation(Node):
         a location update, using the TMSI when one was allocated."""
         self.serving_bts = bts_name
         self.lai = lai
+        self._reg_span = self.sim.spans.open(
+            "registration",
+            keys={"imsi": self.imsi, "alias": self.msisdn},
+            node=self.name,
+            kind="movement",
+            lai=lai,
+        )
         self.state = "accessing"
         self._access_purpose = "lu"
         self._tx(UmChannelRequest(establishment_cause=1))
@@ -192,6 +215,9 @@ class MobileStation(Node):
             self.tmsi = msg.new_tmsi
         self.registered = True
         self.state = "idle"
+        if self._reg_span is not None:
+            self._reg_span.close(status="ok")
+            self._reg_span = None
         self.sim.metrics.counter(f"{self.name}.registrations").inc()
         if self.on_registered is not None:
             self.on_registered()
@@ -219,6 +245,16 @@ class MobileStation(Node):
         """Dial *called* (step 2.1)."""
         if self.state != "idle":
             raise ProtocolError(f"{self.name}: place_call in state {self.state}")
+        self._call_span = self.sim.spans.open(
+            "call",
+            keys={"imsi": self.imsi},
+            node=self.name,
+            direction="mo",
+            called=str(called),
+        )
+        self._setup_span = self.sim.spans.open(
+            "setup", keys={"imsi": self.imsi}, parent=self._call_span
+        )
         self._pending_called = called
         self.state = "accessing"
         self._access_purpose = "mo"
@@ -233,6 +269,10 @@ class MobileStation(Node):
         """The network could not serve the call attempt (e.g. radio
         congestion): give up and return to idle."""
         self._pending_called = None
+        if self._setup_span is not None:
+            self._setup_span.close(status="rejected")
+        if self._call_span is not None:
+            self._call_span.close(status="rejected")
         self.sim.metrics.counter(f"{self.name}.calls_rejected").inc()
         self._released()
 
@@ -245,6 +285,8 @@ class MobileStation(Node):
             # Step 2.1: "the digits dialed by the MS are sent to the BTS
             # in a Um_Setup message."
             self.ti = self._new_ti()
+            if self._call_span is not None:
+                self._call_span.bind("ti", self.ti)
             self._tx(
                 UmSetup(
                     ti=self.ti,
@@ -267,6 +309,12 @@ class MobileStation(Node):
     def on_connect(self, msg: UmConnect, src: Node, interface: str) -> None:
         self.state = "in-call"
         self.ti = msg.ti
+        if self._setup_span is not None:
+            self._setup_span.attrs["setup_delay"] = (
+                self.sim.now - self._setup_span.start
+            )
+            self._setup_span.close(status="ok")
+            self._setup_span = None
         self.sim.metrics.counter(f"{self.name}.calls_connected").inc()
         if self.on_connected is not None:
             self.on_connected()
@@ -288,6 +336,16 @@ class MobileStation(Node):
     def on_setup(self, msg: UmSetup, src: Node, interface: str) -> None:
         # Step 4.5 tail / 4.6: the MS rings, then the user answers.
         self.ti = msg.ti
+        self._call_span = self.sim.spans.open(
+            "call",
+            keys={"imsi": self.imsi, "ti": msg.ti},
+            node=self.name,
+            direction="mt",
+            calling=str(msg.calling) if msg.calling is not None else None,
+        )
+        self._setup_span = self.sim.spans.open(
+            "setup", keys={"imsi": self.imsi}, parent=self._call_span
+        )
         self.state = "mt-ringing"
         if self.on_incoming is not None:
             self.on_incoming(msg.calling)
@@ -298,6 +356,9 @@ class MobileStation(Node):
         if self.state != "mt-ringing":
             return
         self.state = "in-call"
+        if self._setup_span is not None:
+            self._setup_span.close(status="ok")
+            self._setup_span = None
         self.sim.metrics.counter(f"{self.name}.calls_connected").inc()
         self._tx(UmConnect(ti=ti, imsi=self.imsi))
         if self.on_connected is not None:
@@ -311,6 +372,13 @@ class MobileStation(Node):
         if self.state not in ("in-call", "mo-alerting", "mt-ringing"):
             raise ProtocolError(f"{self.name}: hangup in state {self.state}")
         self.stop_talking()
+        if self._call_span is not None:
+            self._release_span = self.sim.spans.open(
+                "release",
+                keys={"imsi": self.imsi},
+                parent=self._call_span,
+                initiator=self.name,
+            )
         self.state = "releasing"
         self._tx(UmDisconnect(ti=self.ti or 0, imsi=self.imsi))
 
@@ -318,6 +386,13 @@ class MobileStation(Node):
     def on_disconnect(self, msg: UmDisconnect, src: Node, interface: str) -> None:
         # Network-initiated release: answer with Um_Release.
         self.stop_talking()
+        if self._call_span is not None and self._release_span is None:
+            self._release_span = self.sim.spans.open(
+                "release",
+                keys={"imsi": self.imsi},
+                parent=self._call_span,
+                initiator="network",
+            )
         self.state = "releasing"
         self._tx(UmRelease(ti=msg.ti, imsi=self.imsi))
 
@@ -332,6 +407,10 @@ class MobileStation(Node):
 
     def _released(self) -> None:
         self.stop_talking()
+        for span in (self._release_span, self._setup_span, self._call_span):
+            if span is not None:
+                span.close(status="ok")
+        self._release_span = self._setup_span = self._call_span = None
         self.state = "idle"
         self.ti = None
         if self.on_released is not None:
@@ -361,6 +440,13 @@ class MobileStation(Node):
         if self.state != "in-call":
             raise ProtocolError(f"{self.name}: start_talking in state {self.state}")
         self.stop_talking()
+        if self._call_span is not None:
+            self._talk_span = self.sim.spans.open(
+                "talk",
+                keys={"imsi": self.imsi},
+                parent=self._call_span,
+                interval=frame_interval,
+            )
         self._voice_proc = spawn(self.sim, self._talk(frame_interval, duration))
 
     def _talk(self, interval: float, duration: Optional[float]):
@@ -385,6 +471,10 @@ class MobileStation(Node):
         if self._voice_proc is not None:
             self._voice_proc.interrupt()
             self._voice_proc = None
+        if self._talk_span is not None:
+            self._talk_span.attrs["frames_sent"] = self.frames_sent
+            self._talk_span.close(status="ok")
+            self._talk_span = None
 
     @handles(TchFrame)
     def on_voice(self, frame: TchFrame, src: Node, interface: str) -> None:

@@ -595,6 +595,13 @@ class MscBase(Node):
                 "old_bsc": conn.bsc,
                 "new_bsc": local_bsc,
                 "target_cell": msg.target_cell,
+                "span": self.sim.spans.open(
+                    "handoff",
+                    keys={"imsi": msg.imsi, "ti": msg.ti},
+                    node=self.name,
+                    kind="intra",
+                    target_cell=msg.target_cell,
+                ),
             }
             self.send(local_bsc, AHandoverRequest(imsi=msg.imsi, ti=msg.ti))
             return
@@ -624,6 +631,14 @@ class MscBase(Node):
             "target_msc": target_msc,
             "target_cell": msg.target_cell,
             "invoke_id": invoke_id,
+            "span": self.sim.spans.open(
+                "handoff",
+                keys={"imsi": msg.imsi, "ti": msg.ti},
+                node=self.name,
+                kind="inter",
+                target_msc=target_msc,
+                target_cell=msg.target_cell,
+            ),
         }
         self._vlr_pending.open_with_id(invoke_id, msg.ti)
         self.send(
@@ -658,6 +673,13 @@ class MscBase(Node):
                 "serving_msc": src.name,
                 "target_cell": msg.target_cell,
                 "bsc": local_bsc,
+                "span": self.sim.spans.open(
+                    "handoff",
+                    keys={"imsi": msg.imsi, "ti": msg.call_ref},
+                    node=self.name,
+                    kind="handback",
+                    target_cell=msg.target_cell,
+                ),
             }
             self.send(local_bsc, AHandoverRequest(imsi=msg.imsi, ti=msg.call_ref))
             return
@@ -679,7 +701,10 @@ class MscBase(Node):
         if ho is None:
             return
         if msg.error != 0 or msg.handover_number is None:
-            del self._ho_anchor[ti]
+            failed = self._ho_anchor.pop(ti)
+            span = failed.get("span")
+            if span is not None:
+                span.close(status="failed")
             self.sim.metrics.counter(f"{self.name}.handoff_failures").inc()
             return
         conn: RadioConn = ho["conn"]
@@ -714,6 +739,9 @@ class MscBase(Node):
         old_bsc = conn.bsc
         conn.via_msc = src.name
         conn.handoff_cic = ho["cic"]
+        span = ho.get("span")
+        if span is not None:
+            span.close(status="ok")
         self.sim.metrics.counter(f"{self.name}.handoffs_completed").inc()
         self.sim.trace.note(
             self.name,
@@ -831,6 +859,9 @@ class MscBase(Node):
         if intra is not None:
             conn = intra["conn"]
             conn.bsc = intra["new_bsc"]
+            span = intra.get("span")
+            if span is not None:
+                span.close(status="ok")
             self.send(intra["old_bsc"], AClearCommand(imsi=conn.imsi))
             self.sim.metrics.counter(f"{self.name}.intra_handovers").inc()
             return
@@ -844,7 +875,14 @@ class MscBase(Node):
             self._release_handoff_trunk(conn)
             conn.via_msc = None
             conn.handoff_cic = None
-            self._ho_anchor.pop(msg.ti, None)
+            span = back.get("span")
+            if span is not None:
+                span.close(status="ok")
+            anchor = self._ho_anchor.pop(msg.ti, None)
+            if anchor is not None:
+                anchor_span = anchor.get("span")
+                if anchor_span is not None:
+                    anchor_span.close(status="ok")
             self.sim.metrics.counter(f"{self.name}.handbacks_completed").inc()
             self.sim.trace.note(
                 self.name, "HANDBACK_PATH_RESTORED", imsi=str(conn.imsi),

@@ -55,6 +55,8 @@ class TerminalCall:
     connected_at: Optional[float] = None
     released_at: Optional[float] = None
     placed_at: Optional[float] = None
+    span: Optional[object] = None         # repro.obs.spans.Span
+    setup_span: Optional[object] = None
 
 
 class H323Terminal(IpHost):
@@ -134,6 +136,19 @@ class H323Terminal(IpHost):
             remote_alias=called,
             placed_at=self.sim.now,
         )
+        # Keyed by call_ref only (not alias): the terminal's alias is in
+        # every RAS exchange it makes, and keying on it would steal
+        # entries from concurrent calls.
+        call.span = self.sim.spans.open(
+            "call",
+            keys={"call_ref": call_ref},
+            node=self.name,
+            direction="out",
+            called=str(called),
+        )
+        call.setup_span = self.sim.spans.open(
+            "setup", keys={"call_ref": call_ref}, parent=call.span
+        )
         self.calls[call_ref] = call
         self.send_ip(
             self.gk_ip,
@@ -200,6 +215,11 @@ class H323Terminal(IpHost):
     def _fail_call(self, call: TerminalCall, cause: int) -> None:
         call.state = "released"
         call.released_at = self.sim.now
+        if call.setup_span is not None:
+            call.setup_span.close(status="rejected")
+        if call.span is not None:
+            call.span.attrs["cause"] = cause
+            call.span.close(status="rejected")
         self.calls.pop(call.call_ref, None)
         self.calls_changed.fire()
         self.sim.metrics.counter(f"{self.name}.calls_failed").inc()
@@ -219,6 +239,18 @@ class H323Terminal(IpHost):
             remote_alias=msg.calling,
             remote_signal=(msg.signal_address, msg.signal_port),
             remote_media=(msg.media_address, msg.media_port),
+        )
+        # Auto-parents to the caller's span via the shared call_ref, so
+        # an MO call renders MS -> VMSC leg -> terminal as one tree.
+        call.span = self.sim.spans.open(
+            "call",
+            keys={"call_ref": msg.call_ref},
+            node=self.name,
+            direction="in",
+            calling=str(msg.calling) if msg.calling is not None else None,
+        )
+        call.setup_span = self.sim.spans.open(
+            "setup", keys={"call_ref": msg.call_ref}, parent=call.span
         )
         self.calls[msg.call_ref] = call
         self.calls_changed.fire()
@@ -245,6 +277,9 @@ class H323Terminal(IpHost):
             return
         call.state = "in-call"
         call.connected_at = self.sim.now
+        if call.setup_span is not None:
+            call.setup_span.close(status="ok")
+            call.setup_span = None
         self.calls_changed.fire()
         self._send_q931(
             call,
@@ -282,6 +317,11 @@ class H323Terminal(IpHost):
         call.state = "in-call"
         call.connected_at = self.sim.now
         call.remote_media = (msg.media_address, msg.media_port)
+        if call.setup_span is not None:
+            if call.placed_at is not None:
+                call.setup_span.attrs["setup_delay"] = self.sim.now - call.placed_at
+            call.setup_span.close(status="ok")
+            call.setup_span = None
         self.calls_changed.fire()
         self.sim.metrics.counter(f"{self.name}.calls_connected").inc()
         if self.on_connected is not None:
@@ -328,6 +368,12 @@ class H323Terminal(IpHost):
             dport=PORT_H225_RAS,
             sport=PORT_H225_RAS,
         )
+        if call.setup_span is not None:
+            call.setup_span.close(status="ok")
+            call.setup_span = None
+        if call.span is not None:
+            call.span.attrs["duration_ms"] = duration_ms
+            call.span.close(status="ok")
         self.calls.pop(call.call_ref, None)
         self.calls_changed.fire()
 

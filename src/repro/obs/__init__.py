@@ -1,0 +1,45 @@
+"""End-to-end observability for simulation runs.
+
+Layers on the :mod:`repro.sim` primitives (``TraceRecorder``,
+``MetricsRegistry``):
+
+* :mod:`repro.obs.spans` — correlated per-procedure spans keyed by
+  IMSI/call-ref, attached to every trace entry;
+* :mod:`repro.obs.profiler` — opt-in per-event-type kernel profiling;
+* :mod:`repro.obs.heartbeat` — periodic progress lines for soak runs;
+* :mod:`repro.obs.export` — JSONL traces, span trees, snapshot merging;
+* :mod:`repro.obs.prom` — Prometheus text-format metric snapshots;
+* :mod:`repro.obs.session` — the ``python -m repro`` flag plumbing.
+
+Nothing here imports :mod:`repro.sim.kernel` (the kernel imports the
+span tracker and profiler), so the dependency arrow stays one-way.
+"""
+
+from repro.obs.export import (
+    export_trace_jsonl,
+    find_snapshots,
+    is_snapshot,
+    merge_snapshots,
+    render_span_tree,
+)
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.profiler import KernelProfiler
+from repro.obs.prom import render_prometheus, sanitize_name
+from repro.obs.session import ObsSession
+from repro.obs.spans import CORRELATION_FIELDS, Span, SpanTracker
+
+__all__ = [
+    "CORRELATION_FIELDS",
+    "Heartbeat",
+    "KernelProfiler",
+    "ObsSession",
+    "Span",
+    "SpanTracker",
+    "export_trace_jsonl",
+    "find_snapshots",
+    "is_snapshot",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_span_tree",
+    "sanitize_name",
+]

@@ -1,0 +1,84 @@
+"""Opt-in kernel profiler: per-event-type wall time and counts.
+
+The PR-1 kernel optimisations were guided by ad-hoc timing; this makes
+the measurement a first-class, repeatable artefact.  When enabled on a
+:class:`~repro.sim.kernel.Simulator` the run loop switches to an
+instrumented variant that wraps every callback in two
+``perf_counter()`` reads, keyed by the callback's qualified name — so a
+soak run answers "where does the time go?" with a table like::
+
+    event type                                   count   total ms    avg us
+    Link._deliver                               120042     812.44       6.8
+    MobileStation._talk                          50021     401.02       8.0
+
+With the profiler off the simulator uses the untouched fast loop: zero
+instructions are added to the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+
+class KernelProfiler:
+    """Accumulates ``(count, total_seconds)`` per event-callback type."""
+
+    __slots__ = ("stats", "started_at", "stopped_at")
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, List[float]] = {}
+        self.started_at = time.perf_counter()
+        self.stopped_at: float = 0.0
+
+    # The instrumented loop calls this once per executed event.
+    def record(self, key: str, elapsed: float) -> None:
+        slot = self.stats.get(key)
+        if slot is None:
+            slot = self.stats[key] = [0, 0.0]
+        slot[0] += 1
+        slot[1] += elapsed
+
+    @property
+    def total_events(self) -> int:
+        return sum(int(slot[0]) for slot in self.stats.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(slot[1] for slot in self.stats.values())
+
+    def top(self, n: int = 15) -> List[Tuple[str, int, float]]:
+        """``(key, count, total_seconds)`` rows, heaviest first; ties
+        break on the key so the report is deterministic."""
+        rows = [
+            (key, int(slot[0]), slot[1]) for key, slot in self.stats.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows[:n]
+
+    def report(self, n: int = 15, title: str = "kernel profile") -> str:
+        """Human-readable top-N table."""
+        rows = self.top(n)
+        total_s = self.total_seconds
+        lines = [
+            f"=== {title}: {self.total_events} events, "
+            f"{total_s * 1000:.1f} ms in callbacks ===",
+            f"{'event type':<44} {'count':>9} {'total ms':>10} {'avg us':>8} {'%':>6}",
+        ]
+        for key, count, seconds in rows:
+            share = 100.0 * seconds / total_s if total_s else 0.0
+            avg_us = 1e6 * seconds / count if count else 0.0
+            lines.append(
+                f"{key[:44]:<44} {count:>9} {seconds * 1000:>10.2f} "
+                f"{avg_us:>8.1f} {share:>5.1f}%"
+            )
+        if len(self.stats) > n:
+            lines.append(f"... and {len(self.stats) - n} more event types")
+        return "\n".join(lines)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Plain-data dump (JSON-friendly), keyed by event type."""
+        return {
+            key: {"count": int(slot[0]), "total_s": slot[1]}
+            for key, slot in sorted(self.stats.items())
+        }

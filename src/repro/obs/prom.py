@@ -1,0 +1,85 @@
+"""Prometheus text-exposition rendering of metric snapshots.
+
+The simulator's registry is not a live scrape target — runs finish in
+milliseconds of wall time — so the useful artefact is a final snapshot
+in the standard text format, diffable across runs and loadable by any
+Prometheus tooling::
+
+    # TYPE repro_msgs_tx_VMSC counter
+    repro_msgs_tx_VMSC 42
+    # TYPE repro_SGSN_contexts gauge
+    repro_SGSN_contexts 1
+    repro_SGSN_contexts_time_avg 0.83
+    # TYPE repro_TERM1_mouth_to_ear summary
+    repro_TERM1_mouth_to_ear{quantile="0.5"} 0.0801
+
+Counters map to ``counter`` series, gauges to a ``gauge`` plus
+``_time_avg``/``_peak`` companions (the time-weighted view is the whole
+point of :class:`~repro.sim.metrics.Gauge`), histograms to ``summary``
+series with ``quantile`` labels, ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Union
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: snapshot histogram key -> Prometheus quantile label
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def sanitize_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted metric name onto the Prometheus grammar."""
+    cleaned = _NAME_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(source: Any, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot (or a live ``MetricsRegistry``) as
+    Prometheus text exposition format.  Series are emitted in sorted
+    name order, so equal metrics render byte-identically."""
+    snapshot: Dict[str, Any]
+    if hasattr(source, "snapshot"):
+        snapshot = source.snapshot()
+    else:
+        snapshot = source
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        series = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {series} counter")
+        lines.append(f"{series} {_fmt(value)}")
+    for name, summary in snapshot["gauges"].items():
+        series = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {series} gauge")
+        lines.append(f"{series} {_fmt(summary['value'])}")
+        lines.append(f"# TYPE {series}_time_avg gauge")
+        lines.append(f"{series}_time_avg {_fmt(summary['time_average'])}")
+        lines.append(f"# TYPE {series}_peak gauge")
+        lines.append(f"{series}_peak {_fmt(summary['peak'])}")
+    for name, summary in snapshot["histograms"].items():
+        series = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {series} summary")
+        for key, label in _QUANTILES:
+            lines.append(
+                f'{series}{{quantile="{label}"}} {_fmt(summary[key])}'
+            )
+        lines.append(
+            f"{series}_sum {_fmt(summary['mean'] * summary['count'])}"
+        )
+        lines.append(f"{series}_count {_fmt(int(summary['count']))}")
+    sim_time = sanitize_name("sim_time", prefix)
+    lines.append(f"# TYPE {sim_time} gauge")
+    lines.append(f"{sim_time} {_fmt(snapshot['sim_time'])}")
+    return "\n".join(lines) + "\n"

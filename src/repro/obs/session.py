@@ -1,0 +1,83 @@
+"""Glue for the command-line surface: one object per observed run.
+
+``python -m repro`` scenarios build one or more simulators; an
+:class:`ObsSession` carries the ``--trace-out``/``--metrics-out``/
+``--profile``/``--heartbeat`` choices, attaches them to each simulator
+as it is built, and writes every artefact at the end.  Kept in the
+library (not ``__main__``) so tests and notebooks can drive the same
+plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.export import export_trace_jsonl, merge_snapshots
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.prom import render_prometheus
+
+
+class ObsSession:
+    """Observability options applied across a scenario's simulators."""
+
+    def __init__(
+        self,
+        trace_out: Optional[str] = None,
+        metrics_out: Optional[str] = None,
+        profile: bool = False,
+        heartbeat: Optional[float] = None,
+    ) -> None:
+        self.trace_out = trace_out
+        self.metrics_out = metrics_out
+        self.profile = profile
+        self.heartbeat = heartbeat
+        self._sims: List[Tuple[str, Any]] = []
+        self._heartbeats: List[Heartbeat] = []
+        #: Extra metric snapshots merged into --metrics-out (sweeps).
+        self.extra_snapshots: List[Dict[str, Any]] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.trace_out or self.metrics_out or self.profile or self.heartbeat
+        )
+
+    def watch(self, sim, run: str = "main") -> None:
+        """Register *sim* (idempotent per run name) and arm the
+        requested instrumentation on it."""
+        if any(existing is sim for _, existing in self._sims):
+            return
+        self._sims.append((run, sim))
+        if self.profile:
+            sim.enable_profiler()
+        if self.heartbeat:
+            self._heartbeats.append(
+                Heartbeat(sim, period=self.heartbeat, label=run).start()
+            )
+
+    def finish(self, echo=print) -> None:
+        """Stop heartbeats, write the trace/metrics artefacts and print
+        profiler reports."""
+        for hb in self._heartbeats:
+            hb.stop()
+        self._heartbeats.clear()
+        if self.trace_out:
+            with open(self.trace_out, "w", encoding="utf-8") as fh:
+                for run, sim in self._sims:
+                    export_trace_jsonl(sim, fh, run=run)
+            echo(f"trace written to {self.trace_out}")
+        if self.metrics_out:
+            snapshots = [sim.metrics.snapshot() for _, sim in self._sims]
+            snapshots.extend(self.extra_snapshots)
+            if len(snapshots) == 1:
+                text = render_prometheus(snapshots[0])
+            else:
+                text = render_prometheus(merge_snapshots(snapshots))
+            with open(self.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            echo(f"metrics snapshot written to {self.metrics_out}")
+        if self.profile:
+            for run, sim in self._sims:
+                profiler = sim.profiler
+                if profiler is not None and profiler.stats:
+                    echo(profiler.report(title=f"kernel profile [{run}]"))

@@ -149,10 +149,24 @@ class Packet:
                 shown = layer
         return (shown or self).name
 
+    #: Field names that correlate a message with a procedure (span);
+    #: surfaced by :meth:`trace_info` from any layer that declares them,
+    #: even when the layer's ``info()`` does not (e.g. MAP messages only
+    #: advertise their invoke id, but most carry the IMSI too).
+    CORRELATION_FIELDS = ("imsi", "call_ref", "ti", "alias", "invoke_id")
+
     def trace_info(self) -> Dict[str, Any]:
-        """Merged ``info()`` of all layers (inner layers win)."""
+        """Merged ``info()`` of all layers (inner layers win), plus any
+        correlation fields present in the layers' declared fields —
+        the span tracker keys on these, so they must not depend on each
+        message class remembering to expose them."""
         merged: Dict[str, Any] = {}
         for layer in self.layers():
+            values = layer._values
+            for key in Packet.CORRELATION_FIELDS:
+                value = values.get(key)
+                if value is not None and key not in merged:
+                    merged[key] = str(value) if key in ("imsi", "alias") else value
             merged.update(layer.info())
         return merged
 

@@ -36,9 +36,14 @@ class Histogram:
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: List[float] = []
+        # Sorted view, built lazily on the first quantile read and
+        # reused until the next observe(); reports ask for several
+        # quantiles in a row and must not re-sort per call.
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         self.samples.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -68,7 +73,9 @@ class Histogram:
         """Exact quantile by linear interpolation; ``q`` in [0, 1]."""
         if not self.samples:
             return 0.0
-        data = sorted(self.samples)
+        data = self._sorted
+        if data is None:
+            data = self._sorted = sorted(self.samples)
         if len(data) == 1:
             return data[0]
         pos = q * (len(data) - 1)
@@ -164,8 +171,56 @@ class MetricsRegistry:
             if name.startswith(prefix)
         }
 
+    def gauges(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Name -> summary dict for every gauge, mirroring
+        :meth:`counters`.  ``integral`` and ``time_average`` settle the
+        gauge up to the current clock, so a dump at the end of a run is
+        the final word."""
+        return {
+            name: {
+                "value": g.value,
+                "peak": g.peak,
+                "integral": g.integral(),
+                "time_average": g.time_average(),
+            }
+            for name, g in sorted(self._gauges.items())
+            if name.startswith(prefix)
+        }
+
+    def histograms(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Name -> summary dict for every histogram, mirroring
+        :meth:`counters`."""
+        return {
+            name: {
+                "count": h.count,
+                "mean": h.mean,
+                "min": h.minimum,
+                "max": h.maximum,
+                "stdev": h.stdev,
+                "p50": h.quantile(0.50),
+                "p95": h.quantile(0.95),
+                "p99": h.quantile(0.99),
+            }
+            for name, h in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data dump of every metric plus the clock, suitable for
+        JSON serialisation, cross-process transfer (sweep workers) and
+        deterministic merging (:func:`repro.obs.export.merge_snapshots`)."""
+        return {
+            "sim_time": self._clock(),
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
     def get_counter(self, name: str) -> Optional[Counter]:
         return self._counters.get(name)
 
     def get_histogram(self, name: str) -> Optional[Histogram]:
         return self._histograms.get(name)
+
+    def get_gauge(self, name: str) -> Optional[Gauge]:
+        return self._gauges.get(name)

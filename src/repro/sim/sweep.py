@@ -76,6 +76,14 @@ class SweepResult:
     point: SweepPoint
     value: Any
 
+    def snapshots(self) -> List[Dict[str, Any]]:
+        """Metric snapshots embedded anywhere in ``value`` — workers
+        build their own simulators, so snapshots travel inside the
+        return value (see :func:`repro.obs.export.find_snapshots`)."""
+        from repro.obs.export import find_snapshots
+
+        return find_snapshots(self.value)
+
 
 def sweep_grid(**axes: Sequence[Any]) -> List[SweepPoint]:
     """Cartesian product of the given axes as :class:`SweepPoint` list.

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import TraceWindowError
+
 
 @dataclass(frozen=True)
 class TraceEntry:
@@ -55,6 +57,21 @@ class TraceEntry:
     def triple(self) -> Tuple[str, str, str]:
         return (self.message, self.src, self.dst)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for JSONL export; info values that are rich
+        objects (IMSI, E164Number, ...) are stringified by the exporter's
+        JSON encoder, not here, so in-process consumers keep the
+        originals."""
+        return {
+            "t": self.time,
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "interface": self.interface,
+            "message": self.message,
+            "info": self.info,
+        }
+
 
 class TraceRecorder:
     """Accumulates :class:`TraceEntry` records in simulation order."""
@@ -74,6 +91,14 @@ class TraceRecorder:
         self._msg_count = 0
         self._limit: Optional[int] = None
         self.dropped = 0
+        # Message names that have lost entries to window trimming; point
+        # queries about them raise instead of silently answering from a
+        # partial window.
+        self._evicted_names: set = set()
+        # Called with each recorded entry (after indexing); the span
+        # tracker hooks in here.  Kept as a plain attribute so the
+        # no-observer case costs one attribute load per record.
+        self.sink: Optional[Callable[[TraceEntry], None]] = None
 
     def set_limit(self, limit: Optional[int]) -> None:
         """Bound the recorder to roughly *limit* entries (``None`` for
@@ -113,12 +138,18 @@ class TraceRecorder:
             bucket.append(entry)
         if self._limit is not None and len(self.entries) > self._limit:
             self._trim(self._limit)
+        sink = self.sink
+        if sink is not None:
+            sink(entry)
 
     def _trim(self, limit: int) -> None:
         keep_from = len(self.entries) - limit // 2
         dropped = self.entries[:keep_from]
         del self.entries[:keep_from]
         self.dropped += len(dropped)
+        for entry in dropped:
+            if entry.kind == "msg":
+                self._evicted_names.add(entry.message)
         # Rebuild the index from the surviving window; batch-trimming
         # keeps this amortised O(1) per recorded entry.
         self._msg_index = {}
@@ -140,6 +171,9 @@ class TraceRecorder:
         self._msg_index.clear()
         self._msg_count = 0
         self.dropped = 0
+        # A deliberate clear() resets the eviction bookkeeping too: the
+        # caller is starting a fresh measurement window on purpose.
+        self._evicted_names.clear()
 
     # ------------------------------------------------------------------
     # Queries
@@ -181,17 +215,33 @@ class TraceRecorder:
         it = iter(actual)
         return all(any(step == got for got in it) for step in expected)
 
+    def _check_window(self, name: str) -> None:
+        """Soak-mode footgun guard: once entries for *name* have been
+        evicted by the retention window, point queries about it would
+        silently under-count (or miss the true first occurrence), letting
+        flow assertions pass vacuously.  Fail loudly instead."""
+        if name in self._evicted_names:
+            raise TraceWindowError(
+                f"trace entries for {name!r} were evicted by the retention "
+                f"window (limit={self._limit!r}, dropped={self.dropped}); "
+                "first()/last()/count() would answer from partial history. "
+                "Raise the limit, or clear() to start a fresh window."
+            )
+
     def first(self, name: str) -> Optional[TraceEntry]:
+        self._check_window(name)
         bucket = self._msg_index.get(name)
         return bucket[0] if bucket else None
 
     def last(self, name: str) -> Optional[TraceEntry]:
+        self._check_window(name)
         bucket = self._msg_index.get(name)
         return bucket[-1] if bucket else None
 
     def count(self, name: Optional[str] = None) -> int:
         if name is None:
             return self._msg_count
+        self._check_window(name)
         return len(self._msg_index.get(name, ()))
 
     def span(self, first_name: str, last_name: str) -> Optional[float]:

@@ -1,0 +1,188 @@
+"""Rendering tests: MSC charts against the golden flows, report tables.
+
+The chart test is the figure-level check: for Figures 4-6, every arrow
+of the golden flow must appear in the rendered chart, between the right
+columns and pointing the right way.
+"""
+
+import pytest
+
+from repro.analysis.msc_chart import render_msc
+from repro.analysis.report import format_table, print_experiment
+from repro.core import scenarios
+from repro.core.flows import (
+    NodeNames,
+    match_flow,
+    origination_flow,
+    registration_flow,
+    termination_flow,
+)
+from repro.core.network import build_vgprs_network
+from repro.sim.trace import TraceEntry
+
+NODES = ["MS1", "BTS1", "BSC", "VMSC", "VLR", "HLR", "SGSN", "GGSN",
+         "IPNET", "GK", "TERM1"]
+COL_WIDTH = 12
+
+
+def entry(time, src, dst, message, kind="msg"):
+    return TraceEntry(time, kind, src, dst, "if", message, {})
+
+
+class TestRenderMsc:
+    def test_arrow_directions(self):
+        chart = render_msc(
+            [entry(1.0, "A", "B", "Fwd"), entry(2.0, "B", "A", "Back")],
+            ["A", "B"],
+        )
+        fwd = next(l for l in chart.splitlines() if "Fwd" in l)
+        back = next(l for l in chart.splitlines() if "Back" in l)
+        assert fwd.rstrip().endswith(">") and "|" in fwd
+        assert "<" in back and back.rstrip().endswith("|")
+
+    def test_include_filters_and_kinds_skipped(self):
+        chart = render_msc(
+            [entry(1.0, "A", "B", "Keep"),
+             entry(2.0, "A", "B", "Drop"),
+             entry(3.0, "A", "B", "note-ish", kind="note"),
+             entry(4.0, "A", "C", "UnknownNode")],
+            ["A", "B"],
+            include={"Keep", "note-ish", "UnknownNode"},
+        )
+        assert "Keep" in chart
+        assert "Drop" not in chart
+        assert "note-ish" not in chart      # only kind == "msg" is drawn
+        assert "UnknownNode" not in chart   # C is not a column
+
+    def test_label_truncation(self):
+        chart = render_msc(
+            [entry(1.0, "A", "B", "A_Very_Long_Message_Name")],
+            ["A", "B"], max_label=6,
+        )
+        assert "A_Very" in chart
+        assert "A_Very_Long" not in chart
+
+    def test_header_lists_nodes(self):
+        chart = render_msc([], ["MS1", "VMSC"])
+        header = chart.splitlines()[0]
+        assert "MS1" in header and "VMSC" in header
+
+
+class TestGoldenFlowCharts:
+    """Every golden-flow triple must appear in the rendered figure."""
+
+    @pytest.fixture(scope="class")
+    def charts(self):
+        names = NodeNames()
+        nw = build_vgprs_network()
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001",
+                       answer_delay=0.6)
+        term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
+        nw.sim.run(until=0.5)
+        out = {}
+        for key, action, flow in (
+            ("registration", lambda: scenarios.register_ms(nw, ms),
+             registration_flow(names)),
+            ("origination",
+             lambda: scenarios.call_ms_to_terminal(nw, ms, term),
+             origination_flow(names)),
+        ):
+            out[key] = self._render(nw, action, flow)
+        scenarios.hangup_from_ms(nw, ms)
+        nw.sim.run(until=nw.sim.now + 1.0)
+        out["termination"] = self._render(
+            nw, lambda: scenarios.call_terminal_to_ms(nw, term, ms),
+            termination_flow(names))
+        return out
+
+    @staticmethod
+    def _render(nw, action, flow):
+        since = nw.sim.now
+        action()
+        matched = match_flow(nw.sim.trace, flow, since=since)
+        entries = [e for e in nw.sim.trace.entries if e.time >= since]
+        chart = render_msc(entries, NODES,
+                           include={s.message for s in flow},
+                           col_width=COL_WIDTH)
+        return chart, matched
+
+    def _assert_triple_drawn(self, chart, matched_entry):
+        """The chart has a line at the entry's time whose arrow spans the
+        src and dst columns in the right direction and carries the label."""
+        src_i = NODES.index(matched_entry.src)
+        dst_i = NODES.index(matched_entry.dst)
+        lo, hi = sorted((src_i, dst_i))
+        start = 9 + lo * COL_WIDTH + COL_WIDTH // 2
+        stamp = f"{matched_entry.time:8.3f} "
+        # Labels are clipped to the arrow body (span between the columns
+        # minus the arrowheads), so only that prefix is visible.
+        inner = (hi - lo) * COL_WIDTH - 2
+        label = matched_entry.message[:38][:inner]
+        for line in chart.splitlines():
+            if not line.startswith(stamp) or label not in line:
+                continue
+            if line.index(label) < start:
+                continue
+            if src_i < dst_i:
+                assert line[start] == "|" and line.rstrip().endswith(">")
+            else:
+                assert line[start] == "<" and line.rstrip().endswith("|")
+            return
+        pytest.fail(
+            f"triple {matched_entry.src}->{matched_entry.dst} "
+            f"{matched_entry.message!r} at t={matched_entry.time} "
+            f"not drawn in chart"
+        )
+
+    @pytest.mark.parametrize("figure", ["registration", "origination",
+                                        "termination"])
+    def test_every_flow_triple_is_drawn(self, charts, figure):
+        chart, matched = charts[figure]
+        assert matched  # match_flow found every step
+        for step_entry in matched.values():
+            self._assert_triple_drawn(chart, step_entry)
+
+
+class TestReport:
+    def test_format_table_aligns_and_formats(self):
+        table = format_table(
+            ["metric", "value"],
+            [["setup delay", 0.61234], ["frames", 50]],
+            title="E1",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "E1" and lines[1] == "=="
+        assert lines[2].startswith("metric")
+        assert set(lines[3]) <= {"-", " "}
+        assert "0.612" in table   # floats render to 3 decimals
+        assert "50" in table
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) <= 2   # header/ruler/rows share column widths
+
+    def test_report_renders_completed_call(self, capsys):
+        nw = build_vgprs_network()
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+        term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
+        nw.sim.run(until=0.5)
+        scenarios.register_ms(nw, ms)
+        outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+        ms.start_talking(duration=1.0)
+        nw.sim.run(until=nw.sim.now + 1.5)
+        scenarios.hangup_from_ms(nw, ms)
+        nw.sim.run(until=nw.sim.now + 1.0)
+
+        table = format_table(
+            ["metric", "value"],
+            [["answer delay (s)", outcome.answer_delay],
+             ["voice frames", term.frames_received],
+             ["charging records", len(nw.gk.call_records)]],
+            title="completed call",
+        )
+        print_experiment("E1", "calls complete through the GPRS core",
+                         table, "PASS")
+        out = capsys.readouterr().out
+        assert "# Experiment E1" in out
+        assert "# Paper claim: calls complete through the GPRS core" in out
+        assert "completed call" in out and "voice frames" in out
+        assert f"{outcome.answer_delay:.3f}" in out
+        assert out.strip().endswith("VERDICT: PASS")

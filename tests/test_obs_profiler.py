@@ -1,0 +1,201 @@
+"""Tests for the kernel profiler, heartbeat and ObsSession plumbing."""
+
+import json
+
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.profiler import KernelProfiler
+from repro.obs.session import ObsSession
+from repro.sim.kernel import Simulator
+
+import pytest
+
+
+class TestKernelProfiler:
+    def test_record_accumulates(self):
+        p = KernelProfiler()
+        p.record("A", 0.5)
+        p.record("A", 0.25)
+        p.record("B", 2.0)
+        assert p.total_events == 3
+        assert p.total_seconds == 2.75
+        assert p.snapshot() == {
+            "A": {"count": 2, "total_s": 0.75},
+            "B": {"count": 1, "total_s": 2.0},
+        }
+
+    def test_top_sorts_by_time_then_key(self):
+        p = KernelProfiler()
+        p.record("slow", 3.0)
+        p.record("tie_b", 1.0)
+        p.record("tie_a", 1.0)
+        p.record("fast", 0.1)
+        assert [row[0] for row in p.top()] == ["slow", "tie_a", "tie_b", "fast"]
+        assert [row[0] for row in p.top(n=2)] == ["slow", "tie_a"]
+
+    def test_report_renders(self):
+        p = KernelProfiler()
+        for i in range(20):
+            p.record(f"type_{i:02d}", 0.001 * (i + 1))
+        text = p.report(n=5)
+        assert "kernel profile" in text and "20 events" in text
+        assert "type_19" in text  # heaviest shown
+        assert "type_00" not in text  # beyond top-5
+        assert "15 more event types" in text
+
+    def test_empty_report(self):
+        text = KernelProfiler().report()
+        assert "0 events" in text  # no division-by-zero
+
+
+class TestSimulatorIntegration:
+    def run_some_events(self, sim, n=50):
+        for i in range(n):
+            sim.schedule(0.01 * (i + 1), lambda: None)
+        return sim.run(until=10.0)
+
+    def test_profiler_times_callbacks(self):
+        sim = Simulator()
+        profiler = sim.enable_profiler()
+        assert sim.enable_profiler() is profiler  # idempotent
+        executed = self.run_some_events(sim)
+        assert profiler.total_events == executed == 50
+        (key,) = profiler.stats
+        assert "lambda" in key
+        assert profiler.total_seconds > 0
+
+    def test_disable_returns_to_fast_loop(self):
+        sim = Simulator()
+        profiler = sim.enable_profiler()
+        self.run_some_events(sim)
+        detached = sim.disable_profiler()
+        assert detached is profiler and sim.profiler is None
+        before = detached.total_events
+        self.run_some_events(sim)  # fast loop: profiler sees nothing
+        assert detached.total_events == before
+
+    def test_events_executed_maintained_by_both_loops(self):
+        fast, slow = Simulator(), Simulator()
+        slow.count_events = True
+        a = self.run_some_events(fast)
+        b = self.run_some_events(slow)
+        assert fast.events_executed == a
+        assert slow.events_executed == b
+        assert a == b
+
+    def test_instrumented_loop_matches_fast_loop_ordering(self):
+        def trace_of(instrumented):
+            sim = Simulator()
+            if instrumented:
+                sim.enable_profiler()
+            seen = []
+            # Two same-time events must keep FIFO order in both loops.
+            sim.schedule(1.0, lambda: seen.append("a"))
+            sim.schedule(1.0, lambda: seen.append("b"))
+            sim.schedule(0.5, lambda: seen.append("c"))
+            sim.run(until=2.0)
+            return seen, sim.now
+
+        assert trace_of(True) == trace_of(False) == (["c", "a", "b"], 2.0)
+
+
+class TestHeartbeat:
+    def test_beats_and_counts(self):
+        sim = Simulator()
+        lines = []
+        hb = Heartbeat(sim, period=1.0, sink=lines.append, label="soak")
+        hb.start()
+        for i in range(40):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run(until=3.5)
+        hb.stop()
+        assert hb.beats == 3 and len(lines) == 3
+        assert lines[0].startswith("[hb soak] t=1.0s")
+        assert "events=" in lines[0] and "live=" in lines[0]
+        assert sim.count_events is False  # stop() restores the fast loop
+
+    def test_extra_hook(self):
+        sim = Simulator()
+        lines = []
+        hb = Heartbeat(sim, period=1.0, sink=lines.append,
+                       extra=lambda: "calls=7")
+        hb.start()
+        sim.run(until=1.0)
+        hb.stop()
+        assert lines[0].endswith("calls=7")
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            Heartbeat(Simulator(), period=0.0)
+
+
+class TestObsSession:
+    def run_sim(self):
+        sim = Simulator()
+        sim.spans.open("demo", keys={"imsi": 1}).close()
+        sim.metrics.counter("demo.counter").inc(3)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        return sim
+
+    def test_inactive_session_is_free(self):
+        obs = ObsSession()
+        assert not obs.active
+        sim = Simulator()
+        obs.watch(sim)
+        assert sim.profiler is None
+        obs.finish(echo=lambda line: pytest.fail(f"unexpected output {line!r}"))
+
+    def test_finish_writes_all_artifacts(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.prom"
+        obs = ObsSession(trace_out=str(trace_path),
+                         metrics_out=str(metrics_path), profile=True)
+        assert obs.active
+        echoed = []
+        sim = self.run_sim()
+        obs.watch(sim)
+        obs.watch(sim)  # idempotent
+        obs.finish(echo=echoed.append)
+
+        records = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert records[0]["type"] == "run"
+        assert any(r["type"] == "span" and r["name"] == "demo"
+                   for r in records)
+        assert "repro_demo_counter 3" in metrics_path.read_text()
+        assert any("trace written" in line for line in echoed)
+        assert any("metrics snapshot written" in line for line in echoed)
+
+    def test_profile_report_echoed(self, tmp_path):
+        obs = ObsSession(profile=True)
+        sim = Simulator()
+        obs.watch(sim)  # arms the profiler before the run
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        echoed = []
+        obs.finish(echo=echoed.append)
+        assert any("kernel profile [main]" in line for line in echoed)
+
+    def test_metrics_merge_with_extra_snapshots(self, tmp_path):
+        metrics_path = tmp_path / "m.prom"
+        obs = ObsSession(metrics_out=str(metrics_path))
+        sim = self.run_sim()
+        obs.watch(sim)
+        obs.extra_snapshots.append(sim.metrics.snapshot())
+        obs.finish(echo=lambda line: None)
+        # Two identical snapshots merge: the counter doubles.
+        assert "repro_demo_counter 6" in metrics_path.read_text()
+
+    def test_extra_snapshots_only(self, tmp_path):
+        metrics_path = tmp_path / "m.prom"
+        obs = ObsSession(metrics_out=str(metrics_path))
+        obs.extra_snapshots.append(self.run_sim().metrics.snapshot())
+        obs.finish(echo=lambda line: None)
+        assert "repro_demo_counter 3" in metrics_path.read_text()
+
+    def test_heartbeat_armed_and_stopped(self):
+        obs = ObsSession(heartbeat=1.0)
+        sim = Simulator()
+        obs.watch(sim)
+        assert sim.count_events is True
+        obs.finish(echo=lambda line: None)
+        assert sim.count_events is False

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import TraceWindowError
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import Gauge, Histogram
 from repro.sim.rng import RandomStreams
@@ -158,6 +159,80 @@ class TestGauge:
         assert sim.metrics.counters("a.") == {"a.one": 1, "a.two": 3}
 
 
+class TestRegistryDumps:
+    def test_get_accessors_do_not_create(self):
+        sim = Simulator()
+        assert sim.metrics.get_counter("nope") is None
+        assert sim.metrics.get_histogram("nope") is None
+        assert sim.metrics.get_gauge("nope") is None
+        g = sim.metrics.gauge("g")
+        assert sim.metrics.get_gauge("g") is g
+        assert sim.metrics.get_counter("g") is None  # namespaces are per-kind
+
+    def test_gauges_dump_settles_to_clock(self):
+        clock = {"t": 0.0}
+        from repro.sim.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry(clock=lambda: clock["t"])
+        metrics.gauge("ctx").set(2.0)
+        clock["t"] = 4.0
+        dump = metrics.gauges()
+        assert dump == {"ctx": {"value": 2.0, "peak": 2.0,
+                                "integral": 8.0, "time_average": 2.0}}
+
+    def test_histograms_dump_summary_keys(self):
+        sim = Simulator()
+        h = sim.metrics.histogram("m2e")
+        for x in (1.0, 2.0, 3.0, 4.0):
+            h.observe(x)
+        dump = sim.metrics.histograms()
+        summary = dump["m2e"]
+        assert summary["count"] == 4 and summary["mean"] == 2.5
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        assert summary["p50"] == pytest.approx(2.5)
+        assert set(summary) == {"count", "mean", "min", "max", "stdev",
+                                "p50", "p95", "p99"}
+
+    def test_dumps_sorted_and_prefix_filtered(self):
+        sim = Simulator()
+        sim.metrics.gauge("b.g").set(1.0)
+        sim.metrics.gauge("a.g").set(1.0)
+        sim.metrics.histogram("b.h").observe(1.0)
+        sim.metrics.histogram("a.h").observe(1.0)
+        assert list(sim.metrics.gauges()) == ["a.g", "b.g"]
+        assert list(sim.metrics.histograms("a.")) == ["a.h"]
+        assert list(sim.metrics.gauges("b.")) == ["b.g"]
+
+    def test_snapshot_shape(self):
+        sim = Simulator()
+        sim.metrics.counter("c").inc()
+        sim.metrics.gauge("g").set(1.0)
+        sim.metrics.histogram("h").observe(2.0)
+        sim.schedule(1.5, lambda: None)
+        sim.run(until=1.5)
+        snapshot = sim.metrics.snapshot()
+        assert set(snapshot) == {"sim_time", "counters", "gauges",
+                                 "histograms"}
+        assert snapshot["sim_time"] == 1.5
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"]["g"]["integral"] == pytest.approx(1.5)
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_quantile_cache_reused_and_invalidated(self):
+        h = Histogram("h")
+        for x in (3.0, 1.0, 2.0):
+            h.observe(x)
+        assert h._sorted is None           # built lazily
+        assert h.quantile(0.5) == 2.0
+        cached = h._sorted
+        assert cached == [1.0, 2.0, 3.0]
+        assert h.quantile(1.0) == 3.0
+        assert h._sorted is cached         # reused across reads
+        h.observe(0.0)
+        assert h._sorted is None           # invalidated by observe()
+        assert h.quantile(0.0) == 0.0
+
+
 class TestRandomStreams:
     def test_streams_are_independent(self):
         streams = RandomStreams(seed=1)
@@ -229,9 +304,29 @@ class TestTraceIndexAndLimits:
         assert len(trace.entries) == 5
         assert trace.dropped == 6
         assert trace.entries[0].time == 6.0
-        # The index tracks the surviving window.
-        assert trace.count("M") == 5
-        assert trace.first("M") is trace.entries[0]
+        # Point queries about an evicted name refuse to answer from
+        # partial history instead of silently under-counting.
+        with pytest.raises(TraceWindowError):
+            trace.count("M")
+        with pytest.raises(TraceWindowError):
+            trace.first("M")
+        with pytest.raises(TraceWindowError):
+            trace.last("M")
+        # The overall count and bulk scans still work.
+        assert trace.count() == 5
+
+    def test_window_guard_only_for_evicted_names(self):
+        trace, clock = self.make()
+        trace.set_limit(10)
+        self.fill(trace, clock, 11)
+        # A name never evicted answers normally after the trim.
+        trace.record("msg", "A", "B", "Um", "Fresh")
+        assert trace.count("Fresh") == 1
+        assert trace.first("Fresh") is trace.entries[-1]
+        # clear() starts a fresh window and lifts the guard.
+        trace.clear()
+        assert trace.count("M") == 0
+        assert trace.first("M") is None
 
     def test_limit_applies_retroactively(self):
         trace, clock = self.make()
