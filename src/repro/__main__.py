@@ -8,7 +8,10 @@ Scenarios:
 * ``handoff``        — mid-call inter-system handoff (Figure 9);
 * ``flows``          — print all three message-flow figures as charts;
 * ``sweep``          — run a parameter sweep (E8/E9/E11 style), optionally
-  in parallel with ``--jobs N``.
+  in parallel with ``--jobs N``;
+* ``lint``           — protocol-aware static analysis (determinism,
+  dispatch completeness, flow conformance, sim-safety, packet hygiene);
+  see ``python -m repro lint --help``.
 
 Every scenario accepts the observability flags:
 
@@ -203,6 +206,13 @@ SWEEP_EXPERIMENTS = ("setup-latency", "voice-quality", "residency")
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv[:1] == ["lint"]:
+        # The analyzer has its own flag set; hand over before the demo
+        # parser rejects them.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="vGPRS reproduction demos",

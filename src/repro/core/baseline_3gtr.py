@@ -17,10 +17,10 @@ radio.  Faithful to the paper's description of the approach:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import CallSetupError, ProtocolError
-from repro.identities import IMSI, E164Number, IPv4Address
+from repro.identities import IMSI, E164Number, IPv4Address, as_e164
 from repro.core.network import GK_IP, LatencyProfile, TERMINAL_IP_BASE
 from repro.gprs.gb import GbUnitdata
 from repro.gprs.ggsn import Ggsn
@@ -271,7 +271,8 @@ class H323MobileStation(Node):
     # ------------------------------------------------------------------
     # Calls
     # ------------------------------------------------------------------
-    def place_call(self, called: E164Number) -> None:
+    def place_call(self, called: Union[E164Number, str]) -> None:
+        called = as_e164(called)
         if self.state != "idle" or self.call is not None:
             raise CallSetupError(f"{self.name}: busy ({self.state})")
         call = _H323MsCall(

@@ -15,10 +15,10 @@ time, which downstream nodes use to measure mouth-to-ear delay
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.errors import ProtocolError
-from repro.identities import IMSI, E164Number
+from repro.identities import IMSI, E164Number, as_e164
 from repro.gsm.security import a3_sres
 from repro.net.node import Node, handles
 from repro.sim.process import Signal, spawn
@@ -241,8 +241,9 @@ class MobileStation(Node):
     # ------------------------------------------------------------------
     # MO call (Figure 5)
     # ------------------------------------------------------------------
-    def place_call(self, called: E164Number) -> None:
+    def place_call(self, called: Union[E164Number, str]) -> None:
         """Dial *called* (step 2.1)."""
+        called = as_e164(called)
         if self.state != "idle":
             raise ProtocolError(f"{self.name}: place_call in state {self.state}")
         self._call_span = self.sim.spans.open(

@@ -10,10 +10,10 @@ paper's design.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import CallSetupError, ProtocolError
-from repro.identities import E164Number, IPv4Address
+from repro.identities import E164Number, IPv4Address, as_e164
 from repro.net.iphost import IpHost
 from repro.net.node import Node, handles
 from repro.net.transactions import Sequencer
@@ -124,8 +124,9 @@ class H323Terminal(IpHost):
     # ------------------------------------------------------------------
     # Outgoing call
     # ------------------------------------------------------------------
-    def place_call(self, called: E164Number) -> int:
+    def place_call(self, called: Union[E164Number, str]) -> int:
         """ARQ the gatekeeper, then Q.931 Setup to the resolved address."""
+        called = as_e164(called)
         if not self.registered:
             raise CallSetupError(f"{self.name}: not registered with the gatekeeper")
         call_ref = self.sim.call_refs.next()

@@ -114,6 +114,22 @@ class E164Number:
         return f"+{self.country_code}{self.national}"
 
 
+def as_e164(value: "E164Number | str") -> "E164Number":
+    """Coerce *value* to an :class:`E164Number` at an API boundary.
+
+    Raises :class:`AddressError` immediately on bad input, so callers
+    (``place_call`` and friends) reject misuse before touching any call
+    state instead of failing mid-simulation from a field validator.
+    """
+    if isinstance(value, E164Number):
+        return value
+    if isinstance(value, str):
+        return E164Number.parse(value)
+    raise AddressError(
+        f"expected E164Number or '+<digits>' string, got {value!r}"
+    )
+
+
 # An MSISDN is the E.164 number of a mobile subscriber; keeping the alias
 # makes call sites read like the specs.
 MSISDN = E164Number

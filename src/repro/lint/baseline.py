@@ -1,0 +1,132 @@
+"""Baseline file and inline suppressions.
+
+Two ways to accept a violation:
+
+* **inline** — append ``# lint: ignore[R1]`` (or a bare
+  ``# lint: ignore`` for any rule) to the flagged line;
+* **baseline** — check an entry into ``lint-baseline.json`` at the repo
+  root.  Entries match by *fingerprint* (rule + file + message hash, no
+  line numbers), so unrelated edits to the file do not invalidate them.
+  Every entry must carry a ``reason``; the baseline is for *deliberate*
+  violations, not a parking lot.
+
+``python -m repro lint --write-baseline`` regenerates the file from the
+current violations (reasons of existing entries are preserved).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.model import ProjectModel
+from repro.lint.rules import Violation
+
+BASELINE_FILENAME = "lint-baseline.json"
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+def inline_suppressed(model: ProjectModel, violation: Violation) -> bool:
+    """True when the flagged source line carries a matching
+    ``# lint: ignore`` marker."""
+    for module in model.modules:
+        if module.relpath != violation.file:
+            continue
+        match = _IGNORE_RE.search(module.line(violation.line))
+        if match is None:
+            return False
+        rules = match.group("rules")
+        if rules is None:
+            return True
+        return violation.rule in {r.strip() for r in rules.split(",")}
+    return False
+
+
+class Baseline:
+    """The checked-in suppression list."""
+
+    def __init__(self, entries: Optional[List[Dict[str, object]]] = None) -> None:
+        self.entries: List[Dict[str, object]] = entries or []
+        self._by_fingerprint = {
+            str(e.get("fingerprint")): e for e in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data.get("suppressions", [])
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: 'suppressions' must be a list")
+        return cls(entries)
+
+    def contains(self, violation: Violation) -> bool:
+        return violation.fingerprint in self._by_fingerprint
+
+    def reason(self, violation: Violation) -> Optional[str]:
+        entry = self._by_fingerprint.get(violation.fingerprint)
+        if entry is None:
+            return None
+        return str(entry.get("reason", ""))
+
+    @classmethod
+    def from_violations(
+        cls,
+        violations: Sequence[Violation],
+        previous: Optional["Baseline"] = None,
+    ) -> "Baseline":
+        """A fresh baseline accepting *violations*, carrying over the
+        reasons of entries that already existed."""
+        entries: List[Dict[str, object]] = []
+        seen = set()
+        for violation in violations:
+            if violation.fingerprint in seen:
+                continue
+            seen.add(violation.fingerprint)
+            reason = "TODO: justify or fix"
+            if previous is not None:
+                old = previous.reason(violation)
+                if old:
+                    reason = old
+            entries.append(
+                {
+                    "fingerprint": violation.fingerprint,
+                    "rule": violation.rule,
+                    "file": violation.file,
+                    "message": violation.message,
+                    "reason": reason,
+                }
+            )
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "comment": (
+                "Deliberate repro.lint violations; match is by fingerprint "
+                "(rule+file+message). Regenerate with "
+                "'python -m repro lint --write-baseline'."
+            ),
+            "suppressions": self.entries,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """Search *start* and up to four parents for the baseline file."""
+    current = start if start.is_dir() else start.parent
+    for _ in range(5):
+        candidate = current / BASELINE_FILENAME
+        if candidate.exists():
+            return candidate
+        if current.parent == current:
+            break
+        current = current.parent
+    return None

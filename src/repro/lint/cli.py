@@ -1,0 +1,219 @@
+"""``python -m repro lint`` — run the analyzer and report.
+
+Exit status is a per-rule bitmask (R1=1, R2=2, R3=4, R4=8, R5=16): a
+run that only violates determinism exits 1, one that violates both
+dispatch and hygiene exits 18, a clean (or fully baselined) run exits 0.
+CI parses the JSON report; humans read the text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.lint.baseline import Baseline, find_baseline, inline_suppressed
+from repro.lint.model import ProjectModel
+from repro.lint.rules import RULE_BITS, RULES, LintConfig, Violation, run_rules
+
+
+def default_scan_root() -> Path:
+    """``src/repro`` relative to the working directory when present,
+    else the installed package's own directory."""
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return candidate
+    return Path(__file__).resolve().parent.parent
+
+
+def lint_paths(
+    root: Path,
+    rules: Optional[List[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> tuple[ProjectModel, List[Violation]]:
+    config = config or LintConfig()
+    if rules:
+        config.rules = tuple(rules)
+    model = ProjectModel(root)
+    return model, run_rules(model, config)
+
+
+def _classify(
+    model: ProjectModel, violations: List[Violation], baseline: Baseline
+) -> List[dict]:
+    rows = []
+    for violation in violations:
+        suppressed = inline_suppressed(model, violation)
+        baselined = baseline.contains(violation)
+        row = violation.to_dict()
+        row["suppressed"] = suppressed
+        row["baselined"] = baselined
+        if baselined:
+            row["baseline_reason"] = baseline.reason(violation)
+        rows.append(row)
+    return rows
+
+
+def _exit_code(rows: List[dict]) -> int:
+    code = 0
+    for row in rows:
+        if not row["suppressed"] and not row["baselined"]:
+            code |= RULE_BITS[str(row["rule"])]
+    return code
+
+
+def _render_text(rows: List[dict], model: ProjectModel, out: TextIO) -> None:
+    active = [r for r in rows if not r["suppressed"] and not r["baselined"]]
+    accepted = len(rows) - len(active)
+    for row in active:
+        out.write(
+            f"{row['file']}:{row['line']}: {row['rule']}[{row['code']}] "
+            f"{row['message']}  [{row['fingerprint']}]\n"
+        )
+    counts = {}
+    for row in active:
+        counts[row["rule"]] = counts.get(row["rule"], 0) + 1
+    summary = ", ".join(f"{rule}:{n}" for rule, n in sorted(counts.items()))
+    out.write(
+        f"repro.lint: {len(model.modules)} files, "
+        f"{len(active)} violation(s)"
+        + (f" ({summary})" if summary else "")
+        + (f", {accepted} baselined/suppressed" if accepted else "")
+        + "\n"
+    )
+    for path, error in model.parse_errors:
+        out.write(f"repro.lint: parse error in {path}: {error}\n")
+
+
+def _render_json(
+    rows: List[dict], model: ProjectModel, exit_code: int, out: TextIO
+) -> None:
+    counts: dict = {rule: 0 for rule in RULES}
+    for row in rows:
+        if not row["suppressed"] and not row["baselined"]:
+            counts[str(row["rule"])] += 1
+    json.dump(
+        {
+            "version": 1,
+            "files_scanned": len(model.modules),
+            "parse_errors": [
+                {"file": f, "error": e} for f, e in model.parse_errors
+            ],
+            "violations": rows,
+            "summary": counts,
+            "exit_code": exit_code,
+        },
+        out,
+        indent=2,
+    )
+    out.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Protocol-aware static analysis: determinism, dispatch "
+            "completeness, flow conformance, sim-safety, packet hygiene."
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="directory (or single file) to scan; default: src/repro",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="R1,R2,...",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file (default: lint-baseline.json found upward "
+            "from the scan root; 'none' disables)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current violations into the baseline file and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.path) if args.path else default_scan_root()
+    if not root.exists():
+        parser.error(f"scan root {root} does not exist")
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    if rules:
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            parser.error(f"unknown rule(s) {unknown}; have {sorted(RULES)}")
+
+    model, violations = lint_paths(root, rules=rules)
+
+    if args.baseline == "none":
+        baseline_path: Optional[Path] = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = find_baseline(root.resolve())
+    baseline = Baseline.load(baseline_path)
+
+    if args.write_baseline:
+        target = baseline_path or (Path.cwd() / "lint-baseline.json")
+        keep = [
+            v for v in violations if not inline_suppressed(model, v)
+        ]
+        Baseline.from_violations(keep, previous=baseline).dump(target)
+        print(f"wrote {len(keep)} suppression(s) to {target}")
+        return 0
+
+    rows = _classify(model, violations, baseline)
+    exit_code = _exit_code(rows)
+    if model.parse_errors:
+        exit_code |= 32  # unparseable files are never a clean run
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            if args.format == "json":
+                _render_json(rows, model, exit_code, stream)
+            else:
+                _render_text(rows, model, stream)
+        active = sum(1 for r in rows if not r["suppressed"] and not r["baselined"])
+        print(
+            f"repro.lint: report written to {args.output} "
+            f"({active} violation(s), exit {exit_code})"
+        )
+    else:
+        if args.format == "json":
+            _render_json(rows, model, exit_code, sys.stdout)
+        else:
+            _render_text(rows, model, sys.stdout)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

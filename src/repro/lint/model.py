@@ -1,0 +1,435 @@
+"""The static project model the lint rules run against.
+
+One parse pass over every ``*.py`` file under the scan root builds:
+
+* the module table (path, AST, source lines);
+* the class graph — every ``class`` statement with its base-class
+  *names*, so ``derives_from`` can answer "is this a Packet subclass?"
+  without importing anything;
+* the packet registry — classes transitively derived from ``Packet``,
+  each with its resolved wire ``name`` and declared field set (following
+  ``Base.fields + (...)`` concatenations and ``OptionalField`` wrapping,
+  exactly the shapes :mod:`repro.packets` uses);
+* the node registry — classes transitively derived from ``Node`` with
+  their ``@handles(...)`` handler table;
+* every packet construction site in the tree (for dispatch-completeness
+  and field-hygiene checks).
+
+Resolution is by *name*: the project keeps class names unique, and the
+rules only need referential integrity, not full type inference.  A name
+that cannot be resolved is reported by the rules rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    relpath: str                # posix path relative to the scan root
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class ClassInfo:
+    """One ``class`` statement."""
+
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: Tuple[str, ...]      # base-class *names* (last attribute part)
+
+
+@dataclass
+class HandlerInfo:
+    """One ``@handles(...)`` decorated method."""
+
+    node_class: ClassInfo
+    method: ast.FunctionDef
+    packet_names: Tuple[str, ...]
+    lineno: int
+
+
+@dataclass
+class CallSite:
+    """A ``SomePacketClass(...)`` construction expression."""
+
+    class_name: str
+    module: ModuleInfo
+    call: ast.Call
+    lineno: int
+    #: True when the construction sits in the right subtree of a ``/``
+    #: stacking expression — the packet is an inner layer there, carried
+    #: by (and dispatched as) the outer layer.
+    inner_layer: bool = False
+
+
+def base_name(node: ast.expr) -> Optional[str]:
+    """The comparable name of a base-class expression: ``Packet`` and
+    ``base.Packet`` both resolve to ``"Packet"``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _iter_class_defs(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            yield stmt
+
+
+class ProjectModel:
+    """The parsed project; built once, shared by every rule."""
+
+    #: Root class names the registries grow from.
+    PACKET_ROOT = "Packet"
+    NODE_ROOT = "Node"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.modules: List[ModuleInfo] = []
+        self.classes: Dict[str, ClassInfo] = {}
+        self._duplicate_classes: Set[str] = set()
+        self._parse_errors: List[Tuple[str, str]] = []
+        self._load()
+        self._index_classes()
+        self.packet_classes: Dict[str, ClassInfo] = self._derived(self.PACKET_ROOT)
+        self.node_classes: Dict[str, ClassInfo] = self._derived(self.NODE_ROOT)
+        self.handlers: List[HandlerInfo] = self._collect_handlers()
+        self.call_sites: List[CallSite] = self._collect_call_sites()
+        self._field_cache: Dict[str, Optional[Set[str]]] = {}
+        self._name_cache: Dict[str, Optional[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self.root.is_file():
+            paths: Sequence[Path] = [self.root]
+            base = self.root.parent
+        else:
+            paths = sorted(self.root.rglob("*.py"))
+            base = self.root
+        for path in paths:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                self._parse_errors.append((str(path), str(exc)))
+                continue
+            self.modules.append(
+                ModuleInfo(
+                    path=path,
+                    relpath=path.relative_to(base).as_posix(),
+                    tree=tree,
+                    source=source,
+                    lines=source.splitlines(),
+                )
+            )
+
+    @property
+    def parse_errors(self) -> List[Tuple[str, str]]:
+        return list(self._parse_errors)
+
+    def _index_classes(self) -> None:
+        for module in self.modules:
+            for cdef in _iter_class_defs(module.tree):
+                bases = tuple(
+                    name for name in (base_name(b) for b in cdef.bases) if name
+                )
+                if cdef.name in self.classes:
+                    self._duplicate_classes.add(cdef.name)
+                self.classes[cdef.name] = ClassInfo(
+                    name=cdef.name, module=module, node=cdef, bases=bases
+                )
+
+    # ------------------------------------------------------------------
+    # Class-graph queries
+    # ------------------------------------------------------------------
+    def derives_from(self, name: str, root: str) -> bool:
+        """True when class *name* is *root* or transitively derives from
+        a class of that name."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current == root:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is not None:
+                stack.extend(info.bases)
+        return False
+
+    def _derived(self, root: str) -> Dict[str, ClassInfo]:
+        return {
+            name: info
+            for name, info in self.classes.items()
+            if name != root and self.derives_from(name, root)
+        }
+
+    def mro_names(self, name: str) -> List[str]:
+        """Linearised ancestor names (depth-first, class first); good
+        enough for single-inheritance packet/node hierarchies."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            out.append(current)
+            info = self.classes.get(current)
+            if info is not None:
+                stack = list(info.bases) + stack
+        return out
+
+    def descendants(self, name: str) -> Set[str]:
+        """All classes that transitively derive from *name*."""
+        out: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for cname, info in self.classes.items():
+                if cname in out:
+                    continue
+                if any(b == name or b in out for b in info.bases):
+                    out.add(cname)
+                    changed = True
+        return out
+
+    # ------------------------------------------------------------------
+    # Packet attribute resolution
+    # ------------------------------------------------------------------
+    def _class_assign(self, cls: ClassInfo, attr: str) -> Optional[ast.expr]:
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == attr:
+                        return stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name) and stmt.target.id == attr:
+                    return stmt.value
+        return None
+
+    def packet_wire_name(self, class_name: str) -> Optional[str]:
+        """The resolved ``name`` attribute (walking up the bases)."""
+        if class_name in self._name_cache:
+            return self._name_cache[class_name]
+        resolved: Optional[str] = None
+        for ancestor in self.mro_names(class_name):
+            info = self.classes.get(ancestor)
+            if info is None:
+                continue
+            value = self._class_assign(info, "name")
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                resolved = value.value
+                break
+        self._name_cache[class_name] = resolved
+        return resolved
+
+    def packet_wire_names(self) -> Set[str]:
+        """Every wire name declared by any class in the packet registry."""
+        names: Set[str] = set()
+        for class_name in self.packet_classes:
+            value = self.packet_wire_name(class_name)
+            if value is not None:
+                names.add(value)
+        return names
+
+    def packet_fields(self, class_name: str) -> Optional[Set[str]]:
+        """The declared field-name set for a packet class, following
+        ``Base.fields + (...)``; ``None`` when any element is not
+        statically resolvable (the hygiene rule then skips the class)."""
+        if class_name in self._field_cache:
+            return self._field_cache[class_name]
+        self._field_cache[class_name] = None  # cycle guard
+        resolved = self._resolve_fields(class_name)
+        self._field_cache[class_name] = resolved
+        return resolved
+
+    def _resolve_fields(self, class_name: str) -> Optional[Set[str]]:
+        info = self.classes.get(class_name)
+        if info is None:
+            return None
+        expr = self._class_assign(info, "fields")
+        if expr is None:
+            # Inherit: first base in the packet registry that resolves.
+            for base in info.bases:
+                if base == self.PACKET_ROOT:
+                    return set()
+                inherited = self.packet_fields(base)
+                if inherited is not None:
+                    return inherited
+            return None
+        return self._fields_expr(expr)
+
+    def _fields_expr(self, expr: ast.expr) -> Optional[Set[str]]:
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            names: Set[str] = set()
+            for element in expr.elts:
+                fname = self._field_call_name(element)
+                if fname is None:
+                    return None
+                names.add(fname)
+            return names
+        if isinstance(expr, ast.Attribute) and expr.attr == "fields":
+            owner = base_name(expr.value)
+            if owner is None:
+                return None
+            return self.packet_fields(owner)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            left = self._fields_expr(expr.left)
+            right = self._fields_expr(expr.right)
+            if left is None or right is None:
+                return None
+            return left | right
+        return None
+
+    def _field_call_name(self, element: ast.expr) -> Optional[str]:
+        """``IntField("x")`` -> ``x``; ``OptionalField(IntField("x"))``
+        unwraps to the inner field's name."""
+        if not isinstance(element, ast.Call) or not element.args:
+            return None
+        first = element.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        if isinstance(first, ast.Call):
+            return self._field_call_name(first)
+        return None
+
+    # ------------------------------------------------------------------
+    # Handlers and construction sites
+    # ------------------------------------------------------------------
+    def _collect_handlers(self) -> List[HandlerInfo]:
+        out: List[HandlerInfo] = []
+        for info in self.node_classes.values():
+            for stmt in info.node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                packet_names: List[str] = []
+                for deco in stmt.decorator_list:
+                    if (
+                        isinstance(deco, ast.Call)
+                        and base_name(deco.func) == "handles"
+                    ):
+                        for arg in deco.args:
+                            pname = base_name(arg)
+                            if pname is not None:
+                                packet_names.append(pname)
+                if packet_names:
+                    out.append(
+                        HandlerInfo(
+                            node_class=info,
+                            method=stmt,
+                            packet_names=tuple(packet_names),
+                            lineno=stmt.lineno,
+                        )
+                    )
+        return out
+
+    def handled_packet_names(self) -> Set[str]:
+        """Packet class names some node has a handler registered for."""
+        return {name for h in self.handlers for name in h.packet_names}
+
+    def _collect_call_sites(self) -> List[CallSite]:
+        out: List[CallSite] = []
+        packet_names = set(self.packet_classes)
+        for module in self.modules:
+            parents: Dict[ast.AST, ast.AST] = {}
+            div_right_names: Set[str] = set()
+            for node in ast.walk(module.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+                if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                    if isinstance(node.right, ast.Name):
+                        div_right_names.add(node.right.id)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = base_name(node.func)
+                if name in packet_names:
+                    out.append(
+                        CallSite(
+                            class_name=name or "",
+                            module=module,
+                            call=node,
+                            lineno=node.lineno,
+                            inner_layer=_is_inner_layer(
+                                node, parents, div_right_names
+                            ),
+                        )
+                    )
+        return out
+
+    def instantiated_packet_names(self) -> Set[str]:
+        return {site.class_name for site in self.call_sites}
+
+    def referenced_packet_names(self) -> Set[str]:
+        """Packet classes referenced as plain names anywhere *except*
+        inside a ``@handles(...)`` decoration — construction, rebuild
+        helpers (``rename_packet(msg, Target)``), ``isinstance`` and
+        ``get_layer`` checks all count as evidence the class is live."""
+        packet_names = set(self.packet_classes)
+        referenced: Set[str] = set()
+        for module in self.modules:
+            decorator_refs: Set[int] = set()
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call) and base_name(node.func) == "handles":
+                    for arg in node.args:
+                        for sub in ast.walk(arg):
+                            decorator_refs.add(id(sub))
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in packet_names
+                    and id(node) not in decorator_refs
+                ):
+                    referenced.add(node.id)
+        return referenced
+
+
+def _is_inner_layer(
+    call: ast.Call,
+    parents: Dict[ast.AST, ast.AST],
+    div_right_names: Set[str],
+) -> bool:
+    """True when *call* sits in the right subtree of a ``/`` packet
+    stack — directly (``Outer(...) / call``) or via a local that some
+    ``/`` expression in the module later carries as a payload
+    (``request = Inner(...); ... header / request``)."""
+    node: ast.AST = call
+    parent = parents.get(node)
+    while parent is not None:
+        if isinstance(parent, ast.BinOp) and isinstance(parent.op, ast.Div):
+            if parent.right is node:
+                return True
+        elif isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Name) and target.id in div_right_names:
+                    return True
+            break
+        elif not isinstance(parent, ast.BinOp):
+            break
+        node, parent = parent, parents.get(parent)
+    return False

@@ -1,0 +1,749 @@
+"""The five protocol-aware lint rules.
+
+Each rule is a function ``(model, config) -> [Violation]``.  Messages
+deliberately avoid line numbers so a violation's fingerprint — which the
+baseline file stores — survives unrelated edits to the same file.
+
+=====  ===================  ==============================================
+Rule   Code                 Proves
+=====  ===================  ==============================================
+R1     determinism          no wall-clock / entropy / env reads; no
+                            unordered-set iteration feeding the scheduler
+                            or the trace
+R2     dispatch             every ``@handles`` target exists and is a
+                            Packet; every constructed signalling packet
+                            has a handler; no dead handlers
+R3     flow-conformance     every golden-flow message name resolves in
+                            the packet registry
+R4     sim-safety           no blocking calls in handlers/process bodies;
+                            every opened span is bound and closed
+R5     packet-hygiene       constructor keywords match declared fields
+=====  ===================  ==============================================
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.model import ModuleInfo, ProjectModel, base_name
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str          # "R1".."R5"
+    code: str          # human-readable rule slug
+    file: str          # relpath within the scan root
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1(
+            f"{self.rule}|{self.file}|{self.message}".encode("utf-8")
+        ).hexdigest()
+        return digest[:12]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "code": self.code,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Knobs the CLI exposes; defaults match the repro tree."""
+
+    #: Files (relpaths) R1 ignores entirely — the one blessed home of
+    #: ``random`` and seed handling.
+    determinism_exempt: Tuple[str, ...] = ("sim/rng.py",)
+    #: Files R4's span-pairing check ignores (the tracker itself).
+    span_exempt: Tuple[str, ...] = ("obs/spans.py",)
+    #: Rules to run; ``None`` means all.
+    rules: Optional[Tuple[str, ...]] = None
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+_ENTROPY_MODULES = ("random", "secrets", "uuid")
+
+#: Dotted call targets R1 forbids outside the exempt files.
+_R1_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getenv": "environment read",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Attribute chains that count as environment reads wherever they occur.
+_R1_FORBIDDEN_ATTRS = {"os.environ": "environment read"}
+
+#: Callee attribute names that emit into the schedule or the trace; an
+#: unordered iteration wrapping one of these is order-dependent output.
+_EMISSION_SINKS = {
+    "schedule",
+    "schedule_at",
+    "send",
+    "transmit",
+    "note",
+    "record",
+    "emit",
+}
+
+#: Blocking calls forbidden inside handlers and process bodies (R4).
+_R4_BLOCKING_CALLS = {"time.sleep": "blocks the event loop"}
+_R4_BLOCKING_MODULES = ("socket", "subprocess", "requests", "urllib")
+_R4_BLOCKING_BUILTINS = {"open", "input"}
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """alias -> dotted origin, for every import in the module."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def _dotted(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve ``_time.perf_counter`` through the module's import
+    aliases to ``time.perf_counter``; ``None`` when the chain does not
+    start at an imported name."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    origin = aliases.get(current.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _functions(tree: ast.Module) -> Iterable[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ----------------------------------------------------------------------
+# R1 — determinism
+# ----------------------------------------------------------------------
+def check_determinism(model: ProjectModel, config: LintConfig) -> List[Violation]:
+    out: List[Violation] = []
+
+    def add(module: ModuleInfo, line: int, message: str) -> None:
+        out.append(Violation("R1", "determinism", module.relpath, line, message))
+
+    for module in model.modules:
+        if module.relpath in config.determinism_exempt:
+            continue
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    root = item.name.split(".")[0]
+                    if root in _ENTROPY_MODULES:
+                        add(
+                            module,
+                            node.lineno,
+                            f"import of entropy module {item.name!r}; use "
+                            "sim.rng named streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in _ENTROPY_MODULES:
+                    add(
+                        module,
+                        node.lineno,
+                        f"import from entropy module {node.module!r}; use "
+                        "sim.rng named streams instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func, aliases)
+                reason = _R1_FORBIDDEN_CALLS.get(dotted or "")
+                if reason is not None:
+                    add(
+                        module,
+                        node.lineno,
+                        f"{dotted}() is a {reason}; simulations must draw "
+                        "time from Simulator.now and entropy from sim.rng",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node, aliases)
+                reason = _R1_FORBIDDEN_ATTRS.get(dotted or "")
+                if reason is not None:
+                    add(
+                        module,
+                        node.lineno,
+                        f"{dotted} is an {reason}; thread configuration "
+                        "through explicit parameters",
+                    )
+            elif isinstance(node, ast.For):
+                label = _unordered_iter_label(node.iter)
+                if label is not None and _loop_emits(node):
+                    add(
+                        module,
+                        node.lineno,
+                        f"iteration over {label} feeds the scheduler or "
+                        "trace; iterate a sorted() or list-ordered view",
+                    )
+    return out
+
+
+def _unordered_iter_label(iter_expr: ast.expr) -> Optional[str]:
+    if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(iter_expr, ast.Call):
+        callee = iter_expr.func
+        if isinstance(callee, ast.Name) and callee.id in ("set", "frozenset"):
+            return f"{callee.id}()"
+        if isinstance(callee, ast.Attribute) and callee.attr == "keys":
+            # dict.keys() itself is insertion-ordered, but insertion order
+            # is exactly what a refactor silently changes; require an
+            # explicit sorted()/list ordering at emission points.
+            return ".keys()"
+    return None
+
+
+def _loop_emits(loop: ast.For) -> bool:
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in _EMISSION_SINKS
+                ):
+                    return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# R2 — dispatch completeness
+# ----------------------------------------------------------------------
+def check_dispatch(model: ProjectModel, config: LintConfig) -> List[Violation]:
+    out: List[Violation] = []
+    handled = model.handled_packet_names()
+    instantiated = model.instantiated_packet_names()
+
+    # Handlers must reference real Packet classes.
+    for handler in model.handlers:
+        for pname in handler.packet_names:
+            if pname not in model.classes:
+                out.append(
+                    Violation(
+                        "R2",
+                        "dispatch",
+                        handler.node_class.module.relpath,
+                        handler.lineno,
+                        f"@handles({pname}) on "
+                        f"{handler.node_class.name}.{handler.method.name}: "
+                        f"no class named {pname!r} exists",
+                    )
+                )
+            elif (
+                pname not in model.packet_classes
+                and pname != model.PACKET_ROOT
+            ):
+                out.append(
+                    Violation(
+                        "R2",
+                        "dispatch",
+                        handler.node_class.module.relpath,
+                        handler.lineno,
+                        f"@handles({pname}) on "
+                        f"{handler.node_class.name}.{handler.method.name}: "
+                        f"{pname!r} is not a Packet subclass",
+                    )
+                )
+
+    # Every constructed signalling packet must be dispatchable somewhere.
+    # Sites in the right subtree of a ``/`` stack are inner layers: the
+    # outer layer is what gets dispatched, so only outermost
+    # constructions demand a handler.
+    reported: Set[str] = set()
+    for site in model.call_sites:
+        cname = site.class_name
+        if cname in reported or site.inner_layer:
+            continue
+        if any(ancestor in handled for ancestor in model.mro_names(cname)):
+            continue
+        if _is_transport_layer(model, cname):
+            continue  # carried inside other layers, never dispatched
+        reported.add(cname)
+        out.append(
+            Violation(
+                "R2",
+                "dispatch",
+                site.module.relpath,
+                site.lineno,
+                f"{cname} is constructed but no node @handles it (or any "
+                "of its base classes); it would land in on_unhandled",
+            )
+        )
+
+    # Dead handlers: registered for packets nothing ever constructs or
+    # even mentions (rebuild helpers like rename_packet(msg, Target)
+    # reference the class by name, which counts as liveness).
+    referenced = model.referenced_packet_names()
+    for handler in model.handlers:
+        for pname in handler.packet_names:
+            if pname not in model.packet_classes:
+                continue  # reported above
+            alive = {pname} | model.descendants(pname)
+            if alive & (instantiated | referenced):
+                continue
+            out.append(
+                Violation(
+                    "R2",
+                    "dispatch",
+                    handler.node_class.module.relpath,
+                    handler.lineno,
+                    f"dead handler {handler.node_class.name}."
+                    f"{handler.method.name}: {pname} (and its subclasses) "
+                    "is never constructed in the scanned tree",
+                )
+            )
+    return out
+
+
+def _is_transport_layer(model: ProjectModel, class_name: str) -> bool:
+    """Classes that set ``show_in_flow = False`` anywhere in their MRO
+    are transport/payload layers; they ride inside other packets and are
+    not dispatched at nodes."""
+    for ancestor in model.mro_names(class_name):
+        info = model.classes.get(ancestor)
+        if info is None:
+            continue
+        value = model._class_assign(info, "show_in_flow")
+        if isinstance(value, ast.Constant) and isinstance(value.value, bool):
+            return not value.value
+    return False
+
+
+# ----------------------------------------------------------------------
+# R3 — flow conformance
+# ----------------------------------------------------------------------
+def check_flow_conformance(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    out: List[Violation] = []
+    wire_names = model.packet_wire_names()
+    if not wire_names:
+        return out
+    for module in model.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and base_name(node.func) == "FlowStep":
+                message = _flowstep_message(node)
+                if message is not None and message not in wire_names:
+                    out.append(
+                        Violation(
+                            "R3",
+                            "flow-conformance",
+                            module.relpath,
+                            node.lineno,
+                            f"flow step names message {message!r}, which no "
+                            "packet class declares; a golden run can never "
+                            "match it",
+                        )
+                    )
+            elif isinstance(node, ast.Assign):
+                out.extend(_check_quiet_names(model, module, node, wire_names))
+    return out
+
+
+def _flowstep_message(call: ast.Call) -> Optional[str]:
+    expr: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        expr = call.args[1]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "message":
+                expr = kw.value
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _check_quiet_names(
+    model: ProjectModel,
+    module: ModuleInfo,
+    node: ast.Assign,
+    wire_names: Set[str],
+) -> List[Violation]:
+    """Trace quiet-lists name messages too; a typo there un-quiets the
+    media frames and floods the trace."""
+    targets = {t.id for t in node.targets if isinstance(t, ast.Name)}
+    if "DEFAULT_QUIET" not in targets:
+        return []
+    out: List[Violation] = []
+    for literal in ast.walk(node.value):
+        if isinstance(literal, ast.Constant) and isinstance(literal.value, str):
+            if literal.value not in wire_names:
+                out.append(
+                    Violation(
+                        "R3",
+                        "flow-conformance",
+                        module.relpath,
+                        node.lineno,
+                        f"quiet-list names message {literal.value!r}, which "
+                        "no packet class declares",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R4 — sim safety
+# ----------------------------------------------------------------------
+def check_sim_safety(model: ProjectModel, config: LintConfig) -> List[Violation]:
+    out: List[Violation] = []
+    out.extend(_check_blocking_calls(model))
+    out.extend(_check_span_pairing(model, config))
+    return out
+
+
+def _check_blocking_calls(model: ProjectModel) -> List[Violation]:
+    out: List[Violation] = []
+    restricted: List[Tuple[ModuleInfo, ast.AST, str]] = []
+    # Handlers (decorated or on_* convention) on Node subclasses...
+    for handler in model.handlers:
+        restricted.append(
+            (
+                handler.node_class.module,
+                handler.method,
+                f"handler {handler.node_class.name}.{handler.method.name}",
+            )
+        )
+    seen = {id(fn) for _, fn, _ in restricted}
+    for info in model.node_classes.values():
+        for stmt in info.node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name.startswith("on_")
+                and id(stmt) not in seen
+            ):
+                restricted.append(
+                    (info.module, stmt, f"handler {info.name}.{stmt.name}")
+                )
+                seen.add(id(stmt))
+    # ... and process bodies (generator functions driven by the kernel).
+    for module in model.modules:
+        for fn in _functions(module.tree):
+            if id(fn) in seen:
+                continue
+            if any(
+                isinstance(n, (ast.Yield, ast.YieldFrom)) for n in ast.walk(fn)
+            ):
+                restricted.append(
+                    (module, fn, f"process body {fn.name}")
+                )
+                seen.add(id(fn))
+
+    for module, fn, context in restricted:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _blocking_call_message(node, aliases)
+            if message is not None:
+                out.append(
+                    Violation(
+                        "R4",
+                        "sim-safety",
+                        module.relpath,
+                        node.lineno,
+                        f"{message} inside {context}; simulation callbacks "
+                        "must not block — schedule() a delay or move I/O "
+                        "out of the event loop",
+                    )
+                )
+    return out
+
+
+def _blocking_call_message(
+    node: ast.Call, aliases: Dict[str, str]
+) -> Optional[str]:
+    if isinstance(node.func, ast.Name) and node.func.id in _R4_BLOCKING_BUILTINS:
+        return f"{node.func.id}() call"
+    dotted = _dotted(node.func, aliases)
+    if dotted is None:
+        return None
+    if dotted in _R4_BLOCKING_CALLS:
+        return f"{dotted}() call"
+    if dotted.split(".")[0] in _R4_BLOCKING_MODULES:
+        return f"{dotted}() call"
+    return None
+
+
+def _is_spans_open(call: ast.Call) -> bool:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "open"):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "spans"
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "spans"
+    return False
+
+
+def _check_span_pairing(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    out: List[Violation] = []
+    for module in model.modules:
+        if module.relpath in config.span_exempt:
+            continue
+        opens = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call) and _is_spans_open(node)
+        ]
+        if not opens:
+            continue
+        parents = _parent_map(module.tree)
+        bound: Dict[str, int] = {}
+        for call in opens:
+            binding, ok = _span_binding(call, parents)
+            if not ok:
+                out.append(
+                    Violation(
+                        "R4",
+                        "sim-safety",
+                        module.relpath,
+                        call.lineno,
+                        "spans.open(...) result is discarded; the span can "
+                        "never be closed and will stay open forever",
+                    )
+                )
+            elif binding is not None:
+                bound.setdefault(binding, call.lineno)
+        closed = _span_close_credits(module.tree)
+        for name, lineno in sorted(bound.items()):
+            if name not in closed:
+                out.append(
+                    Violation(
+                        "R4",
+                        "sim-safety",
+                        module.relpath,
+                        lineno,
+                        f"span stored under {name!r} is opened here but "
+                        "never .close()d anywhere in this module",
+                    )
+                )
+    return out
+
+
+def _span_binding(
+    call: ast.Call, parents: Dict[ast.AST, ast.AST]
+) -> Tuple[Optional[str], bool]:
+    """Where does this ``spans.open`` result land?
+
+    Returns ``(binding-name or None, ok)``; *ok* False means the value
+    is discarded outright.
+    """
+    node: ast.AST = call
+    parent = parents.get(node)
+    # Unwind chained-method expressions like spans.open(...).bind(...);
+    # stop at argument positions (a consumer owns the span there).
+    while True:
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            node, parent = parent, parents.get(parent)
+        elif isinstance(parent, ast.Call) and parent.func is node:
+            node, parent = parent, parents.get(parent)
+        else:
+            break
+    call = node  # type: ignore[assignment]
+    if isinstance(parent, ast.Expr):
+        return None, False
+    if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+        targets = (
+            parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                return target.attr, True
+            if isinstance(target, ast.Name):
+                return target.id, True
+            if isinstance(target, ast.Subscript):
+                key = _subscript_key(target)
+                if key is not None:
+                    return key, True
+        return None, True
+    if isinstance(parent, ast.Dict):
+        for key_expr, value in zip(parent.keys, parent.values):
+            if value is call and isinstance(key_expr, ast.Constant):
+                if isinstance(key_expr.value, str):
+                    return key_expr.value, True
+        return None, True
+    # Argument position, return value, comparison...: some consumer owns
+    # the span; pairing is that consumer's business.
+    return None, True
+
+
+def _subscript_key(node: ast.Subscript) -> Optional[str]:
+    sl = node.slice
+    if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+        return sl.value
+    return None
+
+
+def _span_close_credits(tree: ast.Module) -> Set[str]:
+    """Names (attributes, dict keys, locals) on which ``.close(`` is
+    called somewhere in the module, following one level of local-alias
+    indirection (``span = ho["span"]; span.close()`` credits ``span``
+    the key and the local)."""
+    credits: Set[str] = set()
+    for fn in _functions(tree):
+        aliases: Dict[str, Set[str]] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    sources = _alias_sources(node.value)
+                    if sources:
+                        aliases.setdefault(target.id, set()).update(sources)
+            elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                if isinstance(node.iter, (ast.Tuple, ast.List)):
+                    for element in node.iter.elts:
+                        sources = _alias_sources(element)
+                        aliases.setdefault(node.target.id, set()).update(sources)
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close"
+            ):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Attribute):
+                credits.add(receiver.attr)
+            elif isinstance(receiver, ast.Name):
+                credits.add(receiver.id)
+                credits.update(aliases.get(receiver.id, ()))
+            elif isinstance(receiver, ast.Subscript):
+                key = _subscript_key(receiver)
+                if key is not None:
+                    credits.add(key)
+    return credits
+
+
+def _alias_sources(expr: ast.expr) -> Set[str]:
+    """Attribute / key names *expr* reads a span from."""
+    out: Set[str] = set()
+    if isinstance(expr, ast.Attribute):
+        out.add(expr.attr)
+    elif isinstance(expr, ast.Subscript):
+        key = _subscript_key(expr)
+        if key is not None:
+            out.add(key)
+    elif isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr in ("get", "pop"):
+            if expr.args and isinstance(expr.args[0], ast.Constant):
+                if isinstance(expr.args[0].value, str):
+                    out.add(expr.args[0].value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# R5 — packet field hygiene
+# ----------------------------------------------------------------------
+def check_packet_hygiene(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    out: List[Violation] = []
+    for site in model.call_sites:
+        fields = model.packet_fields(site.class_name)
+        if fields is None:
+            continue  # declaration not statically resolvable
+        if any(kw.arg is None for kw in site.call.keywords):
+            continue  # **splat: values unknown
+        allowed = fields | {"_payload"}
+        for kw in site.call.keywords:
+            if kw.arg not in allowed:
+                out.append(
+                    Violation(
+                        "R5",
+                        "packet-hygiene",
+                        site.module.relpath,
+                        site.lineno,
+                        f"{site.class_name}({kw.arg}=...): {kw.arg!r} is not "
+                        f"a declared field (declared: "
+                        f"{', '.join(sorted(fields)) or 'none'})",
+                    )
+                )
+        if len(site.call.args) > 1:
+            out.append(
+                Violation(
+                    "R5",
+                    "packet-hygiene",
+                    site.module.relpath,
+                    site.lineno,
+                    f"{site.class_name}(...) takes at most one positional "
+                    "argument (the payload); fields must be keywords",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry and runner
+# ----------------------------------------------------------------------
+RULES: Dict[str, Tuple[str, Callable[[ProjectModel, LintConfig], List[Violation]]]] = {
+    "R1": ("determinism", check_determinism),
+    "R2": ("dispatch", check_dispatch),
+    "R3": ("flow-conformance", check_flow_conformance),
+    "R4": ("sim-safety", check_sim_safety),
+    "R5": ("packet-hygiene", check_packet_hygiene),
+}
+
+#: Exit-code bit per rule: a run's exit code is the OR of the bits of
+#: every rule with at least one unsuppressed violation.
+RULE_BITS = {"R1": 1, "R2": 2, "R3": 4, "R4": 8, "R5": 16}
+
+
+def run_rules(
+    model: ProjectModel, config: Optional[LintConfig] = None
+) -> List[Violation]:
+    config = config or LintConfig()
+    selected = config.rules or tuple(RULES)
+    out: List[Violation] = []
+    for rule_id in selected:
+        if rule_id not in RULES:
+            raise ValueError(f"unknown rule {rule_id!r} (have {sorted(RULES)})")
+        _, check = RULES[rule_id]
+        out.extend(check(model, config))
+    out.sort(key=lambda v: (v.file, v.line, v.rule, v.message))
+    return out

@@ -8,10 +8,10 @@ measurements across the circuit path.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.errors import ProtocolError
-from repro.identities import E164Number
+from repro.identities import E164Number, as_e164
 from repro.net.node import Node, handles
 from repro.net.transactions import Sequencer
 from repro.sim.process import spawn
@@ -59,7 +59,8 @@ class PstnPhone(Node):
     # ------------------------------------------------------------------
     # Origination
     # ------------------------------------------------------------------
-    def place_call(self, called: E164Number) -> None:
+    def place_call(self, called: Union[E164Number, str]) -> None:
+        called = as_e164(called)
         if self.state != "idle":
             raise ProtocolError(f"{self.name}: place_call in state {self.state}")
         self.state = "calling"

@@ -29,7 +29,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, List, Optional, Union
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Simulator
@@ -112,7 +112,7 @@ class Wait:
 
 
 def wait_for(
-    condition,
+    condition: Union[Signal, Condition],
     predicate: Optional[Callable[[], bool]] = None,
     timeout: Optional[float] = None,
 ) -> Wait:

@@ -11,6 +11,7 @@ from repro.identities import (
     E164Number,
     IPv4Address,
     TunnelId,
+    as_e164,
 )
 
 
@@ -83,6 +84,37 @@ class TestE164:
             E164Number("44", "")
         with pytest.raises(AddressError):
             E164Number("44", "12x45")
+
+
+class TestAsE164:
+    def test_passthrough(self):
+        n = E164Number("886", "935000001")
+        assert as_e164(n) is n
+
+    def test_parses_string(self):
+        assert as_e164("+85221234567") == E164Number("852", "21234567")
+
+    def test_rejects_bad_input_with_named_error(self):
+        for bad in ("+000000000000", "no-plus", 12345, None):
+            with pytest.raises(AddressError):
+                as_e164(bad)
+
+    def test_place_call_rejects_misuse_before_state_change(self):
+        """The sim-facing contract: misuse raises a named error and the
+        handset stays usable (no half-opened call state)."""
+        from repro.core import scenarios
+        from repro.core.network import build_vgprs_network
+
+        nw = build_vgprs_network()
+        ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+        term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.4)
+        nw.sim.run(until=0.5)
+        scenarios.register_ms(nw, ms)
+        with pytest.raises(AddressError):
+            ms.place_call("+000000000000")
+        assert ms.state == "idle"
+        outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+        assert outcome.connected_at is not None
 
 
 class TestIPv4:
