@@ -102,6 +102,14 @@ def summarise(raw: dict, baselines: Dict[str, float]) -> dict:
                 "min_s": stats["min"],
                 "speedup": baseline / stats["min"],
             }
+    with_series = out["benchmarks"].get("test_micro_soak_with_series")
+    plain = out["benchmarks"].get("test_micro_soak_workload")
+    if with_series and plain:
+        # Fresh-vs-fresh on the same machine, so unlike the seed
+        # speedups this ratio is comparable across machines.
+        out["derived"]["series_sampler_overhead_x"] = (
+            with_series["min_s"] / plain["min_s"]
+        )
     return out
 
 

@@ -25,6 +25,11 @@ import sys
 #: Benchmarks that exercise the bare kernel dispatch loop.
 KERNEL_BENCHES = ("test_micro_event_throughput", "test_micro_event_chain")
 
+#: (instrumented, plain) soak pair: the series sampler's overhead is the
+#: ratio between the two *fresh* measurements, so this guard needs no
+#: recorded baseline and is immune to machine differences.
+SERIES_PAIR = ("test_micro_soak_with_series", "test_micro_soak_workload")
+
 
 def check(fresh: dict, baseline: dict, tolerance: float) -> list:
     failures = []
@@ -48,6 +53,28 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list:
     return failures
 
 
+def check_series(fresh: dict, tolerance: float) -> list:
+    """Guard the time-series sampler's soak overhead: compares the
+    instrumented soak against the plain soak from the *same* fresh run
+    (fresh-vs-fresh, so no baseline file is involved)."""
+    fresh_by_name = {b["name"]: b["stats"] for b in fresh.get("benchmarks", [])}
+    with_series, plain = SERIES_PAIR
+    a = fresh_by_name.get(with_series)
+    b = fresh_by_name.get(plain)
+    if a is None or b is None:
+        print("series overhead: skipped (soak pair not in input)")
+        return []
+    ratio = a["min"] / b["min"]
+    verdict = "ok" if ratio <= tolerance else "REGRESSION"
+    print(
+        f"series sampler overhead: plain {b['min']:.5f}s, sampled "
+        f"{a['min']:.5f}s ({ratio:.2f}x, budget {tolerance:.2f}x) {verdict}"
+    )
+    if ratio > tolerance:
+        return [("series_sampler_overhead", ratio)]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("input", help="fresh pytest-benchmark JSON dump")
@@ -62,6 +89,13 @@ def main(argv=None) -> int:
         default=1.6,
         help="allowed fresh/baseline min-time ratio (default: 1.6)",
     )
+    parser.add_argument(
+        "--series-tolerance",
+        type=float,
+        default=1.05,
+        help="allowed sampled-soak/plain-soak min-time ratio "
+             "(fresh-vs-fresh; default: 1.05)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.input) as fh:
@@ -69,6 +103,7 @@ def main(argv=None) -> int:
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     failures = check(fresh, baseline, args.tolerance)
+    failures += check_series(fresh, args.series_tolerance)
     if failures:
         names = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
         print(f"FAILED: kernel overhead above budget: {names}")

@@ -19,7 +19,16 @@ Every scenario accepts the observability flags:
 * ``--metrics-out FILE`` — Prometheus text-format metrics snapshot
   (sweeps merge the per-worker snapshots deterministically);
 * ``--profile``          — per-event-type kernel profile table;
-* ``--heartbeat SECS``   — progress lines on stderr for long runs.
+* ``--heartbeat SECS``   — progress lines on stderr for long runs;
+* ``--series-out FILE``  — sim-time-bucketed metric time series (JSON;
+  sweeps merge per-worker series deterministically);
+* ``--series-interval SECS`` — series bucket width (default 1.0);
+* ``--timeline-out FILE`` — Chrome-trace-event timeline (spans + link
+  hops) viewable in chrome://tracing or ui.perfetto.dev;
+* ``--waterfall``        — print per-procedure per-link latency
+  waterfalls over the Figure-3 stack;
+* ``--slo RULES``        — declarative SLO rules ("name: func(glob) OP
+  threshold", ';'-separated, or @file); violations exit nonzero.
 """
 
 from __future__ import annotations
@@ -189,10 +198,11 @@ def demo_sweep(experiment: str, obs: ObsSession, jobs=None) -> None:
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown experiment {experiment!r}")
     # Sweep workers build their own simulators in their own processes;
-    # whatever snapshots they embedded in the result values are the
-    # metrics we can export.
+    # whatever snapshots/series they embedded in the result values are
+    # the metrics we can export.
     for result in results:
         obs.extra_snapshots.extend(result.snapshots())
+        obs.extra_series.extend(result.series())
 
 
 SCENARIOS = {
@@ -260,19 +270,56 @@ def main(argv=None) -> int:
         metavar="SECS",
         help="print a progress line to stderr every SECS simulated seconds",
     )
+    parser.add_argument(
+        "--series-out",
+        metavar="FILE",
+        help="write a sim-time-bucketed metric time series (JSON) to FILE",
+    )
+    parser.add_argument(
+        "--series-interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="time-series bucket width in simulated seconds (default: 1.0)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        metavar="FILE",
+        help="write a Chrome-trace-event timeline (spans + link hops) "
+             "to FILE; open in chrome://tracing or ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--waterfall",
+        action="store_true",
+        help="print per-procedure per-link latency waterfalls",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="RULES",
+        help="SLO rules ('name: func(glob) OP threshold', ';'-separated) "
+             "or @FILE to read them from a file; violations exit nonzero",
+    )
     args = parser.parse_args(argv)
+    slo = args.slo
+    if slo and slo.startswith("@"):
+        with open(slo[1:], "r", encoding="utf-8") as fh:
+            slo = fh.read()
     obs = ObsSession(
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
         profile=args.profile,
         heartbeat=args.heartbeat,
+        series_out=args.series_out,
+        series_interval=args.series_interval,
+        timeline_out=args.timeline_out,
+        waterfall=args.waterfall,
+        slo=slo,
     )
     if args.scenario == "sweep":
         demo_sweep(args.experiment, obs, jobs=args.jobs)
     else:
         SCENARIOS[args.scenario](obs)
-    obs.finish()
-    return 0
+    return obs.finish()
 
 
 if __name__ == "__main__":

@@ -52,12 +52,26 @@ def register_ms(
     ms.power_on()
     if not nw.sim.run_until_true(lambda: ms.registered, timeout=timeout):
         raise RegistrationError(f"{ms.name} failed to register within {timeout}s")
-    return nw.sim.now - started
+    latency = nw.sim.now - started
+    # Recorded centrally so SLO rules (p95 registration latency) have a
+    # stable metric name regardless of which network built the MS.
+    nw.sim.metrics.histogram("calls.registration_latency").observe(latency)
+    return latency
 
 
 def settle(nw: VgprsNetwork, period: float = 1.0) -> None:
     """Run the simulation for *period* seconds of quiescence."""
     nw.sim.run(until=nw.sim.now + period)
+
+
+def _observe_outcome(nw: VgprsNetwork, outcome: "CallOutcome") -> None:
+    """Record a completed setup's delays under network-independent
+    metric names, the targets of the default SLO latency rules."""
+    metrics = nw.sim.metrics
+    if outcome.setup_delay is not None:
+        metrics.histogram("calls.setup_delay").observe(outcome.setup_delay)
+    if outcome.answer_delay is not None:
+        metrics.histogram("calls.answer_delay").observe(outcome.answer_delay)
 
 
 def call_ms_to_terminal(
@@ -80,6 +94,7 @@ def call_ms_to_terminal(
             f"{ms.name} -> {terminal.name} did not connect (MS state {ms.state})"
         )
     outcome.connected_at = nw.sim.now
+    _observe_outcome(nw, outcome)
     return outcome
 
 
@@ -103,6 +118,7 @@ def call_terminal_to_ms(
     if not nw.sim.run_until_true(connected, timeout=timeout):
         raise CallSetupError(f"{terminal.name} -> {ms.name} did not connect")
     outcome.connected_at = nw.sim.now
+    _observe_outcome(nw, outcome)
     return outcome
 
 

@@ -15,10 +15,27 @@ from typing import Any, Dict, List, Optional
 from repro.core import scenarios
 from repro.core.baseline_3gtr import build_3gtr_network
 from repro.core.network import LatencyProfile, build_vgprs_network
+from repro.obs.series import SeriesSampler
 
 IMSI1 = "466920000000001"
 MSISDN1 = "+886935000001"
 TERM1 = "+886222000001"
+
+#: Bucket width for the per-worker time series.  Fixed (not a sweep
+#: parameter) so every worker's series merges bucket-for-bucket and a
+#: parallel sweep's merged series is byte-identical to a serial one.
+SERIES_INTERVAL = 1.0
+
+
+def _sample(nw) -> SeriesSampler:
+    """Arm a time-series sampler on a worker's fresh network.  Sampling
+    only reads the registry, so the seeded trace is unaffected."""
+    return SeriesSampler(nw.sim, interval=SERIES_INTERVAL).start()
+
+
+def _finish_series(sampler: SeriesSampler) -> Dict[str, Any]:
+    sampler.stop(flush=True)
+    return sampler.to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -37,12 +54,21 @@ def _setup_path_delay(nw, place_call) -> float:
     return setups[-1].time - setups[0].time
 
 
-def _collect(snapshots: Optional[List[Dict[str, Any]]], nw) -> None:
-    """Append the network's metrics snapshot when a collector is given
-    (sweep workers run in their own processes; only snapshots embedded in
-    the result value can reach ``--metrics-out``)."""
+def _collect(
+    snapshots: Optional[List[Dict[str, Any]]],
+    nw,
+    sampler: Optional[SeriesSampler] = None,
+) -> None:
+    """Append the network's metrics snapshot — and its sampler's time
+    series — when a collector is given (sweep workers run in their own
+    processes; only artefacts embedded in the result value can reach
+    ``--metrics-out``/``--series-out``).  Snapshot and series dicts
+    share the list; ``find_snapshots``/``find_series`` tell them apart
+    by shape."""
     if snapshots is not None:
         snapshots.append(nw.sim.metrics.snapshot())
+        if sampler is not None:
+            snapshots.append(_finish_series(sampler))
 
 
 def vgprs_mt(
@@ -51,6 +77,7 @@ def vgprs_mt(
     """MT setup-path delay (caller's Q.931 Setup -> called endpoint) in
     vGPRS, where the PDP context is already activated."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
+    sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
     term = nw.add_terminal("TERM1", TERM1)
     nw.sim.run(until=0.5)
@@ -58,7 +85,7 @@ def vgprs_mt(
     nw.sim.run(until=nw.sim.now + 6.0)  # idle; vGPRS keeps the context
     nw.sim.trace.clear()
     delay = _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
-    _collect(snapshots, nw)
+    _collect(snapshots, nw, sampler)
     return delay
 
 
@@ -68,6 +95,7 @@ def tgtr_mt(
     """MT setup-path delay in the 3G TR 23.923 baseline, which must
     re-activate the PDP context per call arrival."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
+    sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
     term = nw.add_terminal("TERM1", TERM1)
     nw.sim.run(until=0.5)
@@ -76,7 +104,7 @@ def tgtr_mt(
     nw.sim.run(until=nw.sim.now + 6.0)  # idle; 3G TR tore the context down
     nw.sim.trace.clear()
     delay = _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
-    _collect(snapshots, nw)
+    _collect(snapshots, nw, sampler)
     return delay
 
 
@@ -86,6 +114,7 @@ def vgprs_mo_admission(
     """MO side: time from A_Setup at the VMSC to the ACF returning —
     immediate in vGPRS because the signalling context exists."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
+    sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
     term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
     nw.sim.run(until=0.5)
@@ -96,7 +125,7 @@ def vgprs_mo_admission(
     trace = nw.sim.trace
     a_setup = trace.messages(name="A_Setup", since=since)[0]
     acf = trace.messages(name="RAS_ACF", dst="VMSC", since=since)[0]
-    _collect(snapshots, nw)
+    _collect(snapshots, nw, sampler)
     return acf.time - a_setup.time
 
 
@@ -105,6 +134,7 @@ def tgtr_mo_admission(
 ) -> float:
     """MO side in 3G TR: PDP activation precedes the ARQ."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
+    sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
     term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
     nw.sim.run(until=0.5)
@@ -116,7 +146,7 @@ def tgtr_mo_admission(
     trace = nw.sim.trace
     assert nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=60)
     acf = trace.messages(name="RAS_ACF", since=since)[0]
-    _collect(snapshots, nw)
+    _collect(snapshots, nw, sampler)
     return acf.time - since
 
 
@@ -144,6 +174,7 @@ TALK_S = 2.0
 def vgprs_under_load(num_calls: int, tch_capacity: int = 8) -> Dict[str, Any]:
     """Voice-quality metrics with *num_calls* concurrent circuit calls."""
     nw = build_vgprs_network(tch_capacity=tch_capacity)
+    sampler = _sample(nw)
     pairs = []
     for i in range(num_calls):
         ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}")
@@ -179,6 +210,7 @@ def vgprs_under_load(num_calls: int, tch_capacity: int = 8) -> Dict[str, Any]:
         # Full registry snapshot: workers run in their own processes, so
         # this is the only way their metrics reach --metrics-out.
         "metrics": nw.sim.metrics.snapshot(),
+        "series": _finish_series(sampler),
     }
 
 
@@ -186,6 +218,7 @@ def tgtr_under_load(num_calls: int, channel_bps: float = 40_000.0) -> Dict[str, 
     """Voice-quality metrics with *num_calls* calls sharing the 3G TR
     packet channel."""
     nw = build_3gtr_network(packet_channel_bps=channel_bps)
+    sampler = _sample(nw)
     pairs = []
     for i in range(num_calls):
         ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}",
@@ -222,6 +255,7 @@ def tgtr_under_load(num_calls: int, channel_bps: float = 40_000.0) -> Dict[str, 
         "p95_jitter_ms": 1000 * max(jitters) if jitters else 0.0,
         "within_budget": min(within) if within else 0.0,
         "metrics": nw.sim.metrics.snapshot(),
+        "series": _finish_series(sampler),
     }
 
 
@@ -248,6 +282,7 @@ def residency_point(
 
     def run(builder, is_vgprs):
         nw = builder()
+        sampler = _sample(nw)
         if is_vgprs:
             ms = nw.add_ms("MS1", IMSI1, MSISDN1)
             term = nw.add_terminal("TERM1", TERM1, answer_delay=0.2)
@@ -289,14 +324,16 @@ def residency_point(
             "SGSN.pdp_activations", 0
         ) - activations0
         residency = nw.sgsn.context_residency() - base_residency
-        return residency, activations, nw.sim.metrics.snapshot()
+        return residency, activations, nw.sim.metrics.snapshot(), \
+            _finish_series(sampler)
 
-    v_res, v_act, v_snap = run(build_vgprs_network, True)
-    t_res, t_act, t_snap = run(build_3gtr_network, False)
+    v_res, v_act, v_snap, v_series = run(build_vgprs_network, True)
+    t_res, t_act, t_snap, t_series = run(build_3gtr_network, False)
     return {
         "vgprs_residency": v_res,
         "vgprs_activations": v_act,
         "tgtr_residency": t_res,
         "tgtr_activations": t_act,
         "metrics": [v_snap, t_snap],
+        "series": [v_series, t_series],
     }

@@ -105,6 +105,9 @@ class Link:
         self._ctr_iface.inc()
         self._ctr_tx[src.name].inc()
         self._ctr_rx[dst.name].inc()
+        hops = self.sim.hops
+        if hops is not None:
+            hops.on_transmit(src, dst, self.interface, packet, delay)
         self.sim.schedule(delay, self._deliver, payload, src, dst)
 
     def _deliver(self, packet: "Packet", src: "Node", dst: "Node") -> None:

@@ -9,6 +9,14 @@ Layers on the :mod:`repro.sim` primitives (``TraceRecorder``,
 * :mod:`repro.obs.heartbeat` — periodic progress lines for soak runs;
 * :mod:`repro.obs.export` — JSONL traces, span trees, snapshot merging;
 * :mod:`repro.obs.prom` — Prometheus text-format metric snapshots;
+* :mod:`repro.obs.series` — sim-time-bucketed time series with bounded
+  memory and deterministic cross-worker merging;
+* :mod:`repro.obs.hops` — per-link latency attribution and per-procedure
+  latency waterfalls over the Figure-3 protocol stack;
+* :mod:`repro.obs.timeline` — Chrome-trace-event/Perfetto export of
+  spans and link hops;
+* :mod:`repro.obs.slo` — declarative SLO rules evaluated over series
+  windows, with deterministic violation collection;
 * :mod:`repro.obs.session` — the ``python -m repro`` flag plumbing.
 
 Nothing here imports :mod:`repro.sim.kernel` (the kernel imports the
@@ -23,23 +31,54 @@ from repro.obs.export import (
     render_span_tree,
 )
 from repro.obs.heartbeat import Heartbeat
+from repro.obs.hops import HopRecorder, HopSegment, render_waterfall
 from repro.obs.profiler import KernelProfiler
 from repro.obs.prom import render_prometheus, sanitize_name
+from repro.obs.series import (
+    SeriesSampler,
+    find_series,
+    is_series,
+    merge_series,
+)
 from repro.obs.session import ObsSession
+from repro.obs.slo import (
+    SloError,
+    SloRule,
+    SloWatchdog,
+    evaluate_series,
+    parse_slo_rules,
+    render_slo_report,
+)
 from repro.obs.spans import CORRELATION_FIELDS, Span, SpanTracker
+from repro.obs.timeline import export_runs_timeline, export_timeline
 
 __all__ = [
     "CORRELATION_FIELDS",
     "Heartbeat",
+    "HopRecorder",
+    "HopSegment",
     "KernelProfiler",
     "ObsSession",
+    "SeriesSampler",
+    "SloError",
+    "SloRule",
+    "SloWatchdog",
     "Span",
     "SpanTracker",
+    "evaluate_series",
+    "export_runs_timeline",
+    "export_timeline",
     "export_trace_jsonl",
+    "find_series",
     "find_snapshots",
+    "is_series",
     "is_snapshot",
+    "merge_series",
     "merge_snapshots",
+    "parse_slo_rules",
     "render_prometheus",
+    "render_slo_report",
     "render_span_tree",
+    "render_waterfall",
     "sanitize_name",
 ]

@@ -36,7 +36,7 @@ def _dumps(obj: Any) -> str:
 
 
 def export_trace_jsonl(
-    sim,
+    sim: Any,
     out: Union[str, IO[str]],
     run: str = "main",
     append: bool = False,
@@ -84,7 +84,7 @@ def export_trace_jsonl(
     return lines
 
 
-def render_span_tree(sim, max_entries_per_span: int = 40) -> str:
+def render_span_tree(sim: Any, max_entries_per_span: int = 40) -> str:
     """Human-readable per-call tree: spans indented by parentage, trace
     entries as leaves — the Figures 4-6 steps grouped by procedure."""
     spans = sim.spans.spans
@@ -93,7 +93,7 @@ def render_span_tree(sim, max_entries_per_span: int = 40) -> str:
         children.setdefault(span.parent_id, []).append(span)
     lines: List[str] = []
 
-    def emit(span, depth: int) -> None:
+    def emit(span: Any, depth: int) -> None:
         pad = "  " * depth
         keys = " ".join(f"{k}={v}" for k, v in sorted(span.keys.items()))
         end = f"{span.end:.3f}" if span.end is not None else "open"

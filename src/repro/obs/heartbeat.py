@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 
 class Heartbeat:
@@ -26,7 +26,7 @@ class Heartbeat:
 
     def __init__(
         self,
-        sim,
+        sim: Any,
         period: float = 5.0,
         sink: Optional[Callable[[str], None]] = None,
         label: str = "run",

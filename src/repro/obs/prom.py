@@ -5,18 +5,23 @@ milliseconds of wall time — so the useful artefact is a final snapshot
 in the standard text format, diffable across runs and loadable by any
 Prometheus tooling::
 
+    # HELP repro_msgs_tx_VMSC Simulation counter msgs.tx.VMSC.
     # TYPE repro_msgs_tx_VMSC counter
     repro_msgs_tx_VMSC 42
+    # HELP repro_SGSN_contexts Simulation gauge SGSN.contexts.
     # TYPE repro_SGSN_contexts gauge
     repro_SGSN_contexts 1
-    repro_SGSN_contexts_time_avg 0.83
+    # HELP repro_TERM1_mouth_to_ear Simulation histogram TERM1.mouth_to_ear.
     # TYPE repro_TERM1_mouth_to_ear summary
     repro_TERM1_mouth_to_ear{quantile="0.5"} 0.0801
 
 Counters map to ``counter`` series, gauges to a ``gauge`` plus
 ``_time_avg``/``_peak`` companions (the time-weighted view is the whole
 point of :class:`~repro.sim.metrics.Gauge`), histograms to ``summary``
-series with ``quantile`` labels, ``_sum`` and ``_count``.
+series with ``quantile`` labels, plus ``_sum``/``_count`` companions
+with their own ``HELP``/``TYPE`` headers.  Every emitted series carries
+a ``# HELP`` line and a ``# TYPE`` line, as the exposition-format spec
+expects, and output stays byte-stable for equal snapshots.
 """
 
 from __future__ import annotations
@@ -46,6 +51,17 @@ def _fmt(value: Union[int, float]) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the exposition format: backslash and
+    newline are the only escaped characters."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _header(lines: List[str], series: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {series} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {series} {kind}")
+
+
 def render_prometheus(source: Any, prefix: str = "repro_") -> str:
     """Render a metrics snapshot (or a live ``MetricsRegistry``) as
     Prometheus text exposition format.  Series are emitted in sorted
@@ -58,28 +74,35 @@ def render_prometheus(source: Any, prefix: str = "repro_") -> str:
     lines: List[str] = []
     for name, value in snapshot["counters"].items():
         series = sanitize_name(name, prefix)
-        lines.append(f"# TYPE {series} counter")
+        _header(lines, series, "counter", f"Simulation counter {name}.")
         lines.append(f"{series} {_fmt(value)}")
     for name, summary in snapshot["gauges"].items():
         series = sanitize_name(name, prefix)
-        lines.append(f"# TYPE {series} gauge")
+        _header(lines, series, "gauge", f"Simulation gauge {name}.")
         lines.append(f"{series} {_fmt(summary['value'])}")
-        lines.append(f"# TYPE {series}_time_avg gauge")
+        _header(lines, f"{series}_time_avg", "gauge",
+                f"Time-weighted average of {name} over the run.")
         lines.append(f"{series}_time_avg {_fmt(summary['time_average'])}")
-        lines.append(f"# TYPE {series}_peak gauge")
+        _header(lines, f"{series}_peak", "gauge",
+                f"Peak value of {name} over the run.")
         lines.append(f"{series}_peak {_fmt(summary['peak'])}")
     for name, summary in snapshot["histograms"].items():
         series = sanitize_name(name, prefix)
-        lines.append(f"# TYPE {series} summary")
+        _header(lines, series, "summary", f"Simulation histogram {name}.")
         for key, label in _QUANTILES:
             lines.append(
                 f'{series}{{quantile="{label}"}} {_fmt(summary[key])}'
             )
+        _header(lines, f"{series}_sum", "counter",
+                f"Sum of observed values of {name}.")
         lines.append(
             f"{series}_sum {_fmt(summary['mean'] * summary['count'])}"
         )
+        _header(lines, f"{series}_count", "counter",
+                f"Number of observations of {name}.")
         lines.append(f"{series}_count {_fmt(int(summary['count']))}")
     sim_time = sanitize_name("sim_time", prefix)
-    lines.append(f"# TYPE {sim_time} gauge")
+    _header(lines, sim_time, "gauge",
+            "Final simulated clock of the run, seconds.")
     lines.append(f"{sim_time} {_fmt(snapshot['sim_time'])}")
     return "\n".join(lines) + "\n"

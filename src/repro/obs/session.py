@@ -2,19 +2,33 @@
 
 ``python -m repro`` scenarios build one or more simulators; an
 :class:`ObsSession` carries the ``--trace-out``/``--metrics-out``/
-``--profile``/``--heartbeat`` choices, attaches them to each simulator
-as it is built, and writes every artefact at the end.  Kept in the
-library (not ``__main__``) so tests and notebooks can drive the same
-plumbing.
+``--profile``/``--heartbeat``/``--series-out``/``--timeline-out``/
+``--waterfall``/``--slo`` choices, attaches them to each simulator as it
+is built, and writes every artefact at the end.  Kept in the library
+(not ``__main__``) so tests and notebooks can drive the same plumbing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.export import export_trace_jsonl, merge_snapshots
 from repro.obs.heartbeat import Heartbeat
+from repro.obs.hops import HopRecorder, render_waterfall
 from repro.obs.prom import render_prometheus
+from repro.obs.series import SeriesSampler, merge_series
+from repro.obs.slo import (
+    SloRule,
+    SloWatchdog,
+    evaluate_series,
+    parse_slo_rules,
+    render_slo_report,
+)
+from repro.obs.timeline import export_runs_timeline
+
+#: At most this many root-span waterfalls are printed per run.
+MAX_WATERFALLS = 12
 
 
 class ObsSession:
@@ -26,23 +40,50 @@ class ObsSession:
         metrics_out: Optional[str] = None,
         profile: bool = False,
         heartbeat: Optional[float] = None,
+        series_out: Optional[str] = None,
+        series_interval: float = 1.0,
+        timeline_out: Optional[str] = None,
+        waterfall: bool = False,
+        slo: Optional[str] = None,
     ) -> None:
         self.trace_out = trace_out
         self.metrics_out = metrics_out
         self.profile = profile
         self.heartbeat = heartbeat
+        self.series_out = series_out
+        self.series_interval = series_interval
+        self.timeline_out = timeline_out
+        self.waterfall = waterfall
+        #: Parsed SLO rules (grammar errors surface before any sim runs).
+        self.slo_rules: List[SloRule] = parse_slo_rules(slo) if slo else []
+        #: Exit status for the CLI: 1 once any SLO rule fails.
+        self.exit_code = 0
         self._sims: List[Tuple[str, Any]] = []
         self._heartbeats: List[Heartbeat] = []
+        self._samplers: List[Tuple[str, SeriesSampler]] = []
+        self._watchdogs: List[Tuple[str, SloWatchdog]] = []
         #: Extra metric snapshots merged into --metrics-out (sweeps).
         self.extra_snapshots: List[Dict[str, Any]] = []
+        #: Extra serialised series merged into --series-out (sweeps).
+        self.extra_series: List[Dict[str, Any]] = []
 
     @property
     def active(self) -> bool:
         return bool(
-            self.trace_out or self.metrics_out or self.profile or self.heartbeat
+            self.trace_out or self.metrics_out or self.profile
+            or self.heartbeat or self.series_out or self.timeline_out
+            or self.waterfall or self.slo_rules
         )
 
-    def watch(self, sim, run: str = "main") -> None:
+    @property
+    def _wants_series(self) -> bool:
+        return bool(self.series_out or self.slo_rules)
+
+    @property
+    def _wants_hops(self) -> bool:
+        return bool(self.timeline_out or self.waterfall)
+
+    def watch(self, sim: Any, run: str = "main") -> None:
         """Register *sim* (idempotent per run name) and arm the
         requested instrumentation on it."""
         if any(existing is sim for _, existing in self._sims):
@@ -54,13 +95,25 @@ class ObsSession:
             self._heartbeats.append(
                 Heartbeat(sim, period=self.heartbeat, label=run).start()
             )
+        if self._wants_series:
+            sampler = SeriesSampler(sim, interval=self.series_interval)
+            if self.slo_rules:
+                dog = SloWatchdog(self.slo_rules).attach(sampler)
+                self._watchdogs.append((run, dog))
+            sampler.start()
+            self._samplers.append((run, sampler))
+        if self._wants_hops and sim.hops is None:
+            sim.hops = HopRecorder(sim)
 
-    def finish(self, echo=print) -> None:
-        """Stop heartbeats, write the trace/metrics artefacts and print
-        profiler reports."""
+    def finish(self, echo: Callable[[str], None] = print) -> int:
+        """Stop instrumentation, write every requested artefact, print
+        profiler/waterfall/SLO reports; returns the exit code (nonzero
+        when an SLO rule failed)."""
         for hb in self._heartbeats:
             hb.stop()
         self._heartbeats.clear()
+        for _, sampler in self._samplers:
+            sampler.stop(flush=True)
         if self.trace_out:
             with open(self.trace_out, "w", encoding="utf-8") as fh:
                 for run, sim in self._sims:
@@ -76,8 +129,53 @@ class ObsSession:
             with open(self.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(text)
             echo(f"metrics snapshot written to {self.metrics_out}")
+        if self.series_out:
+            series = [sampler.to_dict() for _, sampler in self._samplers]
+            series.extend(self.extra_series)
+            doc = series[0] if len(series) == 1 else merge_series(series)
+            with open(self.series_out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            echo(
+                f"time series written to {self.series_out} "
+                f"({len(doc['buckets'])} bucket(s) from "
+                f"{doc.get('sources', len(series))} source(s))"
+            )
+        if self.timeline_out:
+            doc = export_runs_timeline(self._sims, path=self.timeline_out)
+            echo(
+                f"timeline written to {self.timeline_out} "
+                f"({len(doc['traceEvents'])} events; open in "
+                "chrome://tracing or ui.perfetto.dev)"
+            )
+        if self.waterfall:
+            for run, sim in self._sims:
+                hops = sim.hops
+                if hops is None:
+                    continue
+                roots = [s for s in sim.spans.roots() if not s.open]
+                for span in roots[:MAX_WATERFALLS]:
+                    echo(render_waterfall(span, hops))
+                if len(roots) > MAX_WATERFALLS:
+                    echo(f"... {len(roots) - MAX_WATERFALLS} more span(s) "
+                         f"in run {run!r} not shown")
+        for run, dog in self._watchdogs:
+            results = dog.finalize()
+            echo(render_slo_report(results, title=f"SLO [{run}]"))
+            if any(not r.ok for r in results):
+                self.exit_code = 1
+        if self.slo_rules and self.extra_series:
+            # Sweep workers ran in their own processes; replay their
+            # merged series through a fresh watchdog.
+            results = evaluate_series(
+                self.slo_rules, merge_series(self.extra_series)
+            )
+            echo(render_slo_report(results, title="SLO [sweep]"))
+            if any(not r.ok for r in results):
+                self.exit_code = 1
         if self.profile:
             for run, sim in self._sims:
                 profiler = sim.profiler
                 if profiler is not None and profiler.stats:
                     echo(profiler.report(title=f"kernel profile [{run}]"))
+        return self.exit_code

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 import time as _time
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.obs.profiler import KernelProfiler
@@ -28,6 +28,9 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hops import HopRecorder
 
 
 class _Allocator:
@@ -76,6 +79,9 @@ class Simulator:
         #: Set by observers (heartbeat) that need per-event accounting;
         #: forces the instrumented loop even without a profiler.
         self.count_events = False
+        #: Per-link hop recorder (``None`` when latency attribution is
+        #: off; the link layer pays one attribute load for the check).
+        self.hops: Optional["HopRecorder"] = None
         self._profiler: Optional[KernelProfiler] = None
 
     # ------------------------------------------------------------------

@@ -13,7 +13,61 @@ The Section-6 experiments need three measurement shapes:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Keys of a histogram summary dict, in emission order — shared by
+#: :meth:`MetricsRegistry.histograms`, the time-series sampler and the
+#: snapshot merger, so every summary anywhere has the same shape.
+HISTOGRAM_SUMMARY_KEYS = (
+    "count", "mean", "min", "max", "stdev", "p50", "p95", "p99",
+)
+
+
+def _quantile_sorted(data: Sequence[float], q: float) -> float:
+    """Exact quantile of pre-sorted *data* by linear interpolation."""
+    if len(data) == 1:
+        return data[0]
+    pos = q * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(data) - 1)
+    if data[lo] == data[hi]:
+        # Avoid float wobble when interpolating equal samples.
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+def summarize_samples(samples: Sequence[float]) -> Dict[str, float]:
+    """Summary dict (``HISTOGRAM_SUMMARY_KEYS``) of raw *samples*.
+
+    Used for both whole-run histogram dumps and the per-window buckets
+    of :class:`repro.obs.series.SeriesSampler`; the quantile
+    interpolation is byte-identical to :meth:`Histogram.quantile`.
+    """
+    n = len(samples)
+    if n == 0:
+        empty: Dict[str, float] = dict.fromkeys(HISTOGRAM_SUMMARY_KEYS, 0.0)
+        empty["count"] = 0
+        return empty
+    # Sum in observation order (not sorted order): float summation is
+    # order-dependent and these values must match the pre-existing
+    # Histogram.mean/stdev properties byte for byte.
+    data = sorted(samples)
+    mean = sum(samples) / n
+    if n < 2:
+        stdev = 0.0
+    else:
+        stdev = math.sqrt(sum((x - mean) ** 2 for x in samples) / (n - 1))
+    return {
+        "count": n,
+        "mean": mean,
+        "min": data[0],
+        "max": data[-1],
+        "stdev": stdev,
+        "p50": _quantile_sorted(data, 0.50),
+        "p95": _quantile_sorted(data, 0.95),
+        "p99": _quantile_sorted(data, 0.99),
+    }
 
 
 class Counter:
@@ -76,16 +130,17 @@ class Histogram:
         data = self._sorted
         if data is None:
             data = self._sorted = sorted(self.samples)
-        if len(data) == 1:
-            return data[0]
-        pos = q * (len(data) - 1)
-        lo = int(math.floor(pos))
-        hi = min(lo + 1, len(data) - 1)
-        if data[lo] == data[hi]:
-            # Avoid float wobble when interpolating equal samples.
-            return data[lo]
-        frac = pos - lo
-        return data[lo] * (1 - frac) + data[hi] * frac
+        return _quantile_sorted(data, q)
+
+    def summary(self) -> Dict[str, float]:
+        """Whole-run summary dict (``HISTOGRAM_SUMMARY_KEYS``)."""
+        return summarize_samples(self.samples)
+
+    def window_summary(self, start: int) -> Dict[str, float]:
+        """Summary of the samples observed since index *start* — the
+        time-series sampler's per-bucket view.  Samples are append-only,
+        so ``(start, len(samples))`` delimits one sampling window."""
+        return summarize_samples(self.samples[start:])
 
     def fraction_below(self, threshold: float) -> float:
         """Fraction of samples strictly below *threshold* (e.g. the share
@@ -191,16 +246,7 @@ class MetricsRegistry:
         """Name -> summary dict for every histogram, mirroring
         :meth:`counters`."""
         return {
-            name: {
-                "count": h.count,
-                "mean": h.mean,
-                "min": h.minimum,
-                "max": h.maximum,
-                "stdev": h.stdev,
-                "p50": h.quantile(0.50),
-                "p95": h.quantile(0.95),
-                "p99": h.quantile(0.99),
-            }
+            name: h.summary()
             for name, h in sorted(self._histograms.items())
             if name.startswith(prefix)
         }
@@ -215,6 +261,18 @@ class MetricsRegistry:
             "gauges": self.gauges(),
             "histograms": self.histograms(),
         }
+
+    def counter_items(self) -> List["Counter"]:
+        """Live counters in sorted-name order (series sampling)."""
+        return [c for _, c in sorted(self._counters.items())]
+
+    def gauge_items(self) -> List["Gauge"]:
+        """Live gauges in sorted-name order (series sampling)."""
+        return [g for _, g in sorted(self._gauges.items())]
+
+    def histogram_items(self) -> List["Histogram"]:
+        """Live histograms in sorted-name order (series sampling)."""
+        return [h for _, h in sorted(self._histograms.items())]
 
     def get_counter(self, name: str) -> Optional[Counter]:
         return self._counters.get(name)

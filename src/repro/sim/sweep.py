@@ -84,6 +84,14 @@ class SweepResult:
 
         return find_snapshots(self.value)
 
+    def series(self) -> List[Dict[str, Any]]:
+        """Serialised time series embedded anywhere in ``value``, the
+        windowed companion of :meth:`snapshots` (see
+        :func:`repro.obs.series.find_series`)."""
+        from repro.obs.series import find_series
+
+        return find_series(self.value)
+
 
 def sweep_grid(**axes: Sequence[Any]) -> List[SweepPoint]:
     """Cartesian product of the given axes as :class:`SweepPoint` list.

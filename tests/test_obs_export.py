@@ -207,14 +207,39 @@ class TestPrometheus:
             histograms={"m2e": hist([0.08, 0.09])},
         )
         text = render_prometheus(snapshot)
-        assert "# TYPE repro_calls_ok counter\nrepro_calls_ok 3" in text
+        assert ("# HELP repro_calls_ok Simulation counter calls.ok.\n"
+                "# TYPE repro_calls_ok counter\nrepro_calls_ok 3") in text
         assert "repro_SGSN_contexts 1" in text
         assert "repro_SGSN_contexts_time_avg 0.8" in text
         assert "repro_SGSN_contexts_peak 2" in text
         assert 'repro_m2e{quantile="0.5"}' in text
+        assert "# TYPE repro_m2e_sum counter" in text
+        assert "# TYPE repro_m2e_count counter" in text
         assert "repro_m2e_count 2" in text
         assert "repro_sim_time 12.5" in text
         assert text.endswith("\n")
+
+    def test_every_series_has_help_and_type(self):
+        snapshot = snap(
+            1.0,
+            counters={"c": 1},
+            gauges={"g": gauge(1, 2, 1.0, 1.0)},
+            histograms={"h": hist([0.5])},
+        )
+        text = render_prometheus(snapshot)
+        helped = set()
+        typed = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+        emitted = {
+            line.split("{")[0].split()[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert emitted == helped == typed
 
     def test_render_accepts_live_registry(self):
         nw = run_call()
@@ -229,3 +254,46 @@ class TestPrometheus:
                                   nw.sim.metrics.snapshot()])
         text = render_prometheus(merged)
         assert "repro_sim_time" in text
+
+    def test_exposition_round_trips_under_strict_line_grammar(self):
+        import re
+
+        nw = run_call()
+        snapshot = nw.sim.metrics.snapshot()
+        text = render_prometheus(snapshot)
+        help_re = re.compile(r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) \S.*$")
+        type_re = re.compile(
+            r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+            r"(?P<kind>counter|gauge|summary|histogram|untyped)$"
+        )
+        sample_re = re.compile(
+            r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+            r'(?:\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*"'
+            r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*")*\})?'
+            r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|inf|nan))$"
+        )
+        samples = {}
+        pending_help = pending_type = None
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                m = help_re.match(line)
+                assert m, f"bad HELP line: {line!r}"
+                pending_help = m.group("name")
+            elif line.startswith("# TYPE "):
+                m = type_re.match(line)
+                assert m, f"bad TYPE line: {line!r}"
+                # HELP must immediately precede TYPE for the same series.
+                assert m.group("name") == pending_help, line
+                pending_type = m.group("name")
+            else:
+                m = sample_re.match(line)
+                assert m, f"bad sample line: {line!r}"
+                # Samples follow the header block of their family.
+                assert m.group("name").startswith(pending_type), line
+                samples[line.split(" ")[0]] = float(m.group("value"))
+        # Round trip: counter values and histogram counts survive.
+        for name, value in snapshot["counters"].items():
+            assert samples[sanitize_name(name)] == value
+        for name, summary in snapshot["histograms"].items():
+            assert samples[sanitize_name(name) + "_count"] == summary["count"]
+        assert samples["repro_sim_time"] == snapshot["sim_time"]
