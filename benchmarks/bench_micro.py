@@ -9,9 +9,12 @@
   configuration used for hour-scale capacity runs.
 """
 
+import pytest
+
 from repro.identities import IMSI, E164Number, IPv4Address, TunnelId
 from repro.core import scenarios
 from repro.core.network import build_vgprs_network
+from repro.core.sweeps import apply_media
 from repro.core.workload import CallWorkload, build_population
 from repro.packets.base import Packet
 from repro.packets.gtp import GtpHeader, MSG_T_PDU
@@ -113,6 +116,68 @@ def test_micro_end_to_end_call(benchmark):
 
     benchmark.pedantic(one_call, rounds=20, iterations=1)
     assert len(nw.gk.call_records) >= 20
+
+
+def _media_spurt_setup(media):
+    """Fresh connected call, ready to talk — excluded from the timed
+    region so the media-frame benchmarks compare only the talk path."""
+    nw = build_vgprs_network(seed=7, wire_fidelity=False)
+    nw.sim.trace.enabled = False
+    apply_media(nw.sim, media)
+    ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
+    term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.2)
+    nw.sim.run(until=0.5)
+    scenarios.register_ms(nw, ms)
+    scenarios.call_ms_to_terminal(nw, ms, term)
+    return (nw, ms), {}
+
+
+def _media_spurt_run(nw, ms):
+    ms.start_talking(duration=30.0)
+    nw.sim.run(until=nw.sim.now + 31.0)
+    hist = nw.sim.metrics.get_histogram("TERM1.mouth_to_ear")
+    return hist.count if hist is not None else 0
+
+
+@pytest.mark.parametrize("media", ["events", "fluid"])
+def test_micro_media_frames(benchmark, media):
+    """One 30 s talk spurt (1501 frames) through the full uplink path,
+    events vs fluid.  ``bench_to_json.py`` derives
+    ``fluid_vs_events_speedup_x`` from this pair."""
+    count = benchmark.pedantic(
+        _media_spurt_run,
+        setup=lambda: _media_spurt_setup(media),
+        rounds=5,
+        iterations=1,
+    )
+    assert count == 1501
+
+
+def test_micro_soak_voice(benchmark):
+    """The canonical voice soak: 600 simulated seconds of random calls
+    with 20-40 s talk spurts under the fluid media model — the headline
+    ``soak_sim_seconds_per_wall_s`` derives from this benchmark.  The
+    per-frame event path would spend ~20 ms of simulated traffic per
+    frame event here; the fluid model keeps the spurts analytic, so the
+    wall cost is the signalling."""
+
+    def run_soak():
+        nw = build_vgprs_network(seed=7, wire_fidelity=False)
+        nw.sim.trace.enabled = False
+        pairs = build_population(nw, size=20, answer_delay=1.5)
+        nw.sim.run(until=0.5)
+        for ms, _ in pairs:
+            scenarios.register_ms(nw, ms)
+        wl = CallWorkload(nw, pairs, call_rate=0.005,
+                          hold_range=(20.0, 40.0), talk=True)
+        wl.start()
+        nw.sim.run(until=nw.sim.now + 600.0)
+        wl.stop()
+        return wl.stats
+
+    stats = benchmark.pedantic(run_soak, rounds=5, iterations=1)
+    assert stats.connected > 25
+    assert stats.completion_ratio > 0.9
 
 
 def test_micro_soak_workload(benchmark):

@@ -30,6 +30,11 @@ KERNEL_BENCHES = ("test_micro_event_throughput", "test_micro_event_chain")
 #: recorded baseline and is immune to machine differences.
 SERIES_PAIR = ("test_micro_soak_with_series", "test_micro_soak_workload")
 
+#: The canonical voice soak behind ``soak_sim_seconds_per_wall_s``; must
+#: match ``bench_to_json.VOICE_SOAK_SIM_SECONDS``.
+VOICE_SOAK = "test_micro_soak_voice"
+VOICE_SOAK_SIM_SECONDS = 600.0
+
 
 def check(fresh: dict, baseline: dict, tolerance: float) -> list:
     failures = []
@@ -75,6 +80,30 @@ def check_series(fresh: dict, tolerance: float) -> list:
     return []
 
 
+def check_soak_throughput(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """Guard the headline soak throughput: the fresh voice-soak run,
+    converted to simulated-seconds-per-wall-second, must not fall more
+    than *tolerance* below the recorded
+    ``derived.soak_sim_seconds_per_wall_s``."""
+    recorded = baseline.get("derived", {}).get("soak_sim_seconds_per_wall_s")
+    fresh_by_name = {b["name"]: b["stats"] for b in fresh.get("benchmarks", [])}
+    stats = fresh_by_name.get(VOICE_SOAK)
+    if recorded is None or stats is None:
+        print("soak throughput: skipped (voice soak not in both inputs)")
+        return []
+    fresh_rate = VOICE_SOAK_SIM_SECONDS / stats["min"]
+    floor = recorded / tolerance
+    verdict = "ok" if fresh_rate >= floor else "REGRESSION"
+    print(
+        f"soak throughput: recorded {recorded:.0f} sim-s/wall-s, fresh "
+        f"{fresh_rate:.0f} (floor {floor:.0f} at {tolerance:.2f}x budget) "
+        f"{verdict}"
+    )
+    if fresh_rate < floor:
+        return [("soak_sim_seconds_per_wall_s", recorded / fresh_rate)]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("input", help="fresh pytest-benchmark JSON dump")
@@ -96,6 +125,14 @@ def main(argv=None) -> int:
         help="allowed sampled-soak/plain-soak min-time ratio "
              "(fresh-vs-fresh; default: 1.05)",
     )
+    parser.add_argument(
+        "--soak-tolerance",
+        type=float,
+        default=1.10,
+        help="allowed shortfall factor of fresh voice-soak throughput "
+             "below the recorded soak_sim_seconds_per_wall_s "
+             "(default: 1.10, i.e. fail on >10%% regression)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.input) as fh:
@@ -104,6 +141,7 @@ def main(argv=None) -> int:
         baseline = json.load(fh)
     failures = check(fresh, baseline, args.tolerance)
     failures += check_series(fresh, args.series_tolerance)
+    failures += check_soak_throughput(fresh, baseline, args.soak_tolerance)
     if failures:
         names = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
         print(f"FAILED: kernel overhead above budget: {names}")

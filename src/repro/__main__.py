@@ -39,11 +39,13 @@ import sys
 from repro.obs import ObsSession
 
 
-def demo_call(obs: ObsSession) -> None:
+def demo_call(obs: ObsSession, media: str = "events") -> None:
     from repro.core import scenarios
     from repro.core.network import build_vgprs_network
+    from repro.core.sweeps import apply_media
 
     nw = build_vgprs_network()
+    apply_media(nw.sim, media)
     obs.watch(nw.sim, run="call")
     ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
     term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
@@ -156,10 +158,14 @@ def demo_flows(obs: ObsSession) -> None:
                      col_width=13, max_label=11))
 
 
-def demo_sweep(experiment: str, obs: ObsSession, jobs=None) -> None:
+def demo_sweep(
+    experiment: str, obs: ObsSession, jobs=None, media: str = "fluid"
+) -> None:
     """Run one of the parameterised experiments through the parallel
     sweep runner.  Results merge in input order, so ``--jobs N`` output
     is identical to the serial run."""
+    import functools
+
     from repro.core import sweeps
     from repro.sim.sweep import resolve_jobs, run_sweep, sweep_grid
 
@@ -177,7 +183,10 @@ def demo_sweep(experiment: str, obs: ObsSession, jobs=None) -> None:
                   f"(ratio {p['tgtr_mt'] / p['vgprs_mt']:.1f}x)")
     elif experiment == "voice-quality":
         points = sweep_grid(num_calls=(1, 2, 4, 6))
-        results = run_sweep(sweeps.voice_quality_point, points, jobs=jobs)
+        # functools.partial of a module-level worker stays picklable, so
+        # the media model fans out to worker processes unchanged.
+        worker = functools.partial(sweeps.voice_quality_point, media=media)
+        results = run_sweep(worker, points, jobs=jobs)
         for result in results:
             v, t = result.value["vgprs"], result.value["tgtr"]
             print(f"{result.value['calls']} call(s): m2e "
@@ -249,6 +258,13 @@ def main(argv=None) -> int:
              "(default: $REPRO_SWEEP_JOBS or serial)",
     )
     parser.add_argument(
+        "--media",
+        choices=("events", "fluid"),
+        default=None,
+        help="voice media model: per-frame events or the analytic fluid "
+             "model (default: fluid for sweeps, events for demos)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
         help="write a JSONL trace (spans + events) to FILE",
@@ -316,7 +332,10 @@ def main(argv=None) -> int:
         slo=slo,
     )
     if args.scenario == "sweep":
-        demo_sweep(args.experiment, obs, jobs=args.jobs)
+        demo_sweep(args.experiment, obs, jobs=args.jobs,
+                   media=args.media or "fluid")
+    elif args.scenario == "call":
+        demo_call(obs, media=args.media or "events")
     else:
         SCENARIOS[args.scenario](obs)
     return obs.finish()

@@ -120,8 +120,13 @@ class H323MobileStation(Node):
         self._ras_seq = Sequencer()
         self._pdp_waiters: List[Callable[[], None]] = []
         self._voice_proc = None
+        self._fluid_flow = None
         self.frames_received = 0
         self._last_rx_time: Optional[float] = None
+        # Histogram handles, resolved lazily on first observation so the
+        # registry's contents match runs that never receive a frame.
+        self._m2e_hist = None
+        self._jitter_hist = None
         self.on_registered: Optional[Callable[[], None]] = None
         self.on_connected: Optional[Callable[[], None]] = None
         self.on_released: Optional[Callable[[], None]] = None
@@ -132,16 +137,22 @@ class H323MobileStation(Node):
     def _tx(self, packet: Packet) -> None:
         self.send(self.serving_bts, packet)
 
-    def _send_h323(
+    def _wrap_h323(
         self, message: Packet, dst: IPv4Address, dport: int, sport: int,
         tcp: bool = False,
-    ) -> None:
+    ) -> Packet:
         transport = (
             TCPLite(sport=sport, dport=dport) if tcp else UDP(sport=sport, dport=dport)
         )
         frame = GbUnitdata(imsi=self.imsi, nsapi=NSAPI_SIGNALLING)
         frame.payload = IPv4(src=self.static_ip, dst=dst) / transport / message
-        self._tx(frame)
+        return frame
+
+    def _send_h323(
+        self, message: Packet, dst: IPv4Address, dport: int, sport: int,
+        tcp: bool = False,
+    ) -> None:
+        self._tx(self._wrap_h323(message, dst, dport, sport, tcp))
 
     @handles(GbUnitdata)
     def on_gb(self, frame: GbUnitdata, src: Node, interface: str) -> None:
@@ -485,10 +496,17 @@ class H323MobileStation(Node):
         if self.call is None or self.call.state != "in-call":
             raise CallSetupError(f"{self.name}: start_talking outside a call")
         self.stop_talking()
-        self._voice_proc = spawn(self.sim, self._talk(self.call, frame_interval, duration))
+        media = self.sim.media
+        if media is not None and duration is not None:
+            self._fluid_flow = self._start_fluid(
+                media, self.call, frame_interval, duration
+            )
+        else:
+            self._voice_proc = spawn(self.sim, self._talk(self.call, frame_interval, duration))
 
     def _talk(self, call: _H323MsCall, interval: float, duration: Optional[float]):
         started = self.sim.now
+        payload = b"\x00" * 33  # one GSM FR frame, reused for the spurt
         while call.state == "in-call" and call.remote_media is not None:
             if duration is not None and self.sim.now - started >= duration:
                 break
@@ -500,7 +518,7 @@ class H323MobileStation(Node):
                     timestamp=int(self.sim.now * 8000) & 0xFFFFFFFF,
                     ssrc=call.call_ref & 0xFFFFFFFF,
                     gen_time_us=int(self.sim.now * 1e6),
-                    frame=b"\x00" * 33,
+                    frame=payload,
                 ),
                 dst=call.remote_media[0],
                 dport=call.remote_media[1],
@@ -508,22 +526,80 @@ class H323MobileStation(Node):
             )
             yield interval
 
+    def _start_fluid(self, media, call: _H323MsCall, interval: float, duration: float):
+        """Register an analytic flow whose uplink rides the serving BTS's
+        shared packet channel, then send only the calibration probe
+        (frame 0) through the event path; see :mod:`repro.media.fluid`."""
+        now = self.sim.now
+        call.rtp_seq += 1
+        gen_us = int(now * 1e6)
+        probe = self._wrap_h323(
+            RtpPacket(
+                payload_type=PT_GSM,
+                seq=call.rtp_seq & 0xFFFF,
+                timestamp=int(now * 8000) & 0xFFFFFFFF,
+                ssrc=call.call_ref & 0xFFFFFFFF,
+                gen_time_us=gen_us,
+                frame=b"\x00" * 33,
+            ),
+            dst=call.remote_media[0],
+            dport=call.remote_media[1],
+            sport=PORT_RTP,
+        )
+        channel = None
+        delta = 0.0
+        service = 0.0
+        residual_busy = 0.0
+        link = self.link_to(self.serving_bts)
+        bts = link.peer_of(self)
+        bps = getattr(bts, "packet_channel_bps", None)
+        if bps:
+            # Every frame is the same wire size (fixed-width fields), so
+            # the probe's serialisation time holds for the whole spurt.
+            service = len(probe.build()) * 8 / bps
+            channel = media.channel(bts, "up", bps)
+            delta = link.latency
+            residual_busy = bts._pch_busy_until["up"]
+        flow = media.start_flow(
+            key=gen_us, start=now, interval=interval, duration=duration,
+            on_frames=self._fluid_frames_sent, channel=channel,
+            delta=delta, service=service, residual_busy=residual_busy,
+        )
+        self._tx(probe)
+        return flow
+
+    def _fluid_frames_sent(self, n: int) -> None:
+        if self.call is not None:
+            self.call.rtp_seq += n
+
     def stop_talking(self) -> None:
         if self._voice_proc is not None:
             self._voice_proc.interrupt()
             self._voice_proc = None
+        if self._fluid_flow is not None:
+            flow, self._fluid_flow = self._fluid_flow, None
+            self.sim.media.end_flow(flow)
 
     def _on_rtp(self, packet: RtpPacket) -> None:
         self.frames_received += 1
         now = self.sim.now
-        self.sim.metrics.histogram(f"{self.name}.mouth_to_ear").observe(
-            now - packet.gen_time_us / 1e6
-        )
-        if self._last_rx_time is not None:
-            self.sim.metrics.histogram(f"{self.name}.jitter").observe(
-                abs((now - self._last_rx_time) - 0.020)
+        m2e = self._m2e_hist
+        if m2e is None:
+            m2e = self._m2e_hist = self.sim.metrics.histogram(
+                f"{self.name}.mouth_to_ear"
             )
+        m2e.observe(now - packet.gen_time_us / 1e6)
+        if self._last_rx_time is not None:
+            jit = self._jitter_hist
+            if jit is None:
+                jit = self._jitter_hist = self.sim.metrics.histogram(
+                    f"{self.name}.jitter"
+                )
+            jit.observe(abs((now - self._last_rx_time) - 0.020))
         self._last_rx_time = now
+        media = self.sim.media
+        if media is not None:
+            media.on_frame(packet.gen_time_us, self)
 
 
 @dataclass

@@ -15,6 +15,8 @@ from typing import Any, Dict, List, Optional
 from repro.core import scenarios
 from repro.core.baseline_3gtr import build_3gtr_network
 from repro.core.network import LatencyProfile, build_vgprs_network
+from repro.errors import SimulationError
+from repro.media import install_fluid
 from repro.obs.series import SeriesSampler
 
 IMSI1 = "466920000000001"
@@ -170,10 +172,28 @@ def setup_latency_point(factor: float) -> Dict[str, Any]:
 BUDGET_S = 0.150
 TALK_S = 2.0
 
+#: Default media model for the load workers: the fluid model reproduces
+#: the event path within tolerance (see tests/test_media_fluid.py) at a
+#: fraction of the cost; pass ``media="events"`` to validate against the
+#: per-frame path.
+DEFAULT_MEDIA = "fluid"
 
-def vgprs_under_load(num_calls: int, tch_capacity: int = 8) -> Dict[str, Any]:
+
+def apply_media(sim, media: str) -> None:
+    """Install the requested media model on *sim* (``"events"`` is the
+    per-frame default and needs no installation)."""
+    if media == "fluid":
+        install_fluid(sim)
+    elif media != "events":
+        raise SimulationError(f"unknown media model {media!r}")
+
+
+def vgprs_under_load(
+    num_calls: int, tch_capacity: int = 8, media: str = DEFAULT_MEDIA
+) -> Dict[str, Any]:
     """Voice-quality metrics with *num_calls* concurrent circuit calls."""
     nw = build_vgprs_network(tch_capacity=tch_capacity)
+    apply_media(nw.sim, media)
     sampler = _sample(nw)
     pairs = []
     for i in range(num_calls):
@@ -214,10 +234,13 @@ def vgprs_under_load(num_calls: int, tch_capacity: int = 8) -> Dict[str, Any]:
     }
 
 
-def tgtr_under_load(num_calls: int, channel_bps: float = 40_000.0) -> Dict[str, Any]:
+def tgtr_under_load(
+    num_calls: int, channel_bps: float = 40_000.0, media: str = DEFAULT_MEDIA
+) -> Dict[str, Any]:
     """Voice-quality metrics with *num_calls* calls sharing the 3G TR
     packet channel."""
     nw = build_3gtr_network(packet_channel_bps=channel_bps)
+    apply_media(nw.sim, media)
     sampler = _sample(nw)
     pairs = []
     for i in range(num_calls):
@@ -259,12 +282,12 @@ def tgtr_under_load(num_calls: int, channel_bps: float = 40_000.0) -> Dict[str, 
     }
 
 
-def voice_quality_point(num_calls: int) -> Dict[str, Any]:
+def voice_quality_point(num_calls: int, media: str = DEFAULT_MEDIA) -> Dict[str, Any]:
     """One E9 sweep point: both architectures at *num_calls* calls."""
     return {
         "calls": num_calls,
-        "vgprs": vgprs_under_load(num_calls),
-        "tgtr": tgtr_under_load(num_calls),
+        "vgprs": vgprs_under_load(num_calls, media=media),
+        "tgtr": tgtr_under_load(num_calls, media=media),
     }
 
 

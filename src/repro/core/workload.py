@@ -56,6 +56,11 @@ class CallWorkload:
         instead of polling every 50 ms.  Event-driven waits cut the
         workload's own event count by an order of magnitude on soak runs;
         the polling path is kept for A/B determinism checks.
+    media:
+        ``"fluid"`` (default) models talk spurts analytically — one
+        calibration probe and one flush per spurt instead of an event
+        every 20 ms (see :mod:`repro.media.fluid`); ``"events"`` keeps
+        the per-frame path, byte-identical to previous releases.
     """
 
     nw: VgprsNetwork
@@ -65,10 +70,15 @@ class CallWorkload:
     mt_fraction: float = 0.4
     talk: bool = True
     use_signals: bool = True
+    media: str = "fluid"
     stats: WorkloadStats = field(default_factory=WorkloadStats)
     _procs: list = field(default_factory=list)
 
     def start(self) -> None:
+        from repro.core.sweeps import apply_media
+
+        if self.talk:
+            apply_media(self.nw.sim, self.media)
         for ms, term in self.pairs:
             self._procs.append(
                 spawn(self.nw.sim, self._pair_loop(ms, term))

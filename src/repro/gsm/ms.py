@@ -102,10 +102,15 @@ class MobileStation(Node):
         self._ti_seq = int(imsi.digits[-6:]) * 100
         self._pending_called: Optional[E164Number] = None
         self._voice_proc = None
+        self._fluid_flow = None
         self._voice_seq = 0
         self.frames_sent = 0
         self.frames_received = 0
         self._last_rx_time: Optional[float] = None
+        # Histogram handles, resolved lazily on first observation so the
+        # registry's contents match runs that never receive a frame.
+        self._m2e_hist = None
+        self._jitter_hist = None
         # Procedure spans (repro.obs.spans); opened/closed alongside the
         # state machine so a run renders as a per-call tree.
         self._reg_span = None
@@ -448,10 +453,15 @@ class MobileStation(Node):
                 parent=self._call_span,
                 interval=frame_interval,
             )
-        self._voice_proc = spawn(self.sim, self._talk(frame_interval, duration))
+        media = self.sim.media
+        if media is not None and duration is not None:
+            self._fluid_flow = self._start_fluid(media, frame_interval, duration)
+        else:
+            self._voice_proc = spawn(self.sim, self._talk(frame_interval, duration))
 
     def _talk(self, interval: float, duration: Optional[float]):
         started = self.sim.now
+        payload = b"\x00" * 33  # one GSM FR frame, reused for the spurt
         while self.state == "in-call":
             if duration is not None and self.sim.now - started >= duration:
                 break
@@ -463,15 +473,46 @@ class MobileStation(Node):
                     imsi=self.imsi,
                     seq=self._voice_seq,
                     gen_time_us=int(self.sim.now * 1e6),
-                    voice=b"\x00" * 33,  # GSM FR frame size
+                    voice=payload,
                 )
             )
             yield interval
+
+    def _start_fluid(self, media, interval: float, duration: float):
+        """Register an analytic flow and send only the calibration probe
+        (frame 0) through the event path; see :mod:`repro.media.fluid`.
+        The circuit TCH has no contention queue, so the flow needs no
+        channel model — the probe's arrival captures the whole path."""
+        now = self.sim.now
+        self._voice_seq += 1
+        self.frames_sent += 1
+        gen_us = int(now * 1e6)
+        flow = media.start_flow(
+            key=gen_us, start=now, interval=interval, duration=duration,
+            on_frames=self._fluid_frames_sent,
+        )
+        self._tx(
+            TchFrame(
+                ti=self.ti or 0,
+                imsi=self.imsi,
+                seq=self._voice_seq,
+                gen_time_us=gen_us,
+                voice=b"\x00" * 33,
+            )
+        )
+        return flow
+
+    def _fluid_frames_sent(self, n: int) -> None:
+        self._voice_seq += n
+        self.frames_sent += n
 
     def stop_talking(self) -> None:
         if self._voice_proc is not None:
             self._voice_proc.interrupt()
             self._voice_proc = None
+        if self._fluid_flow is not None:
+            flow, self._fluid_flow = self._fluid_flow, None
+            self.sim.media.end_flow(flow)
         if self._talk_span is not None:
             self._talk_span.attrs["frames_sent"] = self.frames_sent
             self._talk_span.close(status="ok")
@@ -482,9 +523,20 @@ class MobileStation(Node):
         self.frames_received += 1
         now = self.sim.now
         delay = now - frame.gen_time_us / 1e6
-        self.sim.metrics.histogram(f"{self.name}.mouth_to_ear").observe(delay)
-        if self._last_rx_time is not None:
-            self.sim.metrics.histogram(f"{self.name}.jitter").observe(
-                abs((now - self._last_rx_time) - 0.020)
+        m2e = self._m2e_hist
+        if m2e is None:
+            m2e = self._m2e_hist = self.sim.metrics.histogram(
+                f"{self.name}.mouth_to_ear"
             )
+        m2e.observe(delay)
+        if self._last_rx_time is not None:
+            jit = self._jitter_hist
+            if jit is None:
+                jit = self._jitter_hist = self.sim.metrics.histogram(
+                    f"{self.name}.jitter"
+                )
+            jit.observe(abs((now - self._last_rx_time) - 0.020))
         self._last_rx_time = now
+        media = self.sim.media
+        if media is not None:
+            media.on_frame(frame.gen_time_us, self)

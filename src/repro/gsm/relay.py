@@ -19,6 +19,8 @@ def rename_packet(packet: Packet, target: Type[Packet]) -> Packet:
     """Rebuild *packet* as *target*, copying the fields both classes
     declare (the interface-sibling classes share field tuples by
     construction) and carrying the payload chain unchanged."""
+    if "_lazy" in packet.__dict__:
+        packet._materialize()
     target_names = {f.name for f in target.fields}
     values = {
         name: value
@@ -33,7 +35,7 @@ def rename_packet(packet: Packet, target: Type[Packet]) -> Packet:
 def find_imsi(packet: Packet) -> Optional[IMSI]:
     """The IMSI carried by any layer of *packet*, if present."""
     for layer in packet.layers():
-        imsi = layer._values.get("imsi")
+        imsi = layer.get_field("imsi")
         if isinstance(imsi, IMSI):
             return imsi
     return None
@@ -45,10 +47,10 @@ def subscriber_keys(packet: Packet) -> list:
     end-of-§3 variant) stay routable without disclosing the IMSI."""
     keys = []
     for layer in packet.layers():
-        imsi = layer._values.get("imsi")
+        imsi = layer.get_field("imsi")
         if isinstance(imsi, IMSI):
             keys.append(("imsi", imsi))
-        tmsi = layer._values.get("tmsi")
+        tmsi = layer.get_field("tmsi")
         if isinstance(tmsi, int):
             keys.append(("tmsi", tmsi))
     return keys

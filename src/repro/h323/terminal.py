@@ -83,9 +83,14 @@ class H323Terminal(IpHost):
         self.calls_changed = Signal(f"{name}.calls")
         self._ras_seq = Sequencer()
         self._voice_procs: Dict[int, object] = {}
+        self._fluid_flows: Dict[int, object] = {}
         self._voice_seq = 0
         self.frames_received = 0
         self._last_rx_time: Optional[float] = None
+        # Histogram handles, resolved lazily on first observation so the
+        # registry's contents match runs that never receive a frame.
+        self._m2e_hist = None
+        self._jitter_hist = None
         self.on_registered: Optional[Callable[[], None]] = None
         self.on_incoming: Optional[Callable[[TerminalCall], None]] = None
         self.on_connected: Optional[Callable[[TerminalCall], None]] = None
@@ -406,12 +411,19 @@ class H323Terminal(IpHost):
         if call is None or call.state != "in-call":
             raise ProtocolError(f"{self.name}: start_talking outside a call")
         self.stop_talking(call_ref)
-        self._voice_procs[call_ref] = spawn(
-            self.sim, self._talk(call, frame_interval, duration)
-        )
+        media = self.sim.media
+        if media is not None and duration is not None:
+            self._fluid_flows[call_ref] = self._start_fluid(
+                media, call, frame_interval, duration
+            )
+        else:
+            self._voice_procs[call_ref] = spawn(
+                self.sim, self._talk(call, frame_interval, duration)
+            )
 
     def _talk(self, call: TerminalCall, interval: float, duration: Optional[float]):
         started = self.sim.now
+        payload = b"\x00" * 160  # one G.711 frame, reused for the spurt
         while call.state == "in-call" and call.remote_media is not None:
             if duration is not None and self.sim.now - started >= duration:
                 break
@@ -424,26 +436,68 @@ class H323Terminal(IpHost):
                     timestamp=int(self.sim.now * 8000) & 0xFFFFFFFF,
                     ssrc=call.call_ref & 0xFFFFFFFF,
                     gen_time_us=int(self.sim.now * 1e6),
-                    frame=b"\x00" * 160,
+                    frame=payload,
                 ),
                 dport=call.remote_media[1],
                 sport=PORT_RTP,
             )
             yield interval
 
+    def _start_fluid(self, media, call: TerminalCall, interval: float, duration: float):
+        """Register an analytic flow and send only the calibration probe
+        (frame 0) through the event path; see :mod:`repro.media.fluid`."""
+        now = self.sim.now
+        self._voice_seq += 1
+        gen_us = int(now * 1e6)
+        flow = media.start_flow(
+            key=gen_us, start=now, interval=interval, duration=duration,
+            on_frames=self._fluid_frames_sent,
+        )
+        self.send_ip(
+            call.remote_media[0],
+            RtpPacket(
+                payload_type=PT_PCMU,
+                seq=self._voice_seq & 0xFFFF,
+                timestamp=int(now * 8000) & 0xFFFFFFFF,
+                ssrc=call.call_ref & 0xFFFFFFFF,
+                gen_time_us=gen_us,
+                frame=b"\x00" * 160,
+            ),
+            dport=call.remote_media[1],
+            sport=PORT_RTP,
+        )
+        return flow
+
+    def _fluid_frames_sent(self, n: int) -> None:
+        self._voice_seq += n
+
     def stop_talking(self, call_ref: int) -> None:
         proc = self._voice_procs.pop(call_ref, None)
         if proc is not None:
             proc.interrupt()
+        flow = self._fluid_flows.pop(call_ref, None)
+        if flow is not None:
+            self.sim.media.end_flow(flow)
 
     @handles(RtpPacket)
     def on_rtp(self, packet: RtpPacket, src: Node, interface: str) -> None:
         self.frames_received += 1
         now = self.sim.now
         delay = now - packet.gen_time_us / 1e6
-        self.sim.metrics.histogram(f"{self.name}.mouth_to_ear").observe(delay)
-        if self._last_rx_time is not None:
-            self.sim.metrics.histogram(f"{self.name}.jitter").observe(
-                abs((now - self._last_rx_time) - 0.020)
+        m2e = self._m2e_hist
+        if m2e is None:
+            m2e = self._m2e_hist = self.sim.metrics.histogram(
+                f"{self.name}.mouth_to_ear"
             )
+        m2e.observe(delay)
+        if self._last_rx_time is not None:
+            jit = self._jitter_hist
+            if jit is None:
+                jit = self._jitter_hist = self.sim.metrics.histogram(
+                    f"{self.name}.jitter"
+                )
+            jit.observe(abs((now - self._last_rx_time) - 0.020))
         self._last_rx_time = now
+        media = self.sim.media
+        if media is not None:
+            media.on_frame(packet.gen_time_us, self)

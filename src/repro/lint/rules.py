@@ -68,6 +68,11 @@ class LintConfig:
     determinism_exempt: Tuple[str, ...] = ("sim/rng.py",)
     #: Files R4's span-pairing check ignores (the tracker itself).
     span_exempt: Tuple[str, ...] = ("obs/spans.py",)
+    #: Relpath prefixes under the *strict clock* zone: analytic-model
+    #: code whose results must be pure functions of sim state, so even
+    #: the monotonic clocks that ordinary R1 tolerates (benchmarks and
+    #: profilers read them legitimately) are forbidden there.
+    strict_clock_paths: Tuple[str, ...] = ("media/",)
     #: Rules to run; ``None`` means all.
     rules: Optional[Tuple[str, ...]] = None
 
@@ -88,6 +93,19 @@ _R1_FORBIDDEN_CALLS = {
     "os.urandom": "OS entropy",
     "os.getenv": "environment read",
     "uuid.uuid4": "OS entropy",
+}
+
+#: Additional call targets forbidden inside the strict-clock zone
+#: (``LintConfig.strict_clock_paths``): fluid-model math must never read
+#: any host clock — a perf_counter() there means wall time is leaking
+#: into computed delays.
+_R1_STRICT_CLOCK_CALLS = {
+    "time.perf_counter": "host clock read",
+    "time.perf_counter_ns": "host clock read",
+    "time.monotonic": "host clock read",
+    "time.monotonic_ns": "host clock read",
+    "time.process_time": "host clock read",
+    "time.process_time_ns": "host clock read",
 }
 
 #: Attribute chains that count as environment reads wherever they occur.
@@ -168,6 +186,9 @@ def check_determinism(model: ProjectModel, config: LintConfig) -> List[Violation
     for module in model.modules:
         if module.relpath in config.determinism_exempt:
             continue
+        strict_clock = module.relpath.startswith(
+            tuple(config.strict_clock_paths)
+        )
         aliases = _import_aliases(module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
@@ -198,6 +219,16 @@ def check_determinism(model: ProjectModel, config: LintConfig) -> List[Violation
                         f"{dotted}() is a {reason}; simulations must draw "
                         "time from Simulator.now and entropy from sim.rng",
                     )
+                elif strict_clock:
+                    reason = _R1_STRICT_CLOCK_CALLS.get(dotted or "")
+                    if reason is not None:
+                        add(
+                            module,
+                            node.lineno,
+                            f"{dotted}() is a {reason} inside the strict-"
+                            "clock zone; analytic media models must be "
+                            "pure functions of simulated time",
+                        )
             elif isinstance(node, ast.Attribute):
                 dotted = _dotted(node, aliases)
                 reason = _R1_FORBIDDEN_ATTRS.get(dotted or "")

@@ -1,0 +1,9 @@
+"""Analytic (fluid) media-flow modelling.
+
+:mod:`repro.media.fluid` replaces the event-per-frame voice path with a
+per-spurt analytic model; see that module's docstring for the contract.
+"""
+
+from repro.media.fluid import FluidMediaSession, install_fluid
+
+__all__ = ["FluidMediaSession", "install_fluid"]

@@ -100,7 +100,10 @@ class Link:
             if self.bit_rate:
                 delay += len(wire) * 8.0 / self.bit_rate
             if self.wire_fidelity:
-                payload = type(packet).parse(wire)
+                # Lazy parse: boundaries are scanned (so truncation and
+                # length bugs still surface on every hop) but field
+                # values materialise only when the receiver reads them.
+                payload = type(packet).parse(wire, lazy=True)
         self.tx_count += 1
         self._ctr_iface.inc()
         self._ctr_tx[src.name].inc()

@@ -19,6 +19,7 @@ Setup is still "Q.931 Setup" while tunnelled through GTP).
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
 
 from repro.errors import PacketError
@@ -59,6 +60,12 @@ class Packet:
                 f"{_WIRE_REGISTRY[cls.wire_id].__name__}"
             )
         _WIRE_REGISTRY[cls.wire_id] = cls
+        # Intern names once at class definition: every per-message dict
+        # lookup (field access, trace merges, metric name formatting)
+        # then compares by pointer instead of hashing a fresh string.
+        cls.name = sys.intern(cls.name)
+        for f in cls.fields:
+            f.name = sys.intern(f.name)
         cls._field_map = {f.name: f for f in cls.fields}
         if len(cls._field_map) != len(cls.fields):
             raise PacketError(f"{cls.__name__}: duplicate field names")
@@ -90,10 +97,47 @@ class Packet:
     # Field access
     # ------------------------------------------------------------------
     def __getattr__(self, item: str) -> Any:
-        values = self.__dict__.get("_values")
+        d = self.__dict__
+        values = d.get("_values")
         if values is not None and item in values:
             return values[item]
+        lazy = d.get("_lazy")
+        if lazy is not None:
+            offset = lazy[1].get(item)
+            if offset is not None:
+                value, _ = type(self)._field_map[item].decode(lazy[0], offset)
+                values[item] = value
+                return value
         raise AttributeError(f"{type(self).__name__} has no field {item!r}")
+
+    def get_field(self, name: str, default: Any = None) -> Any:
+        """``self.<name>`` if this layer declares the field, else
+        *default* — the lazy-safe replacement for probing ``_values``
+        directly (a lazily parsed layer keeps unread values as wire
+        bytes, so ``_values`` alone understates what is present)."""
+        values = self._values
+        if name in values:
+            return values[name]
+        lazy = self.__dict__.get("_lazy")
+        if lazy is not None and name in lazy[1]:
+            return getattr(self, name)
+        return default
+
+    def _materialize(self) -> None:
+        """Decode every field still pending from a lazy parse.
+
+        Values already read (or assigned) win over the wire bytes, which
+        matches eager-parse semantics where assignment overwrites the
+        decoded value."""
+        lazy = self.__dict__.pop("_lazy", None)
+        if lazy is None:
+            return
+        data, offsets = lazy
+        values = self._values
+        field_map = type(self)._field_map
+        for name, offset in offsets.items():
+            if name not in values:
+                values[name] = field_map[name].decode(data, offset)[0]
 
     def __setattr__(self, key: str, value: Any) -> None:
         if key in ("payload", "_values"):
@@ -162,9 +206,9 @@ class Packet:
         message class remembering to expose them."""
         merged: Dict[str, Any] = {}
         for layer in self.layers():
-            values = layer._values
+            get_field = layer.get_field
             for key in Packet.CORRELATION_FIELDS:
-                value = values.get(key)
+                value = get_field(key)
                 if value is not None and key not in merged:
                     merged[key] = str(value) if key in ("imsi", "alias") else value
             merged.update(layer.info())
@@ -179,6 +223,8 @@ class Packet:
     # ------------------------------------------------------------------
     def build(self) -> bytes:
         """Serialise this layer and its payload chain to bytes."""
+        if "_lazy" in self.__dict__:
+            self._materialize()
         out = bytearray(type(self).wire_id.to_bytes(2, "big"))
         for field in type(self).fields:
             value = self._values[field.name]
@@ -192,13 +238,20 @@ class Packet:
         return bytes(out)
 
     @classmethod
-    def parse(cls, data: bytes) -> "Packet":
+    def parse(cls, data: bytes, *, lazy: bool = False) -> "Packet":
         """Parse bytes into a packet chain.
 
         Called on :class:`Packet` it dispatches purely on the wire id;
         called on a subclass it additionally checks the outer layer type.
+
+        With ``lazy=True`` only field *boundaries* are scanned; values
+        materialise on first attribute access.  Structural errors
+        (unknown wire ids, truncation, bad lengths, trailing bytes)
+        still raise here, but value-level validation is deferred — so
+        the lazy path is only for bytes this process built itself (the
+        link wire-fidelity round trip), never for untrusted input.
         """
-        packet, offset = _parse_layer(data, 0)
+        packet, offset = _parse_layer(data, 0, lazy)
         if offset != len(data):
             raise PacketError(f"{len(data) - offset} trailing bytes after parse")
         if cls is not Packet and not isinstance(packet, cls):
@@ -213,12 +266,20 @@ class Packet:
     def __eq__(self, other: Any) -> bool:
         if type(self) is not type(other):
             return NotImplemented
+        if "_lazy" in self.__dict__:
+            self._materialize()
+        if "_lazy" in other.__dict__:
+            other._materialize()
         return self._values == other._values and self.payload == other.payload
 
     def __hash__(self) -> int:  # pragma: no cover - rarely used
+        if "_lazy" in self.__dict__:
+            self._materialize()
         return hash((type(self), tuple(sorted(self._values.items(), key=lambda kv: kv[0], ))))
 
     def copy(self) -> "Packet":
+        if "_lazy" in self.__dict__:
+            self._materialize()
         clone = type(self)(**dict(self._values))
         if self.payload is not None:
             clone.payload = self.payload.copy()
@@ -228,6 +289,8 @@ class Packet:
         """Multi-line human-readable dump of the layer chain."""
         lines: List[str] = []
         for depth, layer in enumerate(self.layers()):
+            if "_lazy" in layer.__dict__:
+                layer._materialize()
             pad = "  " * depth
             lines.append(f"{pad}### {layer.name} ###")
             for field in type(layer).fields:
@@ -235,6 +298,8 @@ class Packet:
         return "\n".join(lines)
 
     def __repr__(self) -> str:
+        if "_lazy" in self.__dict__:
+            self._materialize()
         parts = ", ".join(
             f"{f.name}={self._values[f.name]!r}"
             for f in type(self).fields
@@ -251,7 +316,7 @@ def _field_allows_none(field: Field) -> bool:
     return isinstance(field, OptionalField)
 
 
-def _parse_layer(data: bytes, offset: int) -> Tuple[Packet, int]:
+def _parse_layer(data: bytes, offset: int, lazy: bool = False) -> Tuple[Packet, int]:
     if offset + 2 > len(data):
         raise PacketError("truncated wire id")
     wire_id = int.from_bytes(data[offset : offset + 2], "big")
@@ -260,13 +325,20 @@ def _parse_layer(data: bytes, offset: int) -> Tuple[Packet, int]:
         raise PacketError(f"unknown wire id {wire_id}")
     offset += 2
     values: Dict[str, Any] = {}
-    for field in klass.fields:
-        values[field.name], offset = field.decode(data, offset)
     packet = klass.__new__(klass)
     packet.payload = None
     packet._values = values
+    if lazy:
+        starts: Dict[str, int] = {}
+        for field in klass.fields:
+            starts[field.name] = offset
+            offset = field.skip(data, offset)
+        object.__setattr__(packet, "_lazy", (data, starts))
+    else:
+        for field in klass.fields:
+            values[field.name], offset = field.decode(data, offset)
     if offset < len(data):
-        packet.payload, offset = _parse_layer(data, offset)
+        packet.payload, offset = _parse_layer(data, offset, lazy)
     return packet, offset
 
 

@@ -82,6 +82,10 @@ class Simulator:
         #: Per-link hop recorder (``None`` when latency attribution is
         #: off; the link layer pays one attribute load for the check).
         self.hops: Optional["HopRecorder"] = None
+        #: Fluid media session (``None`` = event-per-frame media; see
+        #: :mod:`repro.media.fluid`).  Media endpoints pay one attribute
+        #: load per received frame for the check.
+        self.media = None
         self._profiler: Optional[KernelProfiler] = None
 
     # ------------------------------------------------------------------
@@ -191,7 +195,8 @@ class Simulator:
                     break
                 pop(heap)
                 queue._live -= 1
-                self._now = entry[0]
+                now = entry[0]
+                self._now = now
                 event.callback(*event.args, **event.kwargs)
                 executed += 1
                 if executed >= max_events:
@@ -199,6 +204,29 @@ class Simulator:
                         f"exceeded max_events={max_events}; "
                         "probable protocol message loop"
                     )
+                # Batch the run of events sharing this timestamp: the
+                # clock cannot move, so the limit check and the clock
+                # store are redundant until the timestamp changes.
+                # Ordering is untouched — the heap pops the same total
+                # (time, priority, seq) order either way — and stop()
+                # still takes effect after the current event.
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        pop(heap)
+                        continue
+                    if entry[0] != now or self._stopped:
+                        break
+                    pop(heap)
+                    queue._live -= 1
+                    event.callback(*event.args, **event.kwargs)
+                    executed += 1
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "probable protocol message loop"
+                        )
         finally:
             self._running = False
             self.events_executed += executed
@@ -239,24 +267,38 @@ class Simulator:
                     break
                 pop(heap)
                 queue._live -= 1
-                self._now = entry[0]
-                if profiler is not None:
-                    callback = event.callback
-                    key = getattr(callback, "__qualname__", None)
-                    if key is None:
-                        key = type(callback).__name__
-                    t0 = clock()
-                    callback(*event.args, **event.kwargs)
-                    profiler.record(key, clock() - t0)
-                else:
-                    event.callback(*event.args, **event.kwargs)
-                executed += 1
-                self.events_executed += 1
-                if executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "probable protocol message loop"
-                    )
+                now = entry[0]
+                self._now = now
+                while True:
+                    if profiler is not None:
+                        callback = event.callback
+                        key = getattr(callback, "__qualname__", None)
+                        if key is None:
+                            key = type(callback).__name__
+                        t0 = clock()
+                        callback(*event.args, **event.kwargs)
+                        profiler.record(key, clock() - t0)
+                    else:
+                        event.callback(*event.args, **event.kwargs)
+                    executed += 1
+                    self.events_executed += 1
+                    if executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "probable protocol message loop"
+                        )
+                    # Same-timestamp batch, mirroring run() so both
+                    # loops execute identical event order.
+                    while heap and heap[0][3].cancelled:
+                        pop(heap)
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    if entry[0] != now or self._stopped:
+                        break
+                    pop(heap)
+                    queue._live -= 1
+                    event = entry[3]
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:

@@ -99,6 +99,12 @@ class Histogram:
         self.samples.append(value)
         self._sorted = None
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Append a batch of samples in order — equivalent to calling
+        :meth:`observe` per value; the fluid media model's flush path."""
+        self.samples.extend(values)
+        self._sorted = None
+
     @property
     def count(self) -> int:
         return len(self.samples)

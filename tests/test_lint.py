@@ -110,6 +110,28 @@ class TestR1Determinism:
         )
         assert violations == []
 
+    def test_perf_counter_forbidden_in_media_strict_clock_zone(self, tmp_path):
+        bad = "import time\ndef f():\n    return time.perf_counter()\n"
+        _, violations = lint_tree(
+            tmp_path, {"media/fluid.py": bad}, rules=["R1"]
+        )
+        assert rules_of(violations) == ["R1"]
+        assert "strict-clock" in violations[0].message
+
+    def test_monotonic_alias_forbidden_in_strict_clock_zone(self, tmp_path):
+        bad = "import time as _t\ndef f():\n    return _t.monotonic_ns()\n"
+        _, violations = lint_tree(
+            tmp_path, {"media/model.py": bad}, rules=["R1"]
+        )
+        assert rules_of(violations) == ["R1"]
+
+    def test_sim_time_reads_pass_in_strict_clock_zone(self, tmp_path):
+        good = "def f(sim):\n    return sim.now + 0.020\n"
+        _, violations = lint_tree(
+            tmp_path, {"media/fluid.py": good}, rules=["R1"]
+        )
+        assert violations == []
+
     def test_set_iteration_feeding_scheduler_flagged(self, tmp_path):
         bad = (
             "def f(sim, items):\n"
