@@ -234,3 +234,65 @@ def test_micro_soak_with_series(benchmark):
     assert stats.connected > 100
     assert stats.completion_ratio > 0.9
     assert len(sampler.buckets) >= 100
+
+
+def _open_loop_soak():
+    """The serve-mode soak shape: 20 pairs under open-loop Poisson
+    arrivals matching the plain soak's offered load (0.5 calls/s per
+    pair).  Returns (network, workload), started and ready to run."""
+    from repro.core.workload import DiurnalProfile, OpenLoopWorkload
+
+    nw = build_vgprs_network(seed=7, wire_fidelity=False)
+    nw.sim.trace.enabled = False
+    pairs = build_population(nw, size=20, answer_delay=1.5)
+    nw.sim.run(until=0.5)
+    for ms, _ in pairs:
+        scenarios.register_ms(nw, ms)
+    wl = OpenLoopWorkload(
+        nw=nw, pairs=pairs,
+        profile=DiurnalProfile.flat(20 * 0.5 * 3600.0),
+        hold_range=(2.0, 6.0), talk=False,
+    )
+    return nw, wl
+
+
+def test_micro_soak_openloop(benchmark):
+    """120 simulated seconds of the open-loop workload as one batch
+    ``run()`` — the rate-independent comparator for the served soak
+    below (same seed, same arrivals, no slicing, no publication)."""
+
+    def run_soak():
+        nw, wl = _open_loop_soak()
+        wl.start()
+        nw.sim.run(until=nw.sim.now + 120.0)
+        wl.stop_admitting()
+        nw.sim.run(until=nw.sim.now + 60.0)  # drain like the serve loop
+        wl.stop()
+        return wl.stats
+
+    stats = benchmark.pedantic(run_soak, rounds=5, iterations=1)
+    assert stats.connected > 100
+
+
+def test_micro_soak_served(benchmark):
+    """The same open-loop soak driven through the serve loop:
+    ``run_paced`` quantum slices with a rate-0 pacer and a full
+    telemetry publish (metrics snapshot + status) between every slice.
+    Paired with ``test_micro_soak_openloop`` by ``check_overhead.py``:
+    pacing lives outside the kernel and a publish is one snapshot per
+    quantum, so the served soak must stay within the pacing budget of
+    the batch run of the identical workload."""
+    from repro.serve import Pacer, ServeLoop
+
+    def run_soak():
+        nw, wl = _open_loop_soak()
+        loop = ServeLoop(nw.sim, wl, Pacer(rate=0),
+                         duration=120.0, quantum=0.25)
+        loop.run()
+        return wl.stats, loop
+
+    # 5 rounds like the plain soak: the min feeds the pacing-overhead
+    # gate, so it must sit below scheduler jitter.
+    stats, loop = benchmark.pedantic(run_soak, rounds=5, iterations=1)
+    assert stats.connected > 100
+    assert loop.drained

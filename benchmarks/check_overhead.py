@@ -35,6 +35,13 @@ SERIES_PAIR = ("test_micro_soak_with_series", "test_micro_soak_workload")
 VOICE_SOAK = "test_micro_soak_voice"
 VOICE_SOAK_SIM_SECONDS = 600.0
 
+#: (served, batch) soak pair: serve mode slices the *identical*
+#: open-loop workload through ``run_paced`` and publishes a telemetry
+#: view per quantum; its overhead over the batch run is a fresh-vs-fresh
+#: ratio like the series pair (no recorded baseline,
+#: machine-independent).
+PACING_PAIR = ("test_micro_soak_served", "test_micro_soak_openloop")
+
 
 def check(fresh: dict, baseline: dict, tolerance: float) -> list:
     failures = []
@@ -77,6 +84,28 @@ def check_series(fresh: dict, tolerance: float) -> list:
     )
     if ratio > tolerance:
         return [("series_sampler_overhead", ratio)]
+    return []
+
+
+def check_pacing(fresh: dict, tolerance: float) -> list:
+    """Guard serve-mode overhead: the served soak (run_paced slices +
+    one telemetry publish per quantum, rate-0 pacer) against the plain
+    batch soak from the *same* fresh run."""
+    fresh_by_name = {b["name"]: b["stats"] for b in fresh.get("benchmarks", [])}
+    served, plain = PACING_PAIR
+    a = fresh_by_name.get(served)
+    b = fresh_by_name.get(plain)
+    if a is None or b is None:
+        print("pacing overhead: skipped (served/plain soak pair not in input)")
+        return []
+    ratio = a["min"] / b["min"]
+    verdict = "ok" if ratio <= tolerance else "REGRESSION"
+    print(
+        f"serve pacing overhead: plain {b['min']:.5f}s, served "
+        f"{a['min']:.5f}s ({ratio:.2f}x, budget {tolerance:.2f}x) {verdict}"
+    )
+    if ratio > tolerance:
+        return [("serve_pacing_overhead", ratio)]
     return []
 
 
@@ -126,6 +155,15 @@ def main(argv=None) -> int:
              "(fresh-vs-fresh; default: 1.05)",
     )
     parser.add_argument(
+        "--pacing-tolerance",
+        type=float,
+        default=1.40,
+        help="allowed served-soak/batch-soak min-time ratio "
+             "(fresh-vs-fresh over the identical open-loop workload; "
+             "the served run adds one metrics snapshot per 0.25 s "
+             "quantum — measured ~1.25x — hence the default: 1.40)",
+    )
+    parser.add_argument(
         "--soak-tolerance",
         type=float,
         default=1.10,
@@ -141,6 +179,7 @@ def main(argv=None) -> int:
         baseline = json.load(fh)
     failures = check(fresh, baseline, args.tolerance)
     failures += check_series(fresh, args.series_tolerance)
+    failures += check_pacing(fresh, args.pacing_tolerance)
     failures += check_soak_throughput(fresh, baseline, args.soak_tolerance)
     if failures:
         names = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)

@@ -11,7 +11,11 @@ Scenarios:
   in parallel with ``--jobs N``;
 * ``lint``           — protocol-aware static analysis (determinism,
   dispatch completeness, flow conformance, sim-safety, packet hygiene);
-  see ``python -m repro lint --help``.
+  see ``python -m repro lint --help``;
+* ``serve``          — run the simulation as a live service: wall-clock
+  pacing, open-loop Poisson load, a Prometheus scrape endpoint
+  (``/metrics``, ``/status``, ``/alerts``) and live alert lifecycles;
+  see ``python -m repro serve --help``.
 
 Every scenario accepts the observability flags:
 
@@ -232,6 +236,11 @@ def main(argv=None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # Service mode likewise owns its flag set.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="vGPRS reproduction demos",

@@ -1,18 +1,31 @@
 """Random call workloads.
 
-Drives a population of MS/terminal pairs with Poisson call arrivals in
-both directions (MS-originated and MS-terminated), optional talk spurts
-and random hold times — the soak harness behind the stress tests and the
-mixed-traffic example.  All randomness comes from the simulator's named
-RNG streams, so a seed fixes the entire workload.
+Two drivers share this module:
+
+* :class:`CallWorkload` — the *closed-loop* soak harness: each pair
+  draws its next Poisson arrival only after its previous call finished,
+  so offered load backs off when the system slows down.
+* :class:`OpenLoopWorkload` — the *open-loop* service workload behind
+  ``python -m repro serve``: one global non-homogeneous Poisson arrival
+  process (calls/hour shaped by a :class:`DiurnalProfile`, thinned by
+  the Lewis–Shedler method) that keeps offering calls regardless of how
+  the system copes, plus an optional mass re-registration avalanche.
+
+All randomness comes from the simulator's named RNG streams, so a seed
+fixes the entire workload; the open-loop driver additionally draws every
+per-call decision (direction, pair, hold time) *at admission time* from
+the arrival stream, which makes the offered schedule a pure function of
+``(seed, profile)`` — byte-identical between batch and served/paced
+runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, List, Optional, Tuple
 
 from repro.core.network import VgprsNetwork
+from repro.errors import SimulationError
 from repro.gsm.ms import MobileStation
 from repro.h323.terminal import H323Terminal
 from repro.sim.process import Signal, spawn, wait_for
@@ -194,3 +207,443 @@ def build_population(
         )
         pairs.append((ms, term))
     return pairs
+
+
+def build_classic_population(
+    nw: Any,
+    size: int,
+    answer_delay: float = 0.4,
+    imsi_base: int = 234150000001000,
+    msisdn_base: int = 447700910000,
+) -> List[tuple]:
+    """Provision *size* roamer/phone pairs on a
+    :class:`~repro.core.baseline_gsm.ClassicRoamingNetwork` — the
+    Figure 7 world, where every delivered call trombones through two
+    international trunks.  Pairs feed :class:`OpenLoopWorkload` with
+    ``classic=True`` (PSTN phone dials the roamer)."""
+    pairs = []
+    for i in range(size):
+        ms = nw.add_roamer(
+            f"RMS{i}",
+            str(imsi_base + i),
+            f"+{msisdn_base + i}",
+            answer_delay=answer_delay,
+        )
+        phone = nw.add_phone(
+            f"RPH{i}", f"+8522123{i:04d}", answer_delay=answer_delay
+        )
+        pairs.append((ms, phone))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Open-loop service workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A piecewise-linear calls/hour arrival-rate profile over sim time.
+
+    ``points`` is a sorted sequence of ``(sim_seconds, calls_per_hour)``
+    knots: between knots the rate interpolates linearly, before the
+    first and after the last it clamps.  With ``period`` set, time wraps
+    so a (possibly compressed) day repeats.  ``avalanche_at`` schedules
+    a mass re-registration storm: every idle registered MS powers off
+    and re-attaches within ``avalanche_spread`` seconds — the outage-
+    recovery shape that stresses the registration path (Figure 4) the
+    way no steady-state Poisson load does.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+    period: Optional[float] = None
+    avalanche_at: Optional[float] = None
+    avalanche_spread: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise SimulationError("DiurnalProfile needs at least one point")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise SimulationError(
+                f"DiurnalProfile points must be time-sorted: {self.points!r}"
+            )
+        if any(rate < 0 for _, rate in self.points):
+            raise SimulationError("DiurnalProfile rates must be >= 0")
+        if self.peak_rate <= 0:
+            raise SimulationError("DiurnalProfile peak rate must be > 0")
+        if self.period is not None and self.period <= 0:
+            raise SimulationError(f"period must be > 0, got {self.period!r}")
+
+    @property
+    def peak_rate(self) -> float:
+        """The profile's maximum rate (the thinning envelope), calls/h."""
+        return max(rate for _, rate in self.points)
+
+    def rate_at(self, t: float) -> float:
+        """Offered rate in calls/hour at sim time *t*."""
+        if self.period is not None:
+            t = t % self.period
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t0, r0), (t1, r1) in zip(points, points[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return r1
+                frac = (t - t0) / (t1 - t0)
+                return r0 + (r1 - r0) * frac
+        return points[-1][1]  # pragma: no cover - clamped above
+
+    # -- shapes ---------------------------------------------------------
+    @classmethod
+    def flat(cls, calls_per_hour: float, **kwargs: Any) -> "DiurnalProfile":
+        """A constant offered rate."""
+        return cls(points=((0.0, calls_per_hour),), **kwargs)
+
+    @classmethod
+    def busy_hour(
+        cls,
+        base: float,
+        peak: float,
+        period: float = 240.0,
+        **kwargs: Any,
+    ) -> "DiurnalProfile":
+        """A repeating compressed day: quiet, ramp to the busy-hour
+        *peak* at mid-period, ramp back down.  The default 240 s period
+        compresses a day enough that a short serve run crosses several
+        busy hours."""
+        return cls(
+            points=(
+                (0.0, base),
+                (period * 0.35, base),
+                (period * 0.50, peak),
+                (period * 0.65, base),
+                (period, base),
+            ),
+            period=period,
+            **kwargs,
+        )
+
+    @classmethod
+    def ramp(
+        cls, start: float, end: float, duration: float, **kwargs: Any
+    ) -> "DiurnalProfile":
+        """A single linear ramp from *start* to *end* calls/hour over
+        *duration* seconds, then steady at *end*."""
+        return cls(points=((0.0, start), (duration, end)), **kwargs)
+
+
+@dataclass
+class OpenLoopStats(WorkloadStats):
+    """Open-loop outcome counts: offered load accounting on top of the
+    per-call outcomes."""
+
+    offered: int = 0
+    admitted: int = 0
+    blocked_busy: int = 0
+    refused_draining: int = 0
+    reregistrations: int = 0
+
+    @property
+    def admission_ratio(self) -> float:
+        return self.admitted / self.offered if self.offered else 0.0
+
+
+@dataclass
+class OpenLoopWorkload:
+    """Open-loop Poisson call generator over a provisioned population.
+
+    One global arrival process draws candidate arrivals at the profile's
+    peak rate and thins them (Lewis–Shedler) against
+    ``profile.rate_at(now)``, so the *offered* load follows the diurnal
+    shape and never backs off when the system is slow — the load shape
+    under which the paper's trunk-count and setup-delay claims are
+    operationally meaningful.  Admitted arrivals run as one-shot call
+    processes (event-driven waits); every random decision is drawn at
+    admission from the arrival stream, so ``arrivals`` is a pure
+    function of ``(seed, profile)`` and is byte-identical between batch
+    runs and paced serve runs at any ``--rate``.
+
+    With ``classic=True`` the pairs are ``(roamer MS, PSTN phone)`` on
+    the Figure 7 classic-GSM topology and every arrival is a
+    phone-to-roamer call — the tromboning direction, seizing two
+    international trunks per call.
+    """
+
+    nw: Any
+    pairs: List[tuple]
+    profile: DiurnalProfile
+    hold_range: tuple = (2.0, 8.0)
+    mt_fraction: float = 0.4
+    talk: bool = False
+    media: str = "fluid"
+    classic: bool = False
+    stats: OpenLoopStats = field(default_factory=OpenLoopStats)
+    #: Admitted arrivals: ``(t, ms_name, kind, hold)`` — the determinism
+    #: witness compared across batch/served/paced runs.
+    arrivals: List[Tuple[float, str, str, float]] = field(default_factory=list)
+    admitting: bool = True
+    _active: int = 0
+    _procs: list = field(default_factory=list)
+    _arrival_proc: Any = None
+
+    def start(self) -> None:
+        sim = self.nw.sim
+        if self.talk and not self.classic:
+            from repro.core.sweeps import apply_media
+
+            apply_media(sim, self.media)
+        self._arrival_proc = spawn(sim, self._arrival_loop())
+        if self.profile.avalanche_at is not None:
+            sim.schedule_at(
+                max(self.profile.avalanche_at, sim.now), self._avalanche
+            )
+
+    def stop_admitting(self) -> None:
+        """Refuse new arrivals (graceful drain); active calls finish."""
+        self.admitting = False
+
+    def stop(self) -> None:
+        """Hard stop: interrupt the arrival process and every in-flight
+        call process."""
+        if self._arrival_proc is not None:
+            self._arrival_proc.interrupt()
+            self._arrival_proc = None
+        for proc in self._procs:
+            proc.interrupt()
+        self._procs.clear()
+
+    @property
+    def active(self) -> int:
+        """In-flight one-shot call processes (drain watches this)."""
+        return self._active
+
+    def progress_line(self) -> str:
+        """One-line workload summary for heartbeat ``extra`` hooks."""
+        s = self.stats
+        return (
+            f"offered={s.offered} ok={s.connected} fail={s.failed} "
+            f"busy={s.blocked_busy} active={self._active} "
+            f"rereg={s.reregistrations}"
+        )
+
+    # ------------------------------------------------------------------
+    # Arrival process
+    # ------------------------------------------------------------------
+    def _arrival_loop(self):
+        sim = self.nw.sim
+        rng = sim.rng.stream("openloop.arrivals")
+        metrics = sim.metrics
+        peak = self.profile.peak_rate
+        per_second = peak / 3600.0
+        while True:
+            yield rng.expovariate(per_second)
+            # Thinning: accept a candidate with probability
+            # rate(now)/peak.  The draw happens unconditionally so the
+            # stream position depends only on elapsed arrivals.
+            if rng.random() * peak > self.profile.rate_at(sim.now):
+                continue
+            if not self.admitting:
+                self.stats.refused_draining += 1
+                metrics.counter("openloop.refused").inc()
+                continue
+            self.stats.offered += 1
+            metrics.counter("openloop.offered").inc()
+            mt = True if self.classic else rng.random() < self.mt_fraction
+            hold = rng.uniform(*self.hold_range)
+            pair = self._pick_pair(rng, mt)
+            if pair is None:
+                self.stats.blocked_busy += 1
+                metrics.counter("openloop.blocked_busy").inc()
+                continue
+            ms, peer = pair
+            kind = "mt" if mt else "mo"
+            self.arrivals.append((sim.now, ms.name, kind, hold))
+            self.stats.admitted += 1
+            metrics.counter("openloop.admitted").inc()
+            if self.classic:
+                body = self._call_classic(ms, peer, hold)
+            elif mt:
+                body = self._call_mt(ms, peer, hold)
+            else:
+                body = self._call_mo(ms, peer, hold)
+            self._procs.append(spawn(sim, body))
+            self._procs = [p for p in self._procs if not p.finished]
+
+    def _pick_pair(self, rng, mt: bool) -> Optional[tuple]:
+        """A uniformly random *available* pair, or ``None`` when every
+        pair is busy (the arrival is lost, not queued — open loop)."""
+        candidates = []
+        for ms, peer in self.pairs:
+            if ms.state != "idle" or not ms.registered:
+                continue
+            if self.classic:
+                if peer.state != "idle":
+                    continue
+            elif not mt and peer.calls:
+                continue
+            candidates.append((ms, peer))
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+    # ------------------------------------------------------------------
+    # One-shot call processes
+    # ------------------------------------------------------------------
+    def _call_mo(self, ms: MobileStation, term: H323Terminal, hold: float):
+        self._begin()
+        try:
+            try:
+                ms.place_call(term.alias)
+            except Exception:
+                self.stats.failed += 1
+                return
+            self.stats.attempted_mo += 1
+            yield wait_for(
+                ms.state_changed,
+                lambda: ms.state in ("in-call", "idle"),
+                15.0,
+            )
+            if ms.state != "in-call":
+                self.stats.failed += 1
+                return
+            self.stats.connected += 1
+            if self.talk:
+                ms.start_talking(duration=hold)
+            yield hold
+            if ms.state == "in-call":
+                ms.hangup()
+            yield wait_for(
+                ms.state_changed,
+                lambda: ms.state in ("idle", "off"),
+                10.0,
+            )
+        finally:
+            self._end()
+
+    def _call_mt(self, ms: MobileStation, term: H323Terminal, hold: float):
+        self._begin()
+        try:
+            try:
+                ref = term.place_call(ms.msisdn)
+            except Exception:
+                self.stats.failed += 1
+                return
+            self.stats.attempted_mt += 1
+            yield wait_for(
+                term.calls_changed,
+                lambda: ref not in term.calls
+                or term.calls[ref].state == "in-call",
+                15.0,
+            )
+            call = term.calls.get(ref)
+            if call is None or call.state != "in-call":
+                self.stats.failed += 1
+                return
+            self.stats.connected += 1
+            if self.talk:
+                term.start_talking(ref, duration=hold)
+            yield hold
+            if ref in term.calls:
+                term.hangup(ref)
+            yield wait_for(
+                ms.state_changed,
+                lambda: ms.state in ("idle", "off"),
+                10.0,
+            )
+        finally:
+            self._end()
+
+    def _call_classic(self, ms: MobileStation, phone: Any, hold: float):
+        """Figure 7 direction: the PSTN phone dials the roamer; every
+        delivered call trombones over two international circuits."""
+        self._begin()
+        try:
+            try:
+                phone.place_call(ms.msisdn)
+            except Exception:
+                self.stats.failed += 1
+                return
+            self.stats.attempted_mt += 1
+            yield wait_for(
+                ms.state_changed, lambda: ms.state == "in-call", 20.0
+            )
+            if ms.state != "in-call":
+                self.stats.failed += 1
+                if phone.state in ("calling", "ringing-remote"):
+                    phone.hangup()
+                return
+            self.stats.connected += 1
+            yield hold
+            if ms.state == "in-call":
+                ms.hangup()
+            yield wait_for(
+                ms.state_changed,
+                lambda: ms.state in ("idle", "off"),
+                10.0,
+            )
+        finally:
+            self._end()
+
+    def _begin(self) -> None:
+        self._active += 1
+        self.nw.sim.metrics.gauge("openloop.active_calls").inc()
+
+    def _end(self) -> None:
+        self._active -= 1
+        self.nw.sim.metrics.gauge("openloop.active_calls").dec()
+
+    # ------------------------------------------------------------------
+    # Mass re-registration avalanche
+    # ------------------------------------------------------------------
+    def _avalanche(self) -> None:
+        """Power-cycle the whole registered population; re-attaches are
+        spread uniformly over ``avalanche_spread`` seconds, producing
+        the registration storm a recovered outage offers.  Handsets
+        caught mid-call power-cycle as soon as their call tears down
+        (the MS state machine forbids a detach while in-call).  Every
+        stagger delay is drawn up front in pair order, so the schedule
+        never depends on call-completion order."""
+        sim = self.nw.sim
+        rng = sim.rng.stream("openloop.avalanche")
+        spread = self.profile.avalanche_spread
+        for ms, _peer in self.pairs:
+            delay = rng.uniform(0.0, spread)
+            if not ms.registered:
+                continue
+            if ms.state == "idle":
+                ms.power_off()
+                sim.schedule(delay, self._reattach, ms)
+            else:
+                self._procs.append(
+                    spawn(sim, self._deferred_cycle(ms, delay))
+                )
+
+    def _deferred_cycle(self, ms: MobileStation, delay: float):
+        """Wait out an in-progress call, then power-cycle like the rest
+        of the avalanche population."""
+        yield wait_for(ms.state_changed, lambda: ms.state == "idle", 120.0)
+        if ms.state != "idle":
+            return
+        ms.power_off()
+        yield delay
+        self._reattach(ms)
+
+    def _reattach(self, ms: MobileStation) -> None:
+        sim = self.nw.sim
+        started = sim.now
+        previous = ms.on_registered
+
+        def note_registered() -> None:
+            sim.metrics.histogram("calls.registration_latency").observe(
+                sim.now - started
+            )
+            sim.metrics.counter("openloop.reregistrations").inc()
+            self.stats.reregistrations += 1
+            ms.on_registered = previous
+            if previous is not None:
+                previous()
+
+        ms.on_registered = note_registered
+        ms.power_on()

@@ -71,8 +71,15 @@ class LintConfig:
     #: Relpath prefixes under the *strict clock* zone: analytic-model
     #: code whose results must be pure functions of sim state, so even
     #: the monotonic clocks that ordinary R1 tolerates (benchmarks and
-    #: profilers read them legitimately) are forbidden there.
-    strict_clock_paths: Tuple[str, ...] = ("media/",)
+    #: profilers read them legitimately) are forbidden there.  The serve
+    #: package lives in the zone too: everything in live service mode
+    #: consumes sim time except the one allowlisted pacer module.
+    strict_clock_paths: Tuple[str, ...] = ("media/", "serve/")
+    #: Exact relpaths *inside* a strict-clock zone that may read the
+    #: host clock anyway — the pacer is the single blessed place where
+    #: wall time enters serve mode (it sleeps between kernel slices and
+    #: never feeds the schedule).  Ordinary R1 still applies here.
+    clock_allowed_paths: Tuple[str, ...] = ("serve/pacer.py",)
     #: Rules to run; ``None`` means all.
     rules: Optional[Tuple[str, ...]] = None
 
@@ -188,7 +195,7 @@ def check_determinism(model: ProjectModel, config: LintConfig) -> List[Violation
             continue
         strict_clock = module.relpath.startswith(
             tuple(config.strict_clock_paths)
-        )
+        ) and module.relpath not in config.clock_allowed_paths
         aliases = _import_aliases(module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):

@@ -1,9 +1,11 @@
 """Prometheus text-exposition rendering of metric snapshots.
 
-The simulator's registry is not a live scrape target — runs finish in
-milliseconds of wall time — so the useful artefact is a final snapshot
-in the standard text format, diffable across runs and loadable by any
-Prometheus tooling::
+The registry renders in the standard text format both as a *final
+snapshot* (diffable across runs, loadable by any Prometheus tooling)
+and as a *live scrape target*: ``python -m repro serve`` publishes
+registry snapshots each pacing slice and its ``/metrics`` endpoint
+renders the latest one from the scrape thread (see
+:mod:`repro.serve`)::
 
     # HELP repro_msgs_tx_VMSC Simulation counter msgs.tx.VMSC.
     # TYPE repro_msgs_tx_VMSC counter
@@ -65,9 +67,17 @@ def _header(lines: List[str], series: str, kind: str, help_text: str) -> None:
 def render_prometheus(source: Any, prefix: str = "repro_") -> str:
     """Render a metrics snapshot (or a live ``MetricsRegistry``) as
     Prometheus text exposition format.  Series are emitted in sorted
-    name order, so equal metrics render byte-identically."""
+    name order, so equal metrics render byte-identically.
+
+    Safe to call from a scrape thread against an in-progress run: a
+    live registry is snapshot-copied before any line is rendered
+    (:meth:`~repro.sim.metrics.MetricsRegistry.snapshot` copies each
+    metric family atomically and never mutates gauge state), so the
+    render never iterates a dict the simulation thread is growing."""
     snapshot: Dict[str, Any]
     if hasattr(source, "snapshot"):
+        # Snapshot-copy before render: after this call everything below
+        # works on plain data owned by this thread alone.
         snapshot = source.snapshot()
     else:
         snapshot = source

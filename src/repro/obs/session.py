@@ -45,6 +45,7 @@ class ObsSession:
         timeline_out: Optional[str] = None,
         waterfall: bool = False,
         slo: Optional[str] = None,
+        force_series: bool = False,
     ) -> None:
         self.trace_out = trace_out
         self.metrics_out = metrics_out
@@ -54,6 +55,11 @@ class ObsSession:
         self.series_interval = series_interval
         self.timeline_out = timeline_out
         self.waterfall = waterfall
+        #: Arm a series sampler even without --series-out/--slo; serve
+        #: mode needs the bucket cadence for its alert lifecycle.
+        self.force_series = force_series
+        #: Appended to each heartbeat line (serve mode: workload stats).
+        self.heartbeat_extra: Optional[Callable[[], str]] = None
         #: Parsed SLO rules (grammar errors surface before any sim runs).
         self.slo_rules: List[SloRule] = parse_slo_rules(slo) if slo else []
         #: Exit status for the CLI: 1 once any SLO rule fails.
@@ -77,7 +83,7 @@ class ObsSession:
 
     @property
     def _wants_series(self) -> bool:
-        return bool(self.series_out or self.slo_rules)
+        return bool(self.series_out or self.slo_rules or self.force_series)
 
     @property
     def _wants_hops(self) -> bool:
@@ -93,7 +99,10 @@ class ObsSession:
             sim.enable_profiler()
         if self.heartbeat:
             self._heartbeats.append(
-                Heartbeat(sim, period=self.heartbeat, label=run).start()
+                Heartbeat(
+                    sim, period=self.heartbeat, label=run,
+                    extra=self.heartbeat_extra,
+                ).start()
             )
         if self._wants_series:
             sampler = SeriesSampler(sim, interval=self.series_interval)
@@ -104,6 +113,14 @@ class ObsSession:
             self._samplers.append((run, sampler))
         if self._wants_hops and sim.hops is None:
             sim.hops = HopRecorder(sim)
+
+    def sampler_for(self, sim: Any) -> Optional[SeriesSampler]:
+        """The series sampler armed on *sim* by :meth:`watch`, if any —
+        serve mode chains its alert manager onto its bucket hook."""
+        for _, sampler in self._samplers:
+            if sampler.sim is sim:
+                return sampler
+        return None
 
     def finish(self, echo: Callable[[str], None] = print) -> int:
         """Stop instrumentation, write every requested artefact, print

@@ -328,6 +328,12 @@ class SloWatchdog:
             return self._hist_value(func[4:], pattern, pool)
         return self._hist_value(func, pattern, self._hist_cum)
 
+    def current_value(self, rule: SloRule) -> float:
+        """Evaluate *rule* against the state folded so far — the live
+        reading behind the serve-mode alert lifecycle, where every rule
+        (windowed or cumulative) is re-judged at each closed bucket."""
+        return self._evaluate(rule)
+
     def finalize(self) -> List[SloResult]:
         """Final verdict per rule, in rule order.  Windowed rules fail on
         any recorded window violation; cumulative rules fail on the

@@ -1,0 +1,28 @@
+"""Live service mode: wall-clock pacing, scrape endpoint, alerting.
+
+``python -m repro serve`` runs the deterministic simulator as a
+long-lived service: the :class:`~repro.serve.loop.ServeLoop` executes
+quantum-sized sim-time slices at full speed and the
+:class:`~repro.serve.pacer.Pacer` sleeps the wall clock into step
+*between* slices, so pacing never enters the kernel and a seeded run
+stays byte-identical to its batch twin.  Each slice publishes an atomic
+telemetry view that :class:`~repro.serve.httpd.TelemetryServer` serves
+over ``/metrics``, ``/status`` and ``/alerts``, while the
+:class:`~repro.serve.alerts.AlertManager` drives SLO rules through a
+live pending/firing/resolved lifecycle.
+"""
+
+from repro.serve.alerts import Alert, AlertManager
+from repro.serve.httpd import TelemetryServer
+from repro.serve.loop import ServeLoop
+from repro.serve.pacer import Pacer
+from repro.serve.state import ServeState
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "Pacer",
+    "ServeLoop",
+    "ServeState",
+    "TelemetryServer",
+]

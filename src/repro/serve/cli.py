@@ -1,0 +1,325 @@
+"""``python -m repro serve`` — run the simulation as a live service.
+
+Builds a GSM/vGPRS topology, pre-registers a population, then drives an
+open-loop Poisson workload (:class:`repro.core.workload
+.OpenLoopWorkload`) through the paced run loop while a stdlib HTTP
+endpoint serves ``/metrics``, ``/status`` and ``/alerts`` from published
+snapshots.  SIGINT/SIGTERM drain gracefully: admission stops, active
+calls complete, artefacts flush, and the exit code carries the verdict:
+
+* ``0`` — clean run, no alert ever fired, all ``--slo`` rules pass;
+* ``2`` — alert(s) fired during the run but all resolved by exit;
+* ``1`` — alert firing/pending at exit, SLO verdict failure, or an
+  unfinished drain.
+
+The whole serve pipeline is deterministic in sim time: the same seed,
+profile and duration produce byte-identical final metrics whether the
+run is paced in real time, paced fast (``--rate 50``), or unpaced
+(``--rate 0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.core import scenarios
+from repro.core.workload import (
+    DiurnalProfile,
+    OpenLoopWorkload,
+    build_classic_population,
+    build_population,
+)
+from repro.obs import ObsSession
+from repro.obs.slo import parse_slo_rules
+from repro.serve.alerts import AlertManager
+from repro.serve.httpd import TelemetryServer
+from repro.serve.loop import ServeLoop
+from repro.serve.pacer import Pacer
+from repro.serve.state import ServeState
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="run the vGPRS simulation as a live, scrapeable "
+                    "service under open-loop load",
+    )
+    run = parser.add_argument_group("run")
+    run.add_argument("--duration", type=float, default=None, metavar="SECS",
+                     help="simulated seconds to serve before draining "
+                          "(default: until SIGINT/SIGTERM)")
+    run.add_argument("--rate", type=float, default=1.0, metavar="X",
+                     help="simulated seconds per wall second; 0 = unpaced "
+                          "batch with a live endpoint (default: 1.0)")
+    run.add_argument("--quantum", type=float, default=0.25, metavar="SECS",
+                     help="sim-time slice between pacing/publish points "
+                          "(default: 0.25)")
+    run.add_argument("--drain-timeout", type=float, default=60.0,
+                     metavar="SECS",
+                     help="max simulated seconds to wait for active calls "
+                          "on shutdown (default: 60)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="master RNG seed (default: 0)")
+
+    topo = parser.add_argument_group("topology and load")
+    topo.add_argument("--topology", choices=("vgprs", "classic"),
+                      default="vgprs",
+                      help="vGPRS network (Figures 3-6) or the classic "
+                           "tromboning GSM topology (Figure 7)")
+    topo.add_argument("--pairs", type=int, default=8, metavar="N",
+                      help="provisioned caller/callee pairs (default: 8)")
+    topo.add_argument("--calls-per-hour", type=float, default=120.0,
+                      metavar="CPH",
+                      help="base offered rate (default: 120)")
+    topo.add_argument("--peak-calls-per-hour", type=float, default=None,
+                      metavar="CPH",
+                      help="busy-hour peak rate (profile shapes that ramp; "
+                           "default: 4x the base)")
+    topo.add_argument("--profile-shape",
+                      choices=("flat", "busy-hour", "ramp"), default="flat",
+                      help="diurnal arrival-rate shape (default: flat)")
+    topo.add_argument("--profile-period", type=float, default=240.0,
+                      metavar="SECS",
+                      help="compressed-day period for busy-hour/ramp "
+                           "shapes (default: 240)")
+    topo.add_argument("--avalanche-at", type=float, default=None,
+                      metavar="SECS",
+                      help="trigger a mass re-registration avalanche at "
+                           "this sim time")
+    topo.add_argument("--avalanche-spread", type=float, default=2.0,
+                      metavar="SECS",
+                      help="window over which avalanche re-attaches spread "
+                           "(default: 2.0)")
+    topo.add_argument("--hold-min", type=float, default=2.0, metavar="SECS",
+                      help="minimum call hold time (default: 2.0)")
+    topo.add_argument("--hold-max", type=float, default=8.0, metavar="SECS",
+                      help="maximum call hold time (default: 8.0)")
+    topo.add_argument("--mt-fraction", type=float, default=0.4, metavar="P",
+                      help="probability an arrival is mobile-terminated "
+                           "(vgprs topology; default: 0.4)")
+    topo.add_argument("--talk", action="store_true",
+                      help="generate voice media during calls")
+    topo.add_argument("--media", choices=("events", "fluid"),
+                      default="fluid",
+                      help="voice media model when --talk (default: fluid)")
+
+    live = parser.add_argument_group("endpoint and alerting")
+    live.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default: 127.0.0.1)")
+    live.add_argument("--port", type=int, default=9464,
+                      help="bind port; 0 = ephemeral (default: 9464)")
+    live.add_argument("--no-http", action="store_true",
+                      help="run the loop without the HTTP endpoint "
+                           "(batch comparator / CI)")
+    live.add_argument("--alert", metavar="RULES",
+                      help="alert rules (SLO grammar, ';'-separated, or "
+                           "@FILE) driven through the live "
+                           "pending/firing/resolved lifecycle")
+    live.add_argument("--alert-for", type=int, default=2, metavar="N",
+                      help="consecutive bad buckets before an alert fires "
+                           "(default: 2)")
+    live.add_argument("--alert-clear", type=int, default=2, metavar="N",
+                      help="consecutive good buckets before a firing alert "
+                           "resolves (default: 2)")
+
+    obs = parser.add_argument_group("observability artefacts")
+    obs.add_argument("--trace-out", metavar="FILE",
+                     help="write a JSONL trace (spans + events) to FILE")
+    obs.add_argument("--metrics-out", metavar="FILE",
+                     help="write the final Prometheus snapshot to FILE")
+    obs.add_argument("--series-out", metavar="FILE",
+                     help="write the metric time series (JSON) to FILE")
+    obs.add_argument("--series-interval", type=float, default=1.0,
+                     metavar="SECS",
+                     help="series bucket width — also the alert "
+                          "evaluation cadence (default: 1.0)")
+    obs.add_argument("--timeline-out", metavar="FILE",
+                     help="write a Chrome-trace-event timeline to FILE")
+    obs.add_argument("--heartbeat", type=float, default=None, metavar="SECS",
+                     help="print a progress line to stderr every SECS "
+                          "simulated seconds")
+    obs.add_argument("--profile", action="store_true",
+                     help="profile the kernel and print a per-event table")
+    obs.add_argument("--slo", metavar="RULES",
+                     help="SLO rules judged with batch (sticky-fail) "
+                          "semantics at shutdown, alongside the live "
+                          "--alert lifecycle")
+    return parser
+
+
+def _read_rules(text: Optional[str]) -> Optional[str]:
+    if text and text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as fh:
+            return fh.read()
+    return text
+
+
+def build_profile(args: argparse.Namespace) -> DiurnalProfile:
+    base = args.calls_per_hour
+    peak = args.peak_calls_per_hour
+    if peak is None:
+        peak = base * 4.0
+    extras = {
+        "avalanche_at": args.avalanche_at,
+        "avalanche_spread": args.avalanche_spread,
+    }
+    if args.profile_shape == "busy-hour":
+        return DiurnalProfile.busy_hour(
+            base, peak, period=args.profile_period, **extras
+        )
+    if args.profile_shape == "ramp":
+        return DiurnalProfile.ramp(
+            base, peak, duration=args.profile_period, **extras
+        )
+    return DiurnalProfile.flat(base, **extras)
+
+
+@dataclass
+class ServeRun:
+    """Everything :func:`build_serve_run` wired together."""
+
+    nw: Any
+    workload: OpenLoopWorkload
+    obs: ObsSession
+    alerts: Optional[AlertManager]
+    state: ServeState
+    loop: ServeLoop
+
+    @property
+    def sim(self) -> Any:
+        return self.nw.sim
+
+
+def build_serve_run(
+    args: argparse.Namespace,
+    echo: Callable[[str], None] = print,
+) -> ServeRun:
+    """Build topology, population, workload, observability and loop —
+    shared by the CLI and the batch-comparator integration tests, so a
+    paced service and its unpaced twin run the identical pipeline."""
+    if args.topology == "classic":
+        from repro.core.baseline_gsm import build_classic_roaming_network
+
+        nw: Any = build_classic_roaming_network(seed=args.seed)
+        nw.sim.run(until=0.5)
+        pairs = build_classic_population(nw, args.pairs)
+    else:
+        from repro.core.network import build_vgprs_network
+
+        nw = build_vgprs_network(seed=args.seed)
+        nw.sim.run(until=0.5)
+        pairs = build_population(nw, args.pairs)
+    for ms, _peer in pairs:
+        scenarios.register_ms(nw, ms)
+
+    profile = build_profile(args)
+    workload = OpenLoopWorkload(
+        nw=nw,
+        pairs=pairs,
+        profile=profile,
+        hold_range=(args.hold_min, args.hold_max),
+        mt_fraction=args.mt_fraction,
+        talk=args.talk,
+        media=args.media,
+        classic=args.topology == "classic",
+    )
+
+    obs = ObsSession(
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile=args.profile,
+        heartbeat=args.heartbeat,
+        series_out=args.series_out,
+        series_interval=args.series_interval,
+        timeline_out=args.timeline_out,
+        slo=_read_rules(args.slo),
+        force_series=True,
+    )
+    obs.heartbeat_extra = workload.progress_line
+    obs.watch(nw.sim, run="serve")
+
+    alerts: Optional[AlertManager] = None
+    alert_text = _read_rules(args.alert)
+    if alert_text:
+        sampler = obs.sampler_for(nw.sim)
+        assert sampler is not None  # force_series guarantees one
+        alerts = AlertManager(
+            parse_slo_rules(alert_text),
+            for_windows=args.alert_for,
+            clear_windows=args.alert_clear,
+            log=echo,
+        ).attach(sampler)
+
+    state = ServeState()
+    loop = ServeLoop(
+        sim=nw.sim,
+        workload=workload,
+        pacer=Pacer(rate=args.rate),
+        state=state,
+        alerts=alerts,
+        duration=args.duration,
+        quantum=args.quantum,
+        drain_timeout=args.drain_timeout,
+    )
+    return ServeRun(nw=nw, workload=workload, obs=obs, alerts=alerts,
+                    state=state, loop=loop)
+
+
+def finish_serve_run(
+    run: ServeRun, echo: Callable[[str], None] = print
+) -> int:
+    """Flush artefacts and fold SLO/alert/drain verdicts into the exit
+    code (module docstring semantics)."""
+    obs_code = run.obs.finish(echo)
+    alert_code = run.alerts.exit_code() if run.alerts is not None else 0
+    if run.alerts is not None:
+        payload = run.alerts.to_payload()
+        echo(
+            f"alerts: {payload['transition_count']} transition(s); "
+            + ", ".join(
+                f"{a['name']}={a['state']}" for a in payload["alerts"]
+            )
+        )
+    if not run.loop.drained:
+        echo("drain incomplete: active calls remained at shutdown")
+        return 1
+    if alert_code == 1 or obs_code:
+        return 1
+    return alert_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    echo: Callable[[str], None] = lambda line: print(line, file=sys.stderr)
+    run = build_serve_run(args, echo=echo)
+    server: Optional[TelemetryServer] = None
+    if not args.no_http:
+        server = TelemetryServer(
+            run.state, host=args.host, port=args.port
+        ).start()
+        host, port = server.address
+        echo(f"serving telemetry on http://{host}:{port}/ "
+             "(/metrics /status /alerts)")
+    signal.signal(signal.SIGINT, run.loop.request_stop)
+    signal.signal(signal.SIGTERM, run.loop.request_stop)
+    try:
+        run.loop.run()
+    finally:
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        if server is not None:
+            server.stop()
+    echo(
+        f"served {run.loop.sim.now:.1f} sim-s: "
+        f"{run.workload.progress_line()} "
+        f"(drained={'yes' if run.loop.drained else 'NO'})"
+    )
+    return finish_serve_run(run, echo=echo)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

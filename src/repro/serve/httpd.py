@@ -1,0 +1,117 @@
+"""The live telemetry endpoint: stdlib HTTP over published snapshots.
+
+Three read-only routes, all rendered from the
+:class:`~repro.serve.state.ServeState` view the simulation thread last
+published:
+
+* ``/metrics`` — Prometheus text exposition (scrapeable mid-run);
+* ``/status``  — JSON heartbeat: sim time, wall lag, event rate, phase;
+* ``/alerts``  — JSON alert lifecycle states plus recent transitions.
+
+Handlers never touch the simulator, its registry, or the workload — the
+view is plain data published atomically per pacing slice — so a scrape
+can never observe a half-updated run nor perturb a deterministic one.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.serve.state import ServeState
+
+#: Content type for Prometheus text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INDEX = """\
+repro serve telemetry
+  /metrics  Prometheus text exposition of the latest snapshot
+  /status   JSON heartbeat (sim time, wall lag, event rate, phase)
+  /alerts   JSON alert lifecycle states and recent transitions
+"""
+
+
+class _StateServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`ServeState`."""
+
+    daemon_threads = True
+    state: ServeState
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _StateServer
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        state = self.server.state
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._reply(200, PROM_CONTENT_TYPE, state.render_metrics())
+        elif path == "/status":
+            self._reply(200, "application/json", state.status_json())
+        elif path == "/alerts":
+            self._reply(200, "application/json", state.alerts_json())
+        elif path == "/":
+            self._reply(200, "text/plain; charset=utf-8", _INDEX)
+        else:
+            self._reply(404, "text/plain; charset=utf-8",
+                        f"no such route: {path}\n")
+
+    def _reply(self, code: int, ctype: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes are periodic; per-request stderr lines are noise.
+        pass
+
+
+class TelemetryServer:
+    """Serves the telemetry routes on a daemon thread.
+
+    Pass ``port=0`` to bind an ephemeral port (tests); :attr:`address`
+    reports the actual bound ``(host, port)`` after :meth:`start`.
+    """
+
+    def __init__(
+        self, state: ServeState, host: str = "127.0.0.1", port: int = 9464
+    ) -> None:
+        self.state = state
+        self.host = host
+        self.port = port
+        self._server: Optional[_StateServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            return (self.host, self.port)
+        addr = self._server.server_address
+        return (str(addr[0]), int(addr[1]))
+
+    def start(self) -> "TelemetryServer":
+        if self._server is not None:
+            return self
+        server = _StateServer((self.host, self.port), _Handler)
+        server.state = self.state
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)

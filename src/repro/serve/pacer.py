@@ -1,0 +1,79 @@
+"""Wall-clock pacing for live service mode.
+
+This module is the *only* place in ``repro.serve`` (and, outside the
+media fast path's lint zone, one of very few in the tree) that reads the
+host clock — ``repro lint`` enforces that with the strict-clock zone
+over ``serve/`` (see ``clock_allowed_paths``).  Everything else in
+serve mode consumes sim time; the :class:`Pacer` alone maps sim seconds
+onto wall seconds and sleeps out the difference between pacing slices.
+
+Pacing never feeds back into the simulation: the kernel runs each
+quantum at full speed and the pacer sleeps *between* slices, so a paced
+run executes exactly the events a batch run executes, in exactly the
+same order, whatever the ``--rate``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Pacer:
+    """Maps simulated time onto the wall clock.
+
+    Parameters
+    ----------
+    rate:
+        Simulated seconds per wall second.  ``1.0`` is real time,
+        ``10.0`` runs ten times faster than real time, and ``0`` means
+        *unpaced* — :meth:`pace` never sleeps, which turns serve mode
+        into a batch run with a live scrape endpoint.
+    """
+
+    def __init__(self, rate: float = 1.0) -> None:
+        if rate < 0:
+            raise ValueError(f"pacing rate must be >= 0, got {rate!r}")
+        self.rate = rate
+        #: Wall seconds the last :meth:`pace` call was behind schedule
+        #: (0.0 whenever the pacer slept, i.e. the sim was on time).
+        self.lag = 0.0
+        self._origin_wall: Optional[float] = None
+        self._origin_sim = 0.0
+
+    @property
+    def realtime(self) -> bool:
+        """Whether :meth:`pace` actually sleeps."""
+        return self.rate > 0
+
+    def start(self, sim_now: float) -> None:
+        """Anchor sim time *sim_now* to the current wall instant."""
+        self._origin_wall = time.monotonic()
+        self._origin_sim = sim_now
+
+    def wall_elapsed(self) -> float:
+        """Wall seconds since :meth:`start` (0.0 before it)."""
+        if self._origin_wall is None:
+            return 0.0
+        return time.monotonic() - self._origin_wall
+
+    def pace(self, sim_now: float) -> float:
+        """Sleep until the wall clock catches up with *sim_now*.
+
+        Returns the updated :attr:`lag`: positive when the simulation
+        cannot keep up with the requested rate (the wall clock is ahead
+        of the sim's schedule), ``0.0`` when the pacer slept.
+        """
+        if self._origin_wall is None:
+            self.start(sim_now)
+        if not self.realtime:
+            return 0.0
+        assert self._origin_wall is not None
+        target = self._origin_wall + (sim_now - self._origin_sim) / self.rate
+        ahead = target - time.monotonic()
+        if ahead > 0:
+            time.sleep(ahead)
+            self.lag = 0.0
+        else:
+            self.lag = -ahead
+        return self.lag

@@ -234,6 +234,46 @@ class Simulator:
             self._now = until
         return executed
 
+    def run_paced(
+        self,
+        until: Optional[float],
+        quantum: float,
+        hook: Callable[["Simulator"], Any],
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Run in *quantum*-sized sim-time slices, yielding to *hook*
+        between slices — the kernel half of live service mode.
+
+        Event order and clock behaviour are identical to a single
+        ``run(until=...)`` call: slicing only decides how often control
+        returns to the caller, never which event runs next, so a seeded
+        run stays byte-identical whether it is paced or batch.  The hook
+        runs *outside* the event loop (it may sleep against the wall
+        clock, publish snapshots, or request a stop by returning
+        ``False``) and must not schedule events in the past.
+
+        With ``until=None`` the loop runs until the hook stops it or
+        :meth:`stop` is called; the clock still advances through idle
+        quanta (``run(until=...)`` settles the clock forward even when
+        the queue is empty), so a drained queue idles forward at pace
+        instead of spinning.  Returns the number of events executed.
+        """
+        if quantum <= 0:
+            raise SimulationError(
+                f"pacing quantum must be > 0, got {quantum!r}"
+            )
+        executed = 0
+        while True:
+            target = self._now + quantum
+            if until is not None and target > until:
+                target = until
+            executed += self.run(until=target, max_events=max_events)
+            if hook(self) is False or self._stopped:
+                break
+            if until is not None and self._now >= until:
+                break
+        return executed
+
     def _run_instrumented(
         self, until: Optional[float], max_events: int
     ) -> int:

@@ -139,8 +139,13 @@ class Histogram:
         return _quantile_sorted(data, q)
 
     def summary(self) -> Dict[str, float]:
-        """Whole-run summary dict (``HISTOGRAM_SUMMARY_KEYS``)."""
-        return summarize_samples(self.samples)
+        """Whole-run summary dict (``HISTOGRAM_SUMMARY_KEYS``).
+
+        Works over a sliced copy of the samples: the slice is one atomic
+        C-level copy, so a scrape thread summarising a live histogram
+        sees a consistent set even while the simulation thread appends.
+        """
+        return summarize_samples(self.samples[:])
 
     def window_summary(self, start: int) -> Dict[str, float]:
         """Summary of the samples observed since index *start* — the
@@ -191,11 +196,25 @@ class Gauge:
         self._accumulate()
         return self._integral
 
+    def peek_integral(self) -> float:
+        """The integral up to the current clock *without* settling any
+        state — numerically identical to :meth:`integral`, but a pure
+        read, so a live scrape thread can call it while the simulation
+        thread is mutating the gauge."""
+        return self._integral + self.value * (self._clock() - self._last_change)
+
     def time_average(self) -> float:
         now = self._clock()
         if now <= 0:
             return self.value
         return self.integral() / now
+
+    def peek_time_average(self) -> float:
+        """Non-mutating twin of :meth:`time_average` (scrape thread)."""
+        now = self._clock()
+        if now <= 0:
+            return self.value
+        return self.peek_integral() / now
 
 
 class MetricsRegistry:
@@ -226,25 +245,29 @@ class MetricsRegistry:
         return g
 
     def counters(self, prefix: str = "") -> Dict[str, int]:
+        # ``list(dict.items())`` materialises in one C call — atomic
+        # under the GIL — so a scrape thread dumping a live registry
+        # never races a simulation thread registering a new metric.
         return {
             name: c.value
-            for name, c in sorted(self._counters.items())
+            for name, c in sorted(list(self._counters.items()))
             if name.startswith(prefix)
         }
 
     def gauges(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
         """Name -> summary dict for every gauge, mirroring
-        :meth:`counters`.  ``integral`` and ``time_average`` settle the
-        gauge up to the current clock, so a dump at the end of a run is
-        the final word."""
+        :meth:`counters`.  ``integral`` and ``time_average`` are settled
+        up to the current clock via the non-mutating ``peek_*`` reads —
+        numerically identical to the settling forms, but safe for a
+        scrape thread dumping mid-run."""
         return {
             name: {
                 "value": g.value,
                 "peak": g.peak,
-                "integral": g.integral(),
-                "time_average": g.time_average(),
+                "integral": g.peek_integral(),
+                "time_average": g.peek_time_average(),
             }
-            for name, g in sorted(self._gauges.items())
+            for name, g in sorted(list(self._gauges.items()))
             if name.startswith(prefix)
         }
 
@@ -253,14 +276,17 @@ class MetricsRegistry:
         :meth:`counters`."""
         return {
             name: h.summary()
-            for name, h in sorted(self._histograms.items())
+            for name, h in sorted(list(self._histograms.items()))
             if name.startswith(prefix)
         }
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-data dump of every metric plus the clock, suitable for
         JSON serialisation, cross-process transfer (sweep workers) and
-        deterministic merging (:func:`repro.obs.export.merge_snapshots`)."""
+        deterministic merging (:func:`repro.obs.export.merge_snapshots`).
+        Safe to call from a scrape thread against an in-progress run:
+        every metric family is snapshot-copied before iteration and no
+        read mutates registry state."""
         return {
             "sim_time": self._clock(),
             "counters": self.counters(),

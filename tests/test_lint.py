@@ -132,6 +132,31 @@ class TestR1Determinism:
         )
         assert violations == []
 
+    def test_serve_is_a_strict_clock_zone(self, tmp_path):
+        bad = "import time\ndef f():\n    return time.monotonic()\n"
+        _, violations = lint_tree(
+            tmp_path, {"serve/loop.py": bad}, rules=["R1"]
+        )
+        assert rules_of(violations) == ["R1"]
+        assert "strict-clock" in violations[0].message
+
+    def test_pacer_allowlisted_for_host_clock(self, tmp_path):
+        ok = "import time\ndef pace():\n    return time.monotonic()\n"
+        _, violations = lint_tree(
+            tmp_path, {"serve/pacer.py": ok}, rules=["R1"]
+        )
+        assert violations == []
+
+    def test_pacer_allowlist_does_not_cover_ordinary_r1(self, tmp_path):
+        # The allowlist lifts only the strict-clock extension; the
+        # baseline determinism rule still bans wall-clock reads there.
+        bad = "import time\ndef f():\n    return time.time()\n"
+        _, violations = lint_tree(
+            tmp_path, {"serve/pacer.py": bad}, rules=["R1"]
+        )
+        assert rules_of(violations) == ["R1"]
+        assert "wall-clock" in violations[0].message
+
     def test_set_iteration_feeding_scheduler_flagged(self, tmp_path):
         bad = (
             "def f(sim, items):\n"

@@ -1,0 +1,306 @@
+"""Live service mode end to end.
+
+Unit coverage for the pacer, alert lifecycle, published state and HTTP
+endpoint, then the integration properties the PR pins:
+
+* a serve run under sustained Poisson arrivals can be scraped over HTTP
+  *mid-run*, and every scrape round-trips the strict Prometheus line
+  grammar;
+* an alert driven by the live workload is observed both ``firing`` and
+  ``resolved``;
+* a drained shutdown's final metrics are byte-identical to a batch
+  (``--rate 0``) run of the same seed and workload;
+* SIGTERM produces a graceful drain and the documented exit code.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs.slo import parse_slo_rules
+from repro.serve.alerts import AlertManager
+from repro.serve.cli import (
+    build_serve_run,
+    finish_serve_run,
+    make_parser,
+)
+from repro.serve.httpd import TelemetryServer
+from repro.serve.pacer import Pacer
+from repro.serve.state import ServeState
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+HELP_RE = re.compile(r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) \S.*$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|summary|histogram|untyped)$"
+)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*")*\})?'
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|inf|nan))$"
+)
+
+
+def assert_prometheus_grammar(text: str) -> int:
+    """Every line parses under the strict exposition grammar; returns
+    the number of sample lines."""
+    samples = 0
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            assert HELP_RE.match(line), f"bad HELP line: {line!r}"
+        elif line.startswith("# TYPE "):
+            assert TYPE_RE.match(line), f"bad TYPE line: {line!r}"
+        else:
+            assert SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+            samples += 1
+    return samples
+
+
+def serve_args(extra):
+    return make_parser().parse_args(extra)
+
+
+# ----------------------------------------------------------------------
+# Pacer
+# ----------------------------------------------------------------------
+class TestPacer:
+    def test_unpaced_never_sleeps(self):
+        pacer = Pacer(rate=0)
+        pacer.start(0.0)
+        before = time.monotonic()
+        assert pacer.pace(1e9) == 0.0
+        assert time.monotonic() - before < 0.5
+
+    def test_fast_rate_barely_sleeps(self):
+        pacer = Pacer(rate=1000.0)
+        pacer.start(0.0)
+        before = time.monotonic()
+        pacer.pace(10.0)  # 10 sim-s at 1000x = 10 ms wall
+        assert time.monotonic() - before < 2.0
+
+    def test_lag_reported_when_sim_falls_behind(self):
+        pacer = Pacer(rate=1e9)
+        pacer.start(0.0)
+        time.sleep(0.05)
+        # The wall moved 50 ms but the sim asked to pace ~0 sim-s in:
+        # the schedule says we are late, nothing to sleep.
+        assert pacer.pace(1.0) > 0.0
+        assert pacer.lag > 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            Pacer(rate=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Alert lifecycle
+# ----------------------------------------------------------------------
+def bucket(t, **counters):
+    return {"t": t, "counters": counters, "gauges": {}, "histograms": {}}
+
+
+class TestAlertManager:
+    def make(self, rule="leak: delta(c) <= 1", **kwargs):
+        return AlertManager(parse_slo_rules(rule), **kwargs)
+
+    def test_full_lifecycle_and_exit_code(self):
+        mgr = self.make(for_windows=2, clear_windows=2)
+        for b in (bucket(1.0, c=1), bucket(2.0, c=5), bucket(3.0, c=5),
+                  bucket(4.0, c=1), bucket(5.0, c=0)):
+            mgr.observe_bucket(b)
+        states = [t["to"] for t in mgr.transitions]
+        assert states == ["pending", "firing", "resolved"]
+        assert mgr.alerts[0].fired_count == 1
+        assert mgr.ever_fired
+        assert mgr.exit_code() == 2
+
+    def test_pending_recovery_never_fires(self):
+        mgr = self.make(for_windows=3)
+        for b in (bucket(1.0, c=5), bucket(2.0, c=0), bucket(3.0, c=0)):
+            mgr.observe_bucket(b)
+        states = [t["to"] for t in mgr.transitions]
+        assert states == ["pending", "ok"]
+        assert not mgr.ever_fired
+        assert mgr.exit_code() == 0
+
+    def test_firing_at_exit_is_code_one(self):
+        mgr = self.make(for_windows=1)
+        mgr.observe_bucket(bucket(1.0, c=9))
+        assert mgr.alerts[0].state == "firing"
+        assert mgr.exit_code() == 1
+
+    def test_transitions_are_logged(self):
+        lines = []
+        mgr = self.make(for_windows=1, log=lines.append)
+        mgr.observe_bucket(bucket(1.0, c=9))
+        assert any("pending -> firing" in line for line in lines)
+
+    def test_payload_shape(self):
+        mgr = self.make()
+        mgr.observe_bucket(bucket(1.0, c=9))
+        payload = mgr.to_payload()
+        (alert,) = payload["alerts"]
+        assert alert["name"] == "leak"
+        assert alert["state"] == "pending"
+        assert payload["transition_count"] == 1
+
+    def test_rejects_zero_windows(self):
+        with pytest.raises(ValueError):
+            self.make(for_windows=0)
+
+
+# ----------------------------------------------------------------------
+# Published state + HTTP endpoint
+# ----------------------------------------------------------------------
+class TestEndpoint:
+    def test_state_before_first_publish(self):
+        state = ServeState()
+        assert "no snapshot" in state.render_metrics()
+        assert json.loads(state.status_json())["phase"] == "starting"
+
+    def test_routes(self):
+        state = ServeState()
+        state.publish(
+            snapshot={"sim_time": 1.5, "counters": {"x.y": 3},
+                      "gauges": {}, "histograms": {}},
+            status={"phase": "serving", "sim_time": 1.5},
+            alerts={"alerts": [], "transitions": [], "transition_count": 0},
+        )
+        server = TelemetryServer(state, port=0).start()
+        try:
+            host, port = server.address
+            base = f"http://{host}:{port}"
+
+            def get(path):
+                with urllib.request.urlopen(base + path, timeout=5) as rsp:
+                    return rsp.status, rsp.read().decode()
+
+            status, body = get("/metrics")
+            assert status == 200
+            assert "repro_x_y 3" in body
+            assert_prometheus_grammar(body)
+            status, body = get("/status")
+            assert json.loads(body)["phase"] == "serving"
+            status, body = get("/alerts")
+            assert json.loads(body)["alerts"] == []
+            status, _ = get("/")
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get("/nope")
+            assert err.value.code == 404
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Integration: the full serve pipeline
+# ----------------------------------------------------------------------
+BASE_ARGS = [
+    "--no-http", "--pairs", "3", "--seed", "23",
+    "--calls-per-hour", "900", "--duration", "25",
+    "--avalanche-at", "10", "--avalanche-spread", "1.5",
+    "--alert", "rereg: delta(openloop.reregistrations) <= 0",
+    "--alert-for", "1", "--alert-clear", "2",
+]
+
+
+def run_pipeline(extra):
+    echoes = []
+    run = build_serve_run(serve_args(BASE_ARGS + extra), echo=echoes.append)
+    run.loop.run()
+    return run, echoes
+
+
+class TestServeIntegration:
+    def test_alert_fires_and_resolves_then_drains(self):
+        run, echoes = run_pipeline(["--rate", "0", "--quantum", "0.5"])
+        states = [t["to"] for t in run.alerts.transitions]
+        assert "firing" in states and "resolved" in states
+        assert run.loop.drained
+        assert run.workload.active == 0
+        assert finish_serve_run(run, echo=echoes.append) == 2
+        assert any("rereg=resolved" in line for line in echoes)
+
+    def test_paced_run_matches_unpaced_batch_byte_for_byte(self):
+        # Same quantum both sides: the drain ends on a quantum boundary,
+        # so the slice size is part of the workload definition — the
+        # pacing *rate* is what must never leak into the simulation.
+        batch, _ = run_pipeline(["--rate", "0", "--quantum", "0.5"])
+        paced, _ = run_pipeline(["--rate", "400", "--quantum", "0.5"])
+        assert paced.workload.arrivals == batch.workload.arrivals
+        assert (paced.sim.trace.triples()
+                == batch.sim.trace.triples())
+        assert (paced.state.render_metrics()
+                == batch.state.render_metrics())
+
+    def test_mid_run_http_scrape_round_trips_grammar(self):
+        args = serve_args([
+            "--pairs", "3", "--seed", "23", "--calls-per-hour", "1800",
+            "--duration", "30", "--rate", "30", "--quantum", "0.25",
+        ])
+        run = build_serve_run(args, echo=lambda _line: None)
+        server = TelemetryServer(run.state, port=0).start()
+        worker = threading.Thread(target=run.loop.run, daemon=True)
+        worker.start()
+        try:
+            host, port = server.address
+            base = f"http://{host}:{port}"
+            scrapes = 0
+            deadline = time.monotonic() + 30.0
+            while worker.is_alive() and time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    base + "/metrics", timeout=5
+                ) as rsp:
+                    text = rsp.read().decode()
+                if "repro_openloop_offered" in text:
+                    assert assert_prometheus_grammar(text) > 10
+                    scrapes += 1
+                with urllib.request.urlopen(
+                    base + "/status", timeout=5
+                ) as rsp:
+                    status = json.loads(rsp.read().decode())
+                assert status["phase"] in ("starting", "serving",
+                                           "draining", "stopped")
+                time.sleep(0.05)
+            worker.join(timeout=30.0)
+            assert not worker.is_alive()
+            # The run lasted ~1 wall second; we must have scraped a
+            # mid-run exposition with live workload counters in it.
+            assert scrapes >= 1
+            assert run.loop.drained
+        finally:
+            server.stop()
+
+    def test_sigterm_drains_gracefully(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--no-http", "--pairs", "2", "--seed", "7",
+             "--calls-per-hour", "1800", "--rate", "25",
+             "--quantum", "0.25"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        time.sleep(2.0)  # let it serve a while
+        proc.send_signal(signal.SIGTERM)
+        try:
+            _, stderr = proc.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+        assert proc.returncode == 0, stderr
+        assert "drained=yes" in stderr
