@@ -4,27 +4,40 @@ The simulator's credibility rests on invariants that are cheap to break
 and expensive to notice dynamically: seeded runs must stay
 byte-identical, every ``@handles`` registration must resolve, every
 golden-flow message name must exist, handlers must never block, and
-packet constructors must match their field declarations.  This package
-proves all five with a single AST pass — no imports, no simulation, no
-new dependencies — so a typo fails ``python -m repro lint`` in
-milliseconds instead of a 30-second golden run (or worse, silently).
+packet constructors must match their field declarations.  Serve mode
+and the sweep runner add concurrency to that list: the scrape thread,
+signal handlers, and sweep worker processes each have a discipline a
+single stray call can break.  This package proves all of it statically
+— no imports, no simulation, no new dependencies — so a typo fails
+``python -m repro lint`` in milliseconds instead of a 30-second golden
+run (or worse, silently).
+
+Rules R1–R5 are (mostly) syntactic; R1 and R4 additionally walk the
+interprocedural call graph, and R6–R8 (thread-boundary, signal-handler,
+and shard safety) are built entirely on it — see
+:class:`repro.lint.model.CallGraph` and
+:class:`repro.lint.model.ThreadDomains`.
 
 Public surface:
 
 * :func:`repro.lint.cli.main` — the CLI (``python -m repro lint``);
 * :func:`repro.lint.cli.lint_paths` — programmatic entry point;
 * :class:`repro.lint.rules.Violation`, :data:`repro.lint.rules.RULES`;
-* :class:`repro.lint.baseline.Baseline` — suppression handling.
+* :class:`repro.lint.baseline.Baseline` — suppression handling;
+* :class:`repro.lint.model.CallGraph`,
+  :class:`repro.lint.model.ThreadDomains` — the interprocedural layer.
 """
 
 from repro.lint.baseline import Baseline, find_baseline
-from repro.lint.model import ProjectModel
+from repro.lint.model import CallGraph, ProjectModel, ThreadDomains
 from repro.lint.rules import RULE_BITS, RULES, LintConfig, Violation, run_rules
 
 __all__ = [
     "Baseline",
     "find_baseline",
+    "CallGraph",
     "ProjectModel",
+    "ThreadDomains",
     "RULES",
     "RULE_BITS",
     "LintConfig",

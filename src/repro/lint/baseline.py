@@ -11,7 +11,14 @@ Two ways to accept a violation:
   violations, not a parking lot.
 
 ``python -m repro lint --write-baseline`` regenerates the file from the
-current violations (reasons of existing entries are preserved).
+current violations (reasons of existing entries are preserved), and
+``--prune-baseline`` drops entries whose fingerprint no longer matches
+any violation, so the file cannot accumulate stale suppressions.
+
+Format history: version 1 entries had no ``occurrence`` field because
+fingerprints could collide (same rule+message twice in one file).
+Version 2 adds it; version-1 files still load — an absent occurrence
+means 0, whose fingerprint input is unchanged.
 """
 
 from __future__ import annotations
@@ -59,6 +66,9 @@ class Baseline:
         if path is None or not path.exists():
             return cls()
         data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version", 1)
+        if version not in (1, 2):
+            raise ValueError(f"{path}: unknown baseline version {version!r}")
         entries = data.get("suppressions", [])
         if not isinstance(entries, list):
             raise ValueError(f"{path}: 'suppressions' must be a list")
@@ -72,6 +82,27 @@ class Baseline:
         if entry is None:
             return None
         return str(entry.get("reason", ""))
+
+    def stale_entries(
+        self, violations: Sequence[Violation]
+    ) -> List[Dict[str, object]]:
+        """Entries matching none of *violations* — suppressions for
+        code that was since fixed or deleted.  Only meaningful against
+        a full-rule run; a ``--rules`` subset would make every other
+        rule's entries look stale."""
+        live = {v.fingerprint for v in violations}
+        return [
+            e for e in self.entries if str(e.get("fingerprint")) not in live
+        ]
+
+    def pruned(self, violations: Sequence[Violation]) -> "Baseline":
+        """A copy without the stale entries."""
+        stale = {
+            str(e.get("fingerprint")) for e in self.stale_entries(violations)
+        }
+        return Baseline(
+            [e for e in self.entries if str(e.get("fingerprint")) not in stale]
+        )
 
     @classmethod
     def from_violations(
@@ -92,24 +123,27 @@ class Baseline:
                 old = previous.reason(violation)
                 if old:
                     reason = old
-            entries.append(
-                {
-                    "fingerprint": violation.fingerprint,
-                    "rule": violation.rule,
-                    "file": violation.file,
-                    "message": violation.message,
-                    "reason": reason,
-                }
-            )
+            entry: Dict[str, object] = {
+                "fingerprint": violation.fingerprint,
+                "rule": violation.rule,
+                "file": violation.file,
+                "message": violation.message,
+                "reason": reason,
+            }
+            if violation.occurrence:
+                entry["occurrence"] = violation.occurrence
+            entries.append(entry)
         return cls(entries)
 
     def dump(self, path: Path) -> None:
         payload = {
-            "version": 1,
+            "version": 2,
             "comment": (
                 "Deliberate repro.lint violations; match is by fingerprint "
-                "(rule+file+message). Regenerate with "
-                "'python -m repro lint --write-baseline'."
+                "(rule+file+message, plus an occurrence index for "
+                "repeats). Regenerate with 'python -m repro lint "
+                "--write-baseline'; drop stale entries with "
+                "'--prune-baseline'."
             ),
             "suppressions": self.entries,
         }

@@ -1,18 +1,26 @@
 """``python -m repro lint`` — run the analyzer and report.
 
-Exit status is a per-rule bitmask (R1=1, R2=2, R3=4, R4=8, R5=16): a
-run that only violates determinism exits 1, one that violates both
-dispatch and hygiene exits 18, a clean (or fully baselined) run exits 0.
-CI parses the JSON report; humans read the text format.
+Exit status is a per-rule bitmask (R1=1, R2=2, R3=4, R4=8, R5=16,
+parse errors=32, R6=64, R7=128, R8=256): a run that only violates
+determinism exits 1, one that violates both dispatch and hygiene exits
+18, a clean (or fully baselined) run exits 0.  CI parses the JSON
+report; humans read the text format.
+
+``--changed [REF]`` keeps the full-tree model (the interprocedural
+rules need every call edge) but reports only violations in files that
+differ from REF (default HEAD) — the fast pre-commit check.
+``--prune-baseline`` rewrites the baseline without stale entries; a
+normal full-rule run only *warns* about them.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, TextIO
+from typing import List, Optional, Set, TextIO
 
 from repro.lint.baseline import Baseline, find_baseline, inline_suppressed
 from repro.lint.model import ProjectModel
@@ -38,6 +46,37 @@ def lint_paths(
         config.rules = tuple(rules)
     model = ProjectModel(root)
     return model, run_rules(model, config)
+
+
+def _changed_relpaths(root: Path, ref: str) -> Optional[Set[str]]:
+    """Files that differ from *ref*, as relpaths within the scan root
+    (``None`` when git is unavailable — fail open to a full report)."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    root_resolved = root.resolve()
+    out: Set[str] = set()
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        path = (Path(top) / line.strip()).resolve()
+        try:
+            out.add(path.relative_to(root_resolved).as_posix())
+        except ValueError:
+            continue  # outside the scan root
+    return out
 
 
 def _classify(
@@ -116,7 +155,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro lint",
         description=(
             "Protocol-aware static analysis: determinism, dispatch "
-            "completeness, flow conformance, sim-safety, packet hygiene."
+            "completeness, flow conformance, sim-safety, packet "
+            "hygiene, and call-graph-powered concurrency rules "
+            "(thread-boundary, signal-handler, shard safety)."
         ),
     )
     parser.add_argument(
@@ -157,6 +198,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="accept all current violations into the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "remove baseline entries that match no current violation "
+            "and rewrite the file (always runs every rule)"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        metavar="REF",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        help=(
+            "report only violations in files that differ from REF "
+            "(default HEAD); the call graph still covers the whole tree"
+        ),
+    )
     args = parser.parse_args(argv)
 
     root = Path(args.path) if args.path else default_scan_root()
@@ -171,6 +231,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = [r for r in rules if r not in RULES]
         if unknown:
             parser.error(f"unknown rule(s) {unknown}; have {sorted(RULES)}")
+        if args.prune_baseline:
+            # A subset run would make every other rule's baseline
+            # entries look stale and prune live suppressions.
+            parser.error("--prune-baseline requires a full-rule run "
+                         "(drop --rules)")
 
     model, violations = lint_paths(root, rules=rules)
 
@@ -191,10 +256,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {len(keep)} suppression(s) to {target}")
         return 0
 
+    if args.prune_baseline:
+        if baseline_path is None:
+            print("no baseline file found; nothing to prune")
+            return 0
+        stale = baseline.stale_entries(violations)
+        if not stale:
+            print(f"{baseline_path}: no stale entries")
+            return 0
+        baseline.pruned(violations).dump(baseline_path)
+        for entry in stale:
+            print(
+                f"pruned {entry.get('fingerprint')} "
+                f"({entry.get('rule')} {entry.get('file')})"
+            )
+        print(f"removed {len(stale)} stale entr"
+              f"{'y' if len(stale) == 1 else 'ies'} from {baseline_path}")
+        return 0
+
     rows = _classify(model, violations, baseline)
+    if args.changed is not None:
+        changed = _changed_relpaths(root, args.changed)
+        if changed is not None:
+            rows = [r for r in rows if r["file"] in changed]
     exit_code = _exit_code(rows)
     if model.parse_errors:
         exit_code |= 32  # unparseable files are never a clean run
+
+    # Stale suppressions warn but never fail: the entry does no harm
+    # yet, and a warn-only signal keeps `--prune-baseline` a deliberate
+    # act.  Subset and diff-scoped runs skip the check — fewer rules or
+    # files would make live entries look stale.
+    if rules is None and args.changed is None:
+        for entry in baseline.stale_entries(violations):
+            print(
+                f"repro.lint: warning: stale baseline entry "
+                f"{entry.get('fingerprint')} ({entry.get('rule')} "
+                f"{entry.get('file')}) matches no current violation; "
+                "run --prune-baseline",
+                file=sys.stderr,
+            )
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:

@@ -15,6 +15,26 @@ One parse pass over every ``*.py`` file under the scan root builds:
 * every packet construction site in the tree (for dispatch-completeness
   and field-hygiene checks).
 
+On top of that sits the **interprocedural layer** (built lazily, only
+when a rule asks for it):
+
+* :class:`CallGraph` — every function and method in the tree, with
+  name-resolved call edges.  Receivers are typed through a lightweight
+  inference pass (``self``, annotated parameters, ``x = Cls(...)``
+  locals, class-body ``attr: Cls`` declarations and ``self.attr = ...``
+  stores, return annotations), falling back to project-wide unique
+  names.  Unresolvable calls simply produce no edge — the graph is
+  deliberately under-approximate, never guessed.
+* :class:`ThreadDomains` — which *thread domain* can execute each
+  function: the simulation thread (handlers, process bodies, scheduled
+  callbacks), the scrape thread (request-handler methods of
+  ``BaseHTTPRequestHandler`` subclasses and everything they reach), a
+  signal-handler context (functions registered via ``signal.signal``),
+  or a sweep/shard worker process (functions submitted to ``run_sweep``
+  or an executor).  Reachability is transitive over the call graph with
+  a bounded depth, and every classified function carries a call-chain
+  witness back to its domain root for the rules' violation messages.
+
 Resolution is by *name*: the project keeps class names unique, and the
 rules only need referential integrity, not full type inference.  A name
 that cannot be resolved is reported by the rules rather than guessed at.
@@ -37,6 +57,10 @@ class ModuleInfo:
     tree: ast.Module
     source: str
     lines: List[str] = field(default_factory=list)
+    #: alias -> dotted origin for the module's imports, filled lazily by
+    #: :func:`_import_aliases_cached` (the call graph resolves through
+    #: it on every call site, so one pass per module matters).
+    aliases_cache: Optional[Dict[str, str]] = field(default=None, repr=False)
 
     def line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -115,6 +139,32 @@ class ProjectModel:
         self.call_sites: List[CallSite] = self._collect_call_sites()
         self._field_cache: Dict[str, Optional[Set[str]]] = {}
         self._name_cache: Dict[str, Optional[str]] = {}
+        self._call_graph: Optional["CallGraph"] = None
+        self._domains_cache: Dict[Tuple[Tuple[str, ...], int], "ThreadDomains"] = {}
+
+    def call_graph(self) -> "CallGraph":
+        """The interprocedural call graph, built once on first use."""
+        if self._call_graph is None:
+            self._call_graph = CallGraph(self)
+        return self._call_graph
+
+    def thread_domains(
+        self,
+        scrape_handler_bases: Tuple[str, ...] = ("BaseHTTPRequestHandler",),
+        max_depth: int = 25,
+    ) -> "ThreadDomains":
+        """The thread-domain classification, cached per parameter set."""
+        key = (tuple(scrape_handler_bases), max_depth)
+        domains = self._domains_cache.get(key)
+        if domains is None:
+            domains = ThreadDomains(
+                self,
+                self.call_graph(),
+                scrape_handler_bases=scrape_handler_bases,
+                max_depth=max_depth,
+            )
+            self._domains_cache[key] = domains
+        return domains
 
     # ------------------------------------------------------------------
     # Loading
@@ -407,6 +457,772 @@ class ProjectModel:
                 ):
                     referenced.add(node.id)
         return referenced
+
+
+# ----------------------------------------------------------------------
+# Interprocedural layer: functions, call edges, thread domains
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionInfo:
+    """One function or method definition anywhere in the tree."""
+
+    qname: str                  # "relpath::Class.method" / "relpath::fn"
+    name: str                   # bare function name
+    module: ModuleInfo
+    node: ast.AST               # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str]   # enclosing class, None for module level
+    nested_in: Optional[str]    # qname of the enclosing function, if any
+    lineno: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable name for call-chain witnesses."""
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+    @property
+    def is_generator(self) -> bool:
+        return any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in function_body_walk(self.node)
+        )
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A resolved call from one project function to another."""
+
+    caller: str                 # qname
+    callee: str                 # qname
+    lineno: int
+
+
+@dataclass
+class RegistrationSite:
+    """A call that hands a function to another execution context.
+
+    ``kind`` is one of:
+
+    * ``"signal"``   — ``signal.signal(SIG, fn)``;
+    * ``"schedule"`` — ``sim.schedule(delay, fn, ...)`` /
+      ``schedule_at(t, fn, ...)`` (the callback runs on the sim thread);
+    * ``"submit"``   — ``executor.submit(fn, ...)``;
+    * ``"sweep"``    — ``run_sweep(fn, points, ...)``.
+    """
+
+    kind: str
+    module: ModuleInfo
+    call: ast.Call
+    owner: Optional[str]        # qname of the enclosing function
+    lineno: int
+
+    @property
+    def callable_arg(self) -> Optional[ast.expr]:
+        index = 1 if self.kind in ("signal", "schedule") else 0
+        if len(self.call.args) > index:
+            return self.call.args[index]
+        return None
+
+
+def function_body_walk(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body *without* descending into nested ``def``s —
+    nested functions are separate :class:`FunctionInfo` entries and must
+    not have their statements attributed to the encloser."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_SCHEDULE_ATTRS = ("schedule", "schedule_at")
+_SUBMIT_ATTRS = ("submit",)
+_SWEEP_NAMES = ("run_sweep",)
+
+
+class CallGraph:
+    """Name-resolved project call graph with light type inference.
+
+    Construction is one pass over every function body.  Resolution is
+    *under-approximate*: an edge exists only when the target can be
+    pinned to exactly one project function — via local scoping, import
+    aliases, inferred receiver types walked through the class MRO, or
+    (last resort) a project-wide unique name.  Everything else produces
+    no edge, so reachability answers are "provably reachable", never
+    "maybe".
+    """
+
+    def __init__(self, model: "ProjectModel") -> None:
+        self.model = model
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.edges: Dict[str, List[CallEdge]] = {}
+        self.registrations: List[RegistrationSite] = []
+        self._by_simple_name: Dict[str, List[str]] = {}
+        self._methods: Dict[Tuple[str, str], str] = {}   # (cls, name) -> qname
+        self._module_level: Dict[str, Dict[str, str]] = {}  # relpath -> name -> qname
+        self._by_node: Dict[int, str] = {}               # id(ast fn) -> qname
+        self._module_by_dotted: Dict[str, ModuleInfo] = {}
+        self._attr_types: Dict[str, Dict[str, str]] = {}
+        self._envs: Dict[str, Dict[str, str]] = {}
+        self._collect_functions()
+        self._index_modules()
+        self._infer_attr_types()
+        self._build_edges()
+
+    # -- collection ----------------------------------------------------
+    def _collect_functions(self) -> None:
+        for module in self.model.modules:
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(module, stmt, None, None)
+                elif isinstance(stmt, ast.ClassDef):
+                    for sub in stmt.body:
+                        if isinstance(
+                            sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            self._add_function(module, sub, stmt.name, None)
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        class_name: Optional[str],
+        nested_in: Optional[str],
+    ) -> str:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if nested_in is not None:
+            qname = f"{nested_in}.<locals>.{node.name}"
+        elif class_name is not None:
+            qname = f"{module.relpath}::{class_name}.{node.name}"
+        else:
+            qname = f"{module.relpath}::{node.name}"
+        info = FunctionInfo(
+            qname=qname,
+            name=node.name,
+            module=module,
+            node=node,
+            class_name=class_name,
+            nested_in=nested_in,
+            lineno=node.lineno,
+        )
+        self.functions[qname] = info
+        self._by_node[id(node)] = qname
+        self._by_simple_name.setdefault(node.name, []).append(qname)
+        if class_name is not None and nested_in is None:
+            self._methods.setdefault((class_name, node.name), qname)
+        elif nested_in is None:
+            self._module_level.setdefault(module.relpath, {})[node.name] = qname
+        # Nested defs become their own functions, rooted at the parent.
+        for sub in function_body_walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, sub, class_name, qname)
+        return qname
+
+    def _index_modules(self) -> None:
+        for module in self.model.modules:
+            dotted = module.relpath[:-3].replace("/", ".")
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            self._module_by_dotted[dotted] = module
+
+    def info_for_node(self, node: ast.AST) -> Optional[FunctionInfo]:
+        qname = self._by_node.get(id(node))
+        return self.functions.get(qname) if qname is not None else None
+
+    # -- type inference ------------------------------------------------
+    def _annotation_class(self, ann: Optional[ast.expr]) -> Optional[str]:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            name: Optional[str] = ann.value.strip().strip('"').strip("'")
+        else:
+            name = base_name(ann)
+        if name is not None and name in self.model.classes:
+            return name
+        return None
+
+    def _param_types(self, fn: ast.AST) -> Dict[str, str]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        env: Dict[str, str] = {}
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            cls = self._annotation_class(arg.annotation)
+            if cls is not None:
+                env[arg.arg] = cls
+        return env
+
+    def _infer_attr_types(self) -> None:
+        """``class -> {attr -> class}`` from class-body annotations and
+        ``self.attr = ...`` stores in any method."""
+        for cname, cinfo in self.model.classes.items():
+            attrs: Dict[str, str] = {}
+            for stmt in cinfo.node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    cls = self._annotation_class(stmt.annotation)
+                    if cls is not None:
+                        attrs[stmt.target.id] = cls
+            self._attr_types[cname] = attrs
+        # self.attr = <expr> needs the method's parameter env, so it
+        # happens in a second pass once every class has its dict.
+        for cname, cinfo in self.model.classes.items():
+            attrs = self._attr_types[cname]
+            for stmt in cinfo.node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                env = dict(self._param_types(stmt))
+                env["self"] = cname
+                for node in function_body_walk(stmt):
+                    target: Optional[ast.expr] = None
+                    value: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target = node.target
+                        cls = self._annotation_class(node.annotation)
+                        if (
+                            cls is not None
+                            and isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attrs.setdefault(target.attr, cls)
+                        continue
+                    if (
+                        target is not None
+                        and value is not None
+                        and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        cls = self._infer_type(value, env)
+                        if cls is not None:
+                            attrs.setdefault(target.attr, cls)
+
+    def attr_type(self, class_name: str, attr: str) -> Optional[str]:
+        """The inferred class of ``<class_name> instance>.<attr>``,
+        walking the MRO."""
+        for ancestor in self.model.mro_names(class_name):
+            attrs = self._attr_types.get(ancestor)
+            if attrs and attr in attrs:
+                return attrs[attr]
+        return None
+
+    def _infer_type(
+        self, expr: ast.expr, env: Dict[str, str]
+    ) -> Optional[str]:
+        """The project class an expression evaluates to, if provable."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            owner = self._infer_type(expr.value, env)
+            if owner is not None:
+                return self.attr_type(owner, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            cname = base_name(func)
+            if (
+                isinstance(func, ast.Name)
+                and cname is not None
+                and cname in self.model.classes
+            ):
+                return cname
+            target = self._resolve_call_target(expr, env, None)
+            if target is not None:
+                info = self.functions[target]
+                node = info.node
+                assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                return self._annotation_class(node.returns)
+        return None
+
+    def _function_env(self, info: FunctionInfo) -> Dict[str, str]:
+        env = self._envs.get(info.qname)
+        if env is not None:
+            return env
+        env = dict(self._param_types(info.node))
+        if info.class_name is not None:
+            env.setdefault("self", info.class_name)
+        # Locals assigned from constructors / annotated assignments.
+        for node in function_body_walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id not in env:
+                    cls = self._infer_type(node.value, env)
+                    if cls is not None:
+                        env[target.id] = cls
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                cls = self._annotation_class(node.annotation)
+                if cls is not None:
+                    env.setdefault(node.target.id, cls)
+        self._envs[info.qname] = env
+        return env
+
+    # -- call resolution -----------------------------------------------
+    def _resolve_dotted(self, dotted: str) -> Optional[str]:
+        """``repro.core.sweeps.fn`` -> the qname of ``fn`` in the module
+        whose relpath-derived dotted name suffixes the import path."""
+        if "." not in dotted:
+            return None
+        mod_path, fn_name = dotted.rsplit(".", 1)
+        probe = mod_path
+        while probe:
+            module = self._module_by_dotted.get(probe)
+            if module is not None:
+                return self._module_level.get(module.relpath, {}).get(fn_name)
+            probe = probe.split(".", 1)[1] if "." in probe else ""
+        return None
+
+    def resolve_method(
+        self, class_name: str, method: str
+    ) -> Optional[str]:
+        """The defining qname of ``class_name().method`` via the MRO."""
+        for ancestor in self.model.mro_names(class_name):
+            qname = self._methods.get((ancestor, method))
+            if qname is not None:
+                return qname
+        return None
+
+    def _unique_by_name(self, name: str) -> Optional[str]:
+        candidates = self._by_simple_name.get(name, ())
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _resolve_call_target(
+        self,
+        call: ast.Call,
+        env: Dict[str, str],
+        caller: Optional[FunctionInfo],
+    ) -> Optional[str]:
+        func = call.func
+        aliases = _MODULE_ALIASES(self, caller)
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Nested defs of the caller (and its enclosers) shadow all.
+            if caller is not None:
+                scope: Optional[FunctionInfo] = caller
+                while scope is not None:
+                    nested = self.functions.get(
+                        f"{scope.qname}.<locals>.{name}"
+                    )
+                    if nested is not None:
+                        return nested.qname
+                    scope = (
+                        self.functions.get(scope.nested_in)
+                        if scope.nested_in
+                        else None
+                    )
+            if name in self.model.classes:
+                return self.resolve_method(name, "__init__")
+            if caller is not None:
+                local = self._module_level.get(caller.module.relpath, {})
+                if name in local:
+                    return local[name]
+            origin = aliases.get(name)
+            if origin is not None:
+                resolved = self._resolve_dotted(origin)
+                if resolved is not None:
+                    return resolved
+            return self._unique_by_name(name)
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted_chain(func, aliases)
+            if dotted is not None:
+                resolved = self._resolve_dotted(dotted)
+                if resolved is not None:
+                    return resolved
+            owner = self._infer_type(func.value, env)
+            if owner is not None:
+                return self.resolve_method(owner, func.attr)
+            # Last resort: a method name unique across the whole tree.
+            return self._unique_by_name(func.attr)
+        return None
+
+    def resolve_callable_ref(
+        self,
+        expr: ast.expr,
+        module: ModuleInfo,
+        owner: Optional[str],
+    ) -> Tuple[str, Optional[FunctionInfo]]:
+        """Classify a *callable-valued expression* (a function handed to
+        ``signal.signal`` / ``schedule`` / ``submit`` / ``run_sweep``).
+
+        Returns ``(kind, target)`` with kind one of ``"function"``
+        (resolved, target set), ``"lambda"``, ``"nested"`` (a function
+        defined inside another function), ``"bound_method"`` (an
+        attribute of an instance), or ``"unknown"``.  ``functools.partial``
+        and one level of local-variable aliasing are unwrapped.
+        """
+        info = self.functions.get(owner) if owner else None
+        env = self._function_env(info) if info is not None else {}
+        seen: Set[int] = set()
+        while True:
+            if id(expr) in seen:
+                return "unknown", None
+            seen.add(id(expr))
+            if isinstance(expr, ast.Lambda):
+                return "lambda", None
+            if isinstance(expr, ast.Call):
+                # functools.partial(fn, ...) keeps fn's picklability.
+                fname = base_name(expr.func)
+                if fname == "partial" and expr.args:
+                    expr = expr.args[0]
+                    continue
+                return "unknown", None
+            if isinstance(expr, ast.Name):
+                if info is not None:
+                    nested = self.functions.get(
+                        f"{info.qname}.<locals>.{expr.id}"
+                    )
+                    if nested is not None:
+                        return "nested", nested
+                    assigned = self._local_assignment(info, expr.id)
+                    if assigned is not None:
+                        expr = assigned
+                        continue
+                    local = self._module_level.get(info.module.relpath, {})
+                    if expr.id in local:
+                        return "function", self.functions[local[expr.id]]
+                else:
+                    local = self._module_level.get(module.relpath, {})
+                    if expr.id in local:
+                        return "function", self.functions[local[expr.id]]
+                aliases = _import_aliases_cached(module)
+                origin = aliases.get(expr.id)
+                if origin is not None:
+                    resolved = self._resolve_dotted(origin)
+                    if resolved is not None:
+                        return "function", self.functions[resolved]
+                unique = self._unique_by_name(expr.id)
+                if unique is not None:
+                    target = self.functions[unique]
+                    if target.nested_in is not None:
+                        return "nested", target
+                    return "function", target
+                return "unknown", None
+            if isinstance(expr, ast.Attribute):
+                aliases = _import_aliases_cached(module)
+                dotted = _dotted_chain(expr, aliases)
+                if dotted is not None:
+                    resolved = self._resolve_dotted(dotted)
+                    if resolved is not None:
+                        return "function", self.functions[resolved]
+                    # A dotted chain rooted at an import that is not a
+                    # project function (stdlib, signal.SIG_DFL...).
+                    return "unknown", None
+                owner_cls = self._infer_type(expr.value, env)
+                if owner_cls is not None:
+                    resolved = self.resolve_method(owner_cls, expr.attr)
+                    if resolved is not None:
+                        return "bound_method", self.functions[resolved]
+                unique = self._unique_by_name(expr.attr)
+                if unique is not None:
+                    target = self.functions[unique]
+                    if target.class_name is not None:
+                        return "bound_method", target
+                    return "function", target
+                return "unknown", None
+            return "unknown", None
+
+    def _local_assignment(
+        self, info: FunctionInfo, name: str
+    ) -> Optional[ast.expr]:
+        for node in function_body_walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        return None
+
+    # -- edges ---------------------------------------------------------
+    def _build_edges(self) -> None:
+        for qname in self.functions:
+            self.edges[qname] = []
+        for qname in sorted(self.functions):
+            info = self.functions[qname]
+            env = self._function_env(info)
+            for node in function_body_walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                self._record_registration(info, node)
+                target = self._resolve_call_target(node, env, info)
+                if target is not None and target != qname:
+                    self.edges[qname].append(
+                        CallEdge(qname, target, node.lineno)
+                    )
+        # Registrations at module scope (outside any function).
+        for module in self.model.modules:
+            self._record_module_registrations(module)
+
+    def _record_registration(
+        self, owner: FunctionInfo, call: ast.Call
+    ) -> None:
+        kind = self._registration_kind(call, owner.module)
+        if kind is not None:
+            self.registrations.append(
+                RegistrationSite(
+                    kind=kind,
+                    module=owner.module,
+                    call=call,
+                    owner=owner.qname,
+                    lineno=call.lineno,
+                )
+            )
+
+    def _record_module_registrations(self, module: ModuleInfo) -> None:
+        in_function: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(node):
+                    in_function.add(id(sub))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and id(node) not in in_function:
+                kind = self._registration_kind(node, module)
+                if kind is not None:
+                    self.registrations.append(
+                        RegistrationSite(
+                            kind=kind,
+                            module=module,
+                            call=node,
+                            owner=None,
+                            lineno=node.lineno,
+                        )
+                    )
+
+    def _registration_kind(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> Optional[str]:
+        func = call.func
+        name = base_name(func)
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted_chain(func, _import_aliases_cached(module))
+            if dotted == "signal.signal":
+                return "signal"
+            if func.attr in _SCHEDULE_ATTRS:
+                return "schedule"
+            if func.attr in _SUBMIT_ATTRS:
+                return "submit"
+        if name in _SWEEP_NAMES:
+            return "sweep"
+        return None
+
+    # -- reachability ---------------------------------------------------
+    def reachable(
+        self,
+        roots: Sequence[Tuple[str, str]],
+        max_depth: int = 25,
+    ) -> Dict[str, Tuple[str, ...]]:
+        """BFS over call edges from ``(qname, root-label)`` pairs.
+
+        Returns ``{qname: witness}`` for every function within
+        *max_depth* calls of a root, where the witness is the label
+        chain ``(root-label, fn, fn, ...)`` ending at the function
+        itself.  Roots appear with their own one-element chain.
+        Deterministic: roots and edges are visited in sorted order.
+        """
+        out: Dict[str, Tuple[str, ...]] = {}
+        frontier: List[Tuple[str, Tuple[str, ...]]] = []
+        for qname, label in sorted(roots):
+            if qname in self.functions and qname not in out:
+                chain = (label,)
+                out[qname] = chain
+                frontier.append((qname, chain))
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: List[Tuple[str, Tuple[str, ...]]] = []
+            for qname, chain in frontier:
+                for edge in self.edges.get(qname, ()):
+                    if edge.callee in out:
+                        continue
+                    callee = self.functions[edge.callee]
+                    new_chain = chain + (callee.label,)
+                    out[edge.callee] = new_chain
+                    next_frontier.append((edge.callee, new_chain))
+            frontier = next_frontier
+        return out
+
+
+def _import_aliases_cached(module: ModuleInfo) -> Dict[str, str]:
+    """alias -> dotted origin for every import in *module* (cached)."""
+    if module.aliases_cache is not None:
+        return module.aliases_cache
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    module.aliases_cache = aliases
+    return aliases
+
+
+def _MODULE_ALIASES(
+    graph: CallGraph, caller: Optional[FunctionInfo]
+) -> Dict[str, str]:
+    if caller is None:
+        return {}
+    return _import_aliases_cached(caller.module)
+
+
+def _dotted_chain(
+    node: ast.expr, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Resolve an attribute chain through import aliases to its dotted
+    origin (``_sig.signal`` -> ``signal.signal``)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    origin = aliases.get(current.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+class ThreadDomains:
+    """Which thread domain(s) can execute each function.
+
+    Domains (a function may belong to several):
+
+    * ``sim``    — packet handlers, ``on_*`` methods of Node subclasses,
+      generator process bodies, and callbacks handed to
+      ``schedule``/``schedule_at``, plus everything they reach;
+    * ``scrape`` — request-handler methods of classes deriving from a
+      scrape base (``BaseHTTPRequestHandler``) and everything they
+      reach;
+    * ``signal`` — functions registered via ``signal.signal`` and
+      everything they reach;
+    * ``worker`` — functions submitted to ``run_sweep`` or an executor
+      ``submit``, and everything they reach (they execute in sweep /
+      shard worker processes).
+
+    Every member carries a call-chain witness back to its domain root.
+    """
+
+    SIM = "sim"
+    SCRAPE = "scrape"
+    SIGNAL = "signal"
+    WORKER = "worker"
+
+    def __init__(
+        self,
+        model: "ProjectModel",
+        graph: CallGraph,
+        scrape_handler_bases: Tuple[str, ...] = ("BaseHTTPRequestHandler",),
+        max_depth: int = 25,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.max_depth = max_depth
+        self.roots: Dict[str, List[Tuple[str, str]]] = {
+            self.SIM: [],
+            self.SCRAPE: [],
+            self.SIGNAL: [],
+            self.WORKER: [],
+        }
+        self._collect_sim_roots()
+        self._collect_scrape_roots(scrape_handler_bases)
+        self._collect_registration_roots()
+        self.reach: Dict[str, Dict[str, Tuple[str, ...]]] = {
+            domain: graph.reachable(roots, max_depth=max_depth)
+            for domain, roots in self.roots.items()
+        }
+
+    def members(self, domain: str) -> Dict[str, Tuple[str, ...]]:
+        return self.reach[domain]
+
+    def chain(self, domain: str, qname: str) -> Tuple[str, ...]:
+        return self.reach[domain].get(qname, ())
+
+    # -- root discovery -------------------------------------------------
+    def _collect_sim_roots(self) -> None:
+        sim = self.roots[self.SIM]
+        seen: Set[str] = set()
+        for handler in self.model.handlers:
+            info = self.graph.info_for_node(handler.method)
+            if info is not None and info.qname not in seen:
+                seen.add(info.qname)
+                sim.append((info.qname, f"handler {info.label}"))
+        for cinfo in self.model.node_classes.values():
+            for stmt in cinfo.node.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name.startswith("on_")
+                ):
+                    info = self.graph.info_for_node(stmt)
+                    if info is not None and info.qname not in seen:
+                        seen.add(info.qname)
+                        sim.append((info.qname, f"handler {info.label}"))
+        for qname in sorted(self.graph.functions):
+            info = self.graph.functions[qname]
+            if qname not in seen and info.is_generator:
+                seen.add(qname)
+                sim.append((qname, f"process body {info.label}"))
+        for site in self.graph.registrations:
+            if site.kind != "schedule":
+                continue
+            arg = site.callable_arg
+            if arg is None:
+                continue
+            kind, target = self.graph.resolve_callable_ref(
+                arg, site.module, site.owner
+            )
+            if target is not None and target.qname not in seen:
+                seen.add(target.qname)
+                sim.append(
+                    (target.qname, f"scheduled callback {target.label}")
+                )
+
+    def _collect_scrape_roots(self, bases: Tuple[str, ...]) -> None:
+        scrape = self.roots[self.SCRAPE]
+        for cname in sorted(self.model.classes):
+            if cname in bases:
+                continue
+            if not any(self.model.derives_from(cname, b) for b in bases):
+                continue
+            cinfo = self.model.classes[cname]
+            for stmt in cinfo.node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = self.graph.info_for_node(stmt)
+                    if info is not None:
+                        scrape.append(
+                            (info.qname, f"request handler {info.label}")
+                        )
+
+    def _collect_registration_roots(self) -> None:
+        for site in self.graph.registrations:
+            if site.kind == "signal":
+                domain, prefix = self.SIGNAL, "signal handler"
+            elif site.kind in ("submit", "sweep"):
+                domain, prefix = self.WORKER, "worker entry"
+            else:
+                continue
+            arg = site.callable_arg
+            if arg is None:
+                continue
+            kind, target = self.graph.resolve_callable_ref(
+                arg, site.module, site.owner
+            )
+            if target is None:
+                continue
+            entry = (target.qname, f"{prefix} {target.label}")
+            if entry not in self.roots[domain]:
+                self.roots[domain].append(entry)
 
 
 def _is_inner_layer(

@@ -1,52 +1,85 @@
-"""The five protocol-aware lint rules.
+"""The protocol-aware lint rules.
 
 Each rule is a function ``(model, config) -> [Violation]``.  Messages
 deliberately avoid line numbers so a violation's fingerprint — which the
 baseline file stores — survives unrelated edits to the same file.
 
+R1 and R4 run in two passes: the syntactic pass over every module, and
+an interprocedural pass over the call graph, so a clock read or a
+blocking call buried two helpers deep under a handler is flagged with a
+call-chain witness.  R6–R8 are purely interprocedural: they reason
+about which *thread domain* (sim, scrape, signal, worker — see
+:class:`repro.lint.model.ThreadDomains`) can execute each function.
+
 =====  ===================  ==============================================
 Rule   Code                 Proves
 =====  ===================  ==============================================
-R1     determinism          no wall-clock / entropy / env reads; no
-                            unordered-set iteration feeding the scheduler
-                            or the trace
+R1     determinism          no wall-clock / entropy / env reads — even
+                            transitively under a handler or inside the
+                            strict-clock zone's reach; no unordered-set
+                            iteration feeding the scheduler or the trace
 R2     dispatch             every ``@handles`` target exists and is a
                             Packet; every constructed signalling packet
                             has a handler; no dead handlers
 R3     flow-conformance     every golden-flow message name resolves in
                             the packet registry
-R4     sim-safety           no blocking calls in handlers/process bodies;
-                            every opened span is bound and closed
+R4     sim-safety           no blocking calls anywhere the simulation
+                            thread can reach; every opened span is bound
+                            and closed
 R5     packet-hygiene       constructor keywords match declared fields
+R6     thread-boundary      scrape-thread code only reads immutable
+                            snapshots / ``peek_*`` APIs; no writes to
+                            shared objects, no mutating metric reads, no
+                            locks shared with the sim side
+R7     signal-safety        signal handlers only set flags / enqueue —
+                            no locks, no allocation-heavy calls, no I/O
+                            beyond ``os.write``
+R8     shard-safety         no module-global mutation in worker-process
+                            code, no unordered iteration in cross-process
+                            merges, no unpicklables submitted to pools
 =====  ===================  ==============================================
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.lint.model import ModuleInfo, ProjectModel, base_name
+from repro.lint.model import (
+    ModuleInfo,
+    ProjectModel,
+    ThreadDomains,
+    base_name,
+    function_body_walk,
+)
 
 
 @dataclass(frozen=True)
 class Violation:
     """One rule violation at a source location."""
 
-    rule: str          # "R1".."R5"
+    rule: str          # "R1".."R8"
     code: str          # human-readable rule slug
     file: str          # relpath within the scan root
     line: int
     message: str
+    #: Disambiguates repeats of the same (rule, file, message) triple —
+    #: two identical ``time.time()`` reads in one file used to collide
+    #: on one fingerprint, so baselining the first silently suppressed
+    #: the second.  Assigned in line order by :func:`run_rules`.
+    occurrence: int = 0
 
     @property
     def fingerprint(self) -> str:
-        digest = hashlib.sha1(
-            f"{self.rule}|{self.file}|{self.message}".encode("utf-8")
-        ).hexdigest()
-        return digest[:12]
+        # Occurrence 0 keeps the historical input so fingerprints in
+        # existing baseline files stay valid.
+        base = f"{self.rule}|{self.file}|{self.message}"
+        if self.occurrence:
+            base = f"{base}|{self.occurrence}"
+        return hashlib.sha1(base.encode("utf-8")).hexdigest()[:12]
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -55,6 +88,7 @@ class Violation:
             "file": self.file,
             "line": self.line,
             "message": self.message,
+            "occurrence": self.occurrence,
             "fingerprint": self.fingerprint,
         }
 
@@ -80,6 +114,14 @@ class LintConfig:
     #: wall time enters serve mode (it sleeps between kernel slices and
     #: never feeds the schedule).  Ordinary R1 still applies here.
     clock_allowed_paths: Tuple[str, ...] = ("serve/pacer.py",)
+    #: Exact relpaths the interprocedural R4 pass skips: the pacer's
+    #: whole job is to sleep between kernel slices, and it is reachable
+    #: from the serve loop's sim-thread hooks by design.
+    blocking_allowed_paths: Tuple[str, ...] = ("serve/pacer.py",)
+    #: Base classes whose subclasses' methods run on the scrape thread.
+    scrape_handler_bases: Tuple[str, ...] = ("BaseHTTPRequestHandler",)
+    #: Call-graph reachability bound for the interprocedural rules.
+    max_call_depth: int = 25
     #: Rules to run; ``None`` means all.
     rules: Optional[Tuple[str, ...]] = None
 
@@ -181,6 +223,24 @@ def _functions(tree: ast.Module) -> Iterable[ast.FunctionDef]:
             yield node
 
 
+def _domains(model: ProjectModel, config: LintConfig) -> ThreadDomains:
+    return model.thread_domains(
+        scrape_handler_bases=config.scrape_handler_bases,
+        max_depth=config.max_call_depth,
+    )
+
+
+def _via(chain: Tuple[str, ...]) -> str:
+    """Render a call-chain witness for a violation message."""
+    return " -> ".join(chain)
+
+
+def _in_strict_zone(relpath: str, config: LintConfig) -> bool:
+    return relpath.startswith(
+        tuple(config.strict_clock_paths)
+    ) and relpath not in config.clock_allowed_paths
+
+
 # ----------------------------------------------------------------------
 # R1 — determinism
 # ----------------------------------------------------------------------
@@ -255,6 +315,65 @@ def check_determinism(model: ProjectModel, config: LintConfig) -> List[Violation
                         f"iteration over {label} feeds the scheduler or "
                         "trace; iterate a sorted() or list-ordered view",
                     )
+    out.extend(_check_interprocedural_clocks(model, config))
+    return out
+
+
+def _check_interprocedural_clocks(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    """Host-clock reads *reachable* from the simulation thread or from
+    the strict-clock zone, in modules the syntactic strict pass does not
+    cover.  ``time.perf_counter()`` in a helper two calls below a
+    handler used to escape R1 entirely; now it is flagged with the call
+    chain that reaches it."""
+    out: List[Violation] = []
+    graph = model.call_graph()
+    domains = _domains(model, config)
+
+    strict_roots: List[Tuple[str, str]] = []
+    for qname, info in graph.functions.items():
+        if _in_strict_zone(info.module.relpath, config):
+            strict_roots.append(
+                (qname, f"strict-clock zone {info.module.relpath}:{info.label}")
+            )
+    reaches = (
+        domains.members(ThreadDomains.SIM),
+        graph.reachable(strict_roots, max_depth=config.max_call_depth),
+    )
+
+    seen_sites: Set[Tuple[str, int, str]] = set()
+    for reach in reaches:
+        for qname in sorted(reach):
+            info = graph.functions[qname]
+            rel = info.module.relpath
+            if rel in config.determinism_exempt:
+                continue
+            if rel in config.clock_allowed_paths or _in_strict_zone(rel, config):
+                continue  # blessed, or already covered syntactically
+            aliases = _import_aliases(info.module.tree)
+            for node in function_body_walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func, aliases)
+                reason = _R1_STRICT_CLOCK_CALLS.get(dotted or "")
+                if reason is None:
+                    continue
+                site = (rel, node.lineno, dotted or "")
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                out.append(
+                    Violation(
+                        "R1",
+                        "determinism",
+                        rel,
+                        node.lineno,
+                        f"{dotted}() is a {reason} reachable from "
+                        f"deterministic code (via {_via(reach[qname])}); "
+                        "simulations must draw time from Simulator.now",
+                    )
+                )
     return out
 
 
@@ -467,12 +586,16 @@ def _check_quiet_names(
 def check_sim_safety(model: ProjectModel, config: LintConfig) -> List[Violation]:
     out: List[Violation] = []
     out.extend(_check_blocking_calls(model))
+    out.extend(_check_interprocedural_blocking(model, config))
     out.extend(_check_span_pairing(model, config))
     return out
 
 
-def _check_blocking_calls(model: ProjectModel) -> List[Violation]:
-    out: List[Violation] = []
+def _restricted_contexts(
+    model: ProjectModel,
+) -> List[Tuple[ModuleInfo, ast.AST, str]]:
+    """The functions the syntactic R4 pass scans directly: handlers
+    (decorated or ``on_*`` convention) and generator process bodies."""
     restricted: List[Tuple[ModuleInfo, ast.AST, str]] = []
     # Handlers (decorated or on_* convention) on Node subclasses...
     for handler in model.handlers:
@@ -507,8 +630,12 @@ def _check_blocking_calls(model: ProjectModel) -> List[Violation]:
                     (module, fn, f"process body {fn.name}")
                 )
                 seen.add(id(fn))
+    return restricted
 
-    for module, fn, context in restricted:
+
+def _check_blocking_calls(model: ProjectModel) -> List[Violation]:
+    out: List[Violation] = []
+    for module, fn, context in _restricted_contexts(model):
         aliases = _import_aliases(module.tree)
         for node in ast.walk(fn):
             if not isinstance(node, ast.Call):
@@ -522,6 +649,45 @@ def _check_blocking_calls(model: ProjectModel) -> List[Violation]:
                         module.relpath,
                         node.lineno,
                         f"{message} inside {context}; simulation callbacks "
+                        "must not block — schedule() a delay or move I/O "
+                        "out of the event loop",
+                    )
+                )
+    return out
+
+
+def _check_interprocedural_blocking(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    """Blocking calls in helpers the simulation thread reaches
+    *transitively* — including scheduled callbacks, which the syntactic
+    pass never saw — with a call-chain witness."""
+    out: List[Violation] = []
+    graph = model.call_graph()
+    domains = _domains(model, config)
+    reach = domains.members(ThreadDomains.SIM)
+    direct = {id(fn) for _, fn, _ in _restricted_contexts(model)}
+    for qname in sorted(reach):
+        info = graph.functions[qname]
+        rel = info.module.relpath
+        if rel in config.blocking_allowed_paths:
+            continue
+        if id(info.node) in direct:
+            continue  # the syntactic pass already reported these bodies
+        aliases = _import_aliases(info.module.tree)
+        for node in function_body_walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _blocking_call_message(node, aliases)
+            if message is not None:
+                out.append(
+                    Violation(
+                        "R4",
+                        "sim-safety",
+                        rel,
+                        node.lineno,
+                        f"{message} on the simulation thread "
+                        f"(via {_via(reach[qname])}); simulation callbacks "
                         "must not block — schedule() a delay or move I/O "
                         "out of the event loop",
                     )
@@ -757,6 +923,457 @@ def check_packet_hygiene(
 
 
 # ----------------------------------------------------------------------
+# Shared lock-detection helper (R6, R7)
+# ----------------------------------------------------------------------
+def _last_name(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _lock_acquisitions(fn: ast.AST) -> List[Tuple[str, int]]:
+    """``(lock-name, line)`` for every lock acquisition in a function
+    body: ``with <...lock>`` blocks and explicit ``.acquire()`` calls."""
+    out: List[Tuple[str, int]] = []
+    for node in function_body_walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                name = _last_name(item.context_expr)
+                if name is not None and "lock" in name.lower():
+                    out.append((name, node.lineno))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+        ):
+            name = _last_name(node.func.value)
+            if name is not None:
+                out.append((name, node.lineno))
+    return out
+
+
+# ----------------------------------------------------------------------
+# R6 — thread-boundary safety (scrape thread)
+# ----------------------------------------------------------------------
+#: Metric reads that mutate internal state (sorted-cache fills,
+#: create-on-access) and are therefore unsafe from the scrape thread;
+#: each has a peek_* / snapshot-view counterpart that is safe.
+_R6_MUTATING_METRIC_READS = {
+    "integral": "peek_integral()",
+    "time_average": "peek_time_average()",
+    "quantile": "summary() on a copied snapshot",
+    "counter": "the published snapshot",
+    "gauge": "the published snapshot",
+    "histogram": "the published snapshot",
+}
+
+
+def check_thread_boundary(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    """Scrape-thread code reads published snapshots; it never writes
+    shared state, never takes mutating metric reads, and never shares a
+    lock with the simulation thread (the publish boundary is a single
+    GIL-atomic attribute swap — lock-free by design)."""
+    out: List[Violation] = []
+    graph = model.call_graph()
+    domains = _domains(model, config)
+    reach = domains.members(ThreadDomains.SCRAPE)
+    if not reach:
+        return out
+
+    sim_locks: Set[str] = set()
+    for qname in domains.members(ThreadDomains.SIM):
+        for name, _ in _lock_acquisitions(graph.functions[qname].node):
+            sim_locks.add(name)
+
+    for qname in sorted(reach):
+        info = graph.functions[qname]
+        rel = info.module.relpath
+        via = _via(reach[qname])
+        # The handler instance itself is per-request (one per
+        # connection), so its own attributes are private; anything else
+        # a scrape function can see is shared with the sim thread.
+        self_is_private = info.class_name is not None and any(
+            model.derives_from(info.class_name, b)
+            for b in config.scrape_handler_bases
+        )
+        for node in function_body_walk(info.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                root_is_self = (
+                    isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                )
+                if root_is_self and self_is_private:
+                    continue
+                owner = _last_name(target.value) or "<expr>"
+                out.append(
+                    Violation(
+                        "R6",
+                        "thread-boundary",
+                        rel,
+                        node.lineno,
+                        f"scrape-thread write to {owner}.{target.attr} "
+                        f"(via {via}); the scrape side must treat "
+                        "everything it can reach as an immutable snapshot",
+                    )
+                )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _R6_MUTATING_METRIC_READS
+            ):
+                safe = _R6_MUTATING_METRIC_READS[node.func.attr]
+                out.append(
+                    Violation(
+                        "R6",
+                        "thread-boundary",
+                        rel,
+                        node.lineno,
+                        f".{node.func.attr}() is a mutating metric read "
+                        f"on the scrape thread (via {via}); read "
+                        f"{safe} instead",
+                    )
+                )
+        for name, line in _lock_acquisitions(info.node):
+            if name in sim_locks:
+                out.append(
+                    Violation(
+                        "R6",
+                        "thread-boundary",
+                        rel,
+                        line,
+                        f"lock {name!r} is acquired on both sides of the "
+                        f"publish boundary (scrape side via {via}); the "
+                        "ServeState swap is lock-free by design — a "
+                        "shared lock lets a slow scrape stall the "
+                        "simulation thread",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R7 — signal-handler safety
+# ----------------------------------------------------------------------
+#: Builtins whose call allocates or walks arbitrary amounts of data; a
+#: signal handler interrupting the VM mid-allocation must not re-enter.
+_R7_ALLOC_BUILTINS = {
+    "sorted",
+    "list",
+    "dict",
+    "set",
+    "tuple",
+    "frozenset",
+    "repr",
+    "format",
+}
+_R7_IO_BUILTINS = {"print", "open", "input"}
+_R7_LOG_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "log",
+}
+
+
+def check_signal_safety(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    """Functions reachable from a ``signal.signal`` registration run at
+    arbitrary interpreter boundaries; they may only set flags or
+    enqueue.  Locks deadlock against the interrupted holder, allocation
+    re-enters the allocator, and the only safe I/O is ``os.write``."""
+    out: List[Violation] = []
+    graph = model.call_graph()
+    domains = _domains(model, config)
+    reach = domains.members(ThreadDomains.SIGNAL)
+
+    for qname in sorted(reach):
+        info = graph.functions[qname]
+        rel = info.module.relpath
+        via = _via(reach[qname])
+
+        def add(
+            line: int, what: str, why: str, rel: str = rel, via: str = via
+        ) -> None:
+            out.append(
+                Violation(
+                    "R7",
+                    "signal-safety",
+                    rel,
+                    line,
+                    f"{what} in a signal handler (via {via}); {why}",
+                )
+            )
+
+        for name, line in _lock_acquisitions(info.node):
+            add(
+                line,
+                f"lock {name!r} acquired",
+                "a handler interrupting the lock holder deadlocks — "
+                "set a flag instead",
+            )
+        aliases = _import_aliases(info.module.tree)
+        for node in function_body_walk(info.node):
+            if isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp)
+            ):
+                add(
+                    node.lineno,
+                    "comprehension",
+                    "handlers may only set flags or enqueue — "
+                    "allocation can run at any interpreter boundary",
+                )
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, aliases)
+            if dotted == "os.write":
+                continue  # the one async-signal-safe write
+            if isinstance(node.func, ast.Name):
+                fname = node.func.id
+                if fname in _R7_ALLOC_BUILTINS:
+                    add(
+                        node.lineno,
+                        f"{fname}() call",
+                        "handlers may only set flags or enqueue — "
+                        "allocation can run at any interpreter boundary",
+                    )
+                elif fname in _R7_IO_BUILTINS:
+                    add(
+                        node.lineno,
+                        f"{fname}() call",
+                        "the only safe I/O in a handler is os.write to "
+                        "a pre-opened fd",
+                    )
+            elif isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if dotted is not None and (
+                    dotted in _R4_BLOCKING_CALLS
+                    or dotted.split(".")[0] in _R4_BLOCKING_MODULES
+                ):
+                    add(
+                        node.lineno,
+                        f"{dotted}() call",
+                        "handlers must never block or touch the network",
+                    )
+                elif attr in _R7_LOG_METHODS or attr == "write":
+                    add(
+                        node.lineno,
+                        f".{attr}() call",
+                        "logging and buffered writes allocate and take "
+                        "locks; the only safe I/O is os.write",
+                    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R8 — shard / worker-process safety
+# ----------------------------------------------------------------------
+_R8_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+    "deque",
+}
+_R8_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "setdefault",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+
+def _is_mutable_literal(expr: ast.expr) -> bool:
+    if isinstance(
+        expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(expr, ast.Call):
+        name = base_name(expr.func)
+        return name in _R8_MUTABLE_FACTORIES
+    return False
+
+
+def check_shard_safety(
+    model: ProjectModel, config: LintConfig
+) -> List[Violation]:
+    """Sweep points (and future shard kernels) run in worker processes:
+    each worker gets its own copy of every module global, fork/spawn
+    pickles the submitted callable, and merge steps consume results
+    from many processes.  Three failure shapes, three checks."""
+    out: List[Violation] = []
+    graph = model.call_graph()
+    domains = _domains(model, config)
+    worker = domains.members(ThreadDomains.WORKER)
+
+    # (a) Module-level mutable globals mutated from worker-process code:
+    # the mutation lands in one worker's copy and silently diverges.
+    mutable_globals: Dict[str, Set[str]] = {}
+    for module in model.modules:
+        for stmt in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mutable_globals.setdefault(
+                        module.relpath, set()
+                    ).add(target.id)
+
+    for qname in sorted(worker):
+        info = graph.functions[qname]
+        rel = info.module.relpath
+        globs = mutable_globals.get(rel)
+        if not globs:
+            continue
+        declared_global: Set[str] = set()
+        for node in function_body_walk(info.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        via = _via(worker[qname])
+        for node in function_body_walk(info.node):
+            hit = _global_mutation(node, globs, declared_global)
+            if hit is None:
+                continue
+            name, how = hit
+            out.append(
+                Violation(
+                    "R8",
+                    "shard-safety",
+                    rel,
+                    node.lineno,
+                    f"module global {name!r} {how} in worker-process "
+                    f"code (via {via}); each sweep worker mutates its "
+                    "own copy — pass state in and return results out",
+                )
+            )
+
+    # (b) Unordered iteration inside cross-process merge helpers: the
+    # merged result must not depend on which worker finished first.
+    for qname in sorted(graph.functions):
+        info = graph.functions[qname]
+        if "merge" not in info.name:
+            continue
+        for node in function_body_walk(info.node):
+            if isinstance(node, ast.For):
+                label = _unordered_iter_label(node.iter)
+                if label is not None:
+                    out.append(
+                        Violation(
+                            "R8",
+                            "shard-safety",
+                            info.module.relpath,
+                            node.lineno,
+                            f"iteration over {label} inside cross-process "
+                            f"merge {info.label}; merge inputs must be "
+                            "deterministically ordered (sorted()) so the "
+                            "result is independent of worker completion "
+                            "order",
+                        )
+                    )
+
+    # (c) Unpicklable callables handed to a worker pool.
+    for site in graph.registrations:
+        if site.kind not in ("submit", "sweep"):
+            continue
+        arg = site.callable_arg
+        if arg is None:
+            continue
+        kind, target = graph.resolve_callable_ref(
+            arg, site.module, site.owner
+        )
+        if kind == "lambda":
+            out.append(
+                Violation(
+                    "R8",
+                    "shard-safety",
+                    site.module.relpath,
+                    site.lineno,
+                    "lambda submitted to a worker pool; lambdas cannot "
+                    "be pickled across the process boundary — use a "
+                    "module-level function",
+                )
+            )
+        elif kind == "nested":
+            label = target.label if target is not None else "<local>"
+            out.append(
+                Violation(
+                    "R8",
+                    "shard-safety",
+                    site.module.relpath,
+                    site.lineno,
+                    f"locally defined function {label!r} submitted to a "
+                    "worker pool; nested functions cannot be pickled "
+                    "across the process boundary — use a module-level "
+                    "function",
+                )
+            )
+    return out
+
+
+def _global_mutation(
+    node: ast.AST, globs: Set[str], declared_global: Set[str]
+) -> Optional[Tuple[str, str]]:
+    """``(name, how)`` when *node* mutates a module-level mutable."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        receiver = node.func.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in globs
+            and node.func.attr in _R8_MUTATOR_METHODS
+        ):
+            return receiver.id, f"mutated via .{node.func.attr}()"
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in globs
+        ):
+            return target.value.id, "item-assigned"
+        if (
+            isinstance(target, ast.Name)
+            and target.id in globs
+            and target.id in declared_global
+        ):
+            return target.id, "rebound via `global`"
+    return None
+
+
+# ----------------------------------------------------------------------
 # Registry and runner
 # ----------------------------------------------------------------------
 RULES: Dict[str, Tuple[str, Callable[[ProjectModel, LintConfig], List[Violation]]]] = {
@@ -765,11 +1382,24 @@ RULES: Dict[str, Tuple[str, Callable[[ProjectModel, LintConfig], List[Violation]
     "R3": ("flow-conformance", check_flow_conformance),
     "R4": ("sim-safety", check_sim_safety),
     "R5": ("packet-hygiene", check_packet_hygiene),
+    "R6": ("thread-boundary", check_thread_boundary),
+    "R7": ("signal-safety", check_signal_safety),
+    "R8": ("shard-safety", check_shard_safety),
 }
 
 #: Exit-code bit per rule: a run's exit code is the OR of the bits of
-#: every rule with at least one unsuppressed violation.
-RULE_BITS = {"R1": 1, "R2": 2, "R3": 4, "R4": 8, "R5": 16}
+#: every rule with at least one unsuppressed violation.  Bit 32 is
+#: reserved for parse errors (see the CLI), which is why R6 jumps to 64.
+RULE_BITS = {
+    "R1": 1,
+    "R2": 2,
+    "R3": 4,
+    "R4": 8,
+    "R5": 16,
+    "R6": 64,
+    "R7": 128,
+    "R8": 256,
+}
 
 
 def run_rules(
@@ -784,4 +1414,15 @@ def run_rules(
         _, check = RULES[rule_id]
         out.extend(check(model, config))
     out.sort(key=lambda v: (v.file, v.line, v.rule, v.message))
-    return out
+    # Number repeats of the same (rule, file, message) triple in line
+    # order so every violation fingerprints uniquely.
+    counts: Dict[Tuple[str, str, str], int] = {}
+    final: List[Violation] = []
+    for violation in out:
+        key = (violation.rule, violation.file, violation.message)
+        nth = counts.get(key, 0)
+        counts[key] = nth + 1
+        if nth:
+            violation = dataclasses.replace(violation, occurrence=nth)
+        final.append(violation)
+    return final

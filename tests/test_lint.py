@@ -593,6 +593,23 @@ class TestRepoIsClean:
             assert entry.get("reason"), entry
             assert "TODO" not in str(entry["reason"]), entry
 
+    def test_repo_baseline_has_no_stale_entries(self):
+        """Every suppression still matches a live violation; dead
+        entries must be removed with --prune-baseline, not shipped."""
+        _, violations = lint_paths(SCAN_ROOT)
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        stale = baseline.stale_entries(violations)
+        assert stale == [], stale
+
+    def test_repo_is_clean_under_concurrency_rules(self):
+        """R6–R8 must hold outright on the real tree — the scrape
+        thread, signal handlers, and sweep workers all obey their
+        domain discipline with no baseline help at all."""
+        _, violations = lint_paths(SCAN_ROOT, rules=["R6", "R7", "R8"])
+        assert violations == [], "\n".join(
+            f"{v.file}:{v.line}: {v.rule} {v.message}" for v in violations
+        )
+
     def test_repo_model_sanity(self):
         """The packet/node registries resolve to the sizes the tree
         actually declares — guards against the model silently going

@@ -1,0 +1,326 @@
+"""Unit tests for the interprocedural layer: call-graph construction,
+receiver-type inference, bounded reachability, and thread-domain
+classification (`repro.lint.model.CallGraph` / `ThreadDomains`)."""
+
+from __future__ import annotations
+
+from repro.lint.model import ProjectModel
+
+
+def build_model(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return ProjectModel(tmp_path)
+
+
+def edge_pairs(graph):
+    return {
+        (graph.functions[e.caller].label, graph.functions[e.callee].label)
+        for edges in graph.edges.values()
+        for e in edges
+    }
+
+
+class TestCallGraphResolution:
+    def test_same_module_call_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {"a.py": "def helper():\n    pass\n\ndef top():\n    helper()\n"},
+        )
+        assert ("top", "helper") in edge_pairs(model.call_graph())
+
+    def test_cross_module_import_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "util.py": "def step(x):\n    return x\n",
+                "main.py": "from util import step\n\ndef go():\n    step(1)\n",
+            },
+        )
+        assert ("go", "step") in edge_pairs(model.call_graph())
+
+    def test_module_alias_attribute_call_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/util.py": "def step(x):\n    return x\n",
+                "main.py": (
+                    "import pkg.util as u\n\ndef go():\n    u.step(1)\n"
+                ),
+            },
+        )
+        assert ("go", "step") in edge_pairs(model.call_graph())
+
+    def test_annotated_param_receiver_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "class Engine:\n"
+                    "    def run(self):\n        pass\n"
+                    "\n"
+                    "def drive(e: Engine):\n"
+                    "    e.run()\n"
+                ),
+            },
+        )
+        assert ("drive", "Engine.run") in edge_pairs(model.call_graph())
+
+    def test_self_attr_store_inference(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "class Engine:\n"
+                    "    def run(self):\n        pass\n"
+                    "\n"
+                    "class Car:\n"
+                    "    def __init__(self):\n"
+                    "        self.engine = Engine()\n"
+                    "    def go(self):\n"
+                    "        self.engine.run()\n"
+                ),
+            },
+        )
+        assert ("Car.go", "Engine.run") in edge_pairs(model.call_graph())
+
+    def test_class_body_annotation_inference(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "class State:\n"
+                    "    def render(self):\n        pass\n"
+                    "\n"
+                    "class Server:\n"
+                    "    state: State\n"
+                    "\n"
+                    "class Handler:\n"
+                    "    server: Server\n"
+                    "    def do_GET(self):\n"
+                    "        self.server.state.render()\n"
+                ),
+            },
+        )
+        assert ("Handler.do_GET", "State.render") in edge_pairs(
+            model.call_graph()
+        )
+
+    def test_inherited_method_resolves_through_mro(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "class Base:\n"
+                    "    def ping(self):\n        pass\n"
+                    "\n"
+                    "class Sub(Base):\n"
+                    "    pass\n"
+                    "\n"
+                    "def use(s: Sub):\n"
+                    "    s.ping()\n"
+                ),
+            },
+        )
+        assert ("use", "Base.ping") in edge_pairs(model.call_graph())
+
+    def test_constructor_call_edges_to_init(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "class Box:\n"
+                    "    def __init__(self):\n        pass\n"
+                    "\n"
+                    "def make():\n"
+                    "    return Box()\n"
+                ),
+            },
+        )
+        assert ("make", "Box.__init__") in edge_pairs(model.call_graph())
+
+    def test_unique_name_fallback(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": "def only_here(x):\n    return x\n",
+                "b.py": "def go(thing):\n    thing.only_here(1)\n",
+            },
+        )
+        assert ("go", "only_here") in edge_pairs(model.call_graph())
+
+    def test_ambiguous_name_produces_no_edge(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": "def stop():\n    pass\n",
+                "b.py": "def stop():\n    pass\n",
+                "c.py": "def go(thing):\n    thing.stop()\n",
+            },
+        )
+        assert not any(
+            caller == "go" for caller, _ in edge_pairs(model.call_graph())
+        )
+
+    def test_nested_function_shadows_and_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "def helper():\n    pass\n"
+                    "\n"
+                    "def outer():\n"
+                    "    def helper():\n"
+                    "        pass\n"
+                    "    helper()\n"
+                ),
+            },
+        )
+        graph = model.call_graph()
+        edges = [
+            graph.functions[e.callee].qname
+            for e in graph.edges["a.py::outer"]
+        ]
+        assert edges == ["a.py::outer.<locals>.helper"]
+
+
+class TestReachability:
+    def test_recursion_terminates(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "def ping():\n    return pong()\n"
+                    "\n"
+                    "def pong():\n    return ping()\n"
+                ),
+            },
+        )
+        graph = model.call_graph()
+        reach = graph.reachable([("a.py::ping", "root ping")])
+        assert set(reach) == {"a.py::ping", "a.py::pong"}
+
+    def test_bounded_depth(self, tmp_path):
+        chain = "\n".join(
+            f"def f{i}():\n    return f{i + 1}()\n" for i in range(5)
+        ) + "def f5():\n    pass\n"
+        model = build_model(tmp_path, {"a.py": chain})
+        graph = model.call_graph()
+        reach = graph.reachable([("a.py::f0", "root f0")], max_depth=2)
+        assert "a.py::f2" in reach
+        assert "a.py::f3" not in reach
+
+    def test_witness_chain_is_labelled(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "a.py": (
+                    "def top():\n    return mid()\n"
+                    "\n"
+                    "def mid():\n    return leaf()\n"
+                    "\n"
+                    "def leaf():\n    pass\n"
+                ),
+            },
+        )
+        graph = model.call_graph()
+        reach = graph.reachable([("a.py::top", "handler top")])
+        assert reach["a.py::leaf"] == ("handler top", "mid", "leaf")
+
+
+class TestThreadDomains:
+    def test_scrape_domain_from_handler_base(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "httpd.py": (
+                    "from http.server import BaseHTTPRequestHandler\n"
+                    "\n"
+                    "def render():\n    pass\n"
+                    "\n"
+                    "class H(BaseHTTPRequestHandler):\n"
+                    "    def do_GET(self):\n"
+                    "        render()\n"
+                ),
+            },
+        )
+        reach = model.thread_domains().members("scrape")
+        assert "httpd.py::render" in reach
+        assert reach["httpd.py::render"][0] == "request handler H.do_GET"
+
+    def test_signal_domain_skips_sig_dfl(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "cli.py": (
+                    "import signal\n"
+                    "\n"
+                    "def on_int(signum, frame):\n    pass\n"
+                    "\n"
+                    "def install():\n"
+                    "    signal.signal(signal.SIGINT, on_int)\n"
+                    "\n"
+                    "def restore():\n"
+                    "    signal.signal(signal.SIGINT, signal.SIG_DFL)\n"
+                ),
+            },
+        )
+        reach = model.thread_domains().members("signal")
+        assert set(reach) == {"cli.py::on_int"}
+
+    def test_worker_domain_unwraps_partial(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "sweep.py": (
+                    "import functools\n"
+                    "\n"
+                    "def run_sweep(fn, points):\n    pass\n"
+                    "\n"
+                    "def point(x, media=None):\n    return x\n"
+                    "\n"
+                    "def drive():\n"
+                    "    worker = functools.partial(point, media=1)\n"
+                    "    run_sweep(worker, [1])\n"
+                ),
+            },
+        )
+        reach = model.thread_domains().members("worker")
+        assert "sweep.py::point" in reach
+
+    def test_scheduled_callback_is_sim_root(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "hb.py": (
+                    "def arm(sim):\n"
+                    "    sim.schedule(1.0, beat)\n"
+                    "\n"
+                    "def beat():\n    pass\n"
+                ),
+            },
+        )
+        reach = model.thread_domains().members("sim")
+        assert "hb.py::beat" in reach
+        assert reach["hb.py::beat"] == ("scheduled callback beat",)
+
+    def test_real_tree_domains_are_sane(self):
+        from pathlib import Path
+
+        scan_root = Path(__file__).resolve().parents[1] / "src" / "repro"
+        model = ProjectModel(scan_root)
+        domains = model.thread_domains()
+        scrape = domains.members("scrape")
+        # The scrape thread reaches only the handler, the ServeState
+        # renders, and the Prometheus formatter — nothing else.
+        assert any("httpd.py" in q for q in scrape)
+        assert all(
+            q.startswith(("serve/httpd.py", "serve/state.py", "obs/prom.py"))
+            for q in scrape
+        ), sorted(scrape)
+        signal_fns = domains.members("signal")
+        assert any("request_stop" in q for q in signal_fns)
+        worker = domains.members("worker")
+        assert any("core/sweeps.py" in q for q in worker)

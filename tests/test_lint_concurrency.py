@@ -1,0 +1,671 @@
+"""Pass/fail fixtures for the concurrency rules: interprocedural R1/R4
+(call-chain witnesses), R6 thread-boundary, R7 signal-handler, and R8
+shard/process safety — plus the fingerprint-occurrence and baseline
+pruning satellites."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Baseline, LintConfig
+from repro.lint.cli import lint_paths, main as lint_main
+from repro.lint.rules import RULE_BITS
+
+
+def lint_tree(tmp_path, files, rules=None, config=None):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return lint_paths(tmp_path, rules=rules, config=config)
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+#: A minimal node scaffold matching the real tree's conventions: the
+#: handler convention (``on_*`` on a Node subclass) makes ``on_ping`` a
+#: sim-thread root.
+NODES_CALLING_HELPER = """
+from util import step
+
+class Node:
+    pass
+
+class Bts(Node):
+    def on_ping(self, pkt):
+        return step(pkt)
+"""
+
+
+class TestInterproceduralR1:
+    def test_clock_read_two_calls_deep_from_handler(self, tmp_path):
+        """The seeded acceptance case: a host-clock read two calls
+        below a handler, in a module outside the strict-clock zone.
+        The syntactic analyzer provably missed it — every R1 hit here
+        carries a call-chain witness, so the syntactic pass found
+        nothing."""
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "nodes.py": NODES_CALLING_HELPER,
+                "util.py": (
+                    "import time\n"
+                    "\n"
+                    "def step(pkt):\n"
+                    "    return stamp(pkt)\n"
+                    "\n"
+                    "def stamp(pkt):\n"
+                    "    return time.perf_counter()\n"
+                ),
+            },
+            rules=["R1"],
+        )
+        assert rules_of(violations) == ["R1"]
+        [v] = violations
+        assert v.file == "util.py"
+        assert "via handler Bts.on_ping -> step -> stamp" in v.message
+        # Proof the old, purely syntactic analyzer missed it: every
+        # violation is from the interprocedural pass (has a witness).
+        assert all("via" in x.message for x in violations)
+
+    def test_strict_zone_reach_is_flagged_outside_zone(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "media/fluid.py": (
+                    "from shared import now_host\n"
+                    "\n"
+                    "def delay():\n"
+                    "    return now_host()\n"
+                ),
+                "shared.py": (
+                    "import time\n"
+                    "\n"
+                    "def now_host():\n"
+                    "    return time.monotonic()\n"
+                ),
+            },
+            rules=["R1"],
+        )
+        assert [v.file for v in violations] == ["shared.py"]
+        assert "strict-clock zone media/fluid.py:delay" in violations[0].message
+
+    def test_unreachable_clock_read_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "nodes.py": NODES_CALLING_HELPER,
+                "util.py": "def step(pkt):\n    return pkt\n",
+                "bench.py": (
+                    "import time\n"
+                    "\n"
+                    "def measure():\n"
+                    "    return time.perf_counter()\n"
+                ),
+            },
+            rules=["R1"],
+        )
+        assert violations == []
+
+
+class TestInterproceduralR4:
+    def test_blocking_call_below_handler(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "nodes.py": NODES_CALLING_HELPER,
+                "util.py": (
+                    "import time\n"
+                    "\n"
+                    "def step(pkt):\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+            rules=["R4"],
+        )
+        assert rules_of(violations) == ["R4"]
+        [v] = violations
+        assert v.file == "util.py"
+        assert "via handler Bts.on_ping -> step" in v.message
+        assert all("via" in x.message for x in violations)
+
+    def test_scheduled_callback_body_is_checked(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "hb.py": (
+                    "def arm(sim):\n"
+                    "    sim.schedule(1.0, beat)\n"
+                    "\n"
+                    "def beat():\n"
+                    "    open('/tmp/x')\n"
+                ),
+            },
+            rules=["R4"],
+        )
+        assert rules_of(violations) == ["R4"]
+        assert "scheduled callback beat" in violations[0].message
+
+    def test_blocking_allowed_path_is_skipped(self, tmp_path):
+        config = LintConfig(blocking_allowed_paths=("pacer.py",))
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "nodes.py": (
+                    "from pacer import pace\n"
+                    "\n"
+                    "class Node:\n"
+                    "    pass\n"
+                    "\n"
+                    "class Bts(Node):\n"
+                    "    def on_ping(self, pkt):\n"
+                    "        pace()\n"
+                ),
+                "pacer.py": (
+                    "import time\n"
+                    "\n"
+                    "def pace():\n"
+                    "    time.sleep(0.1)\n"
+                ),
+            },
+            rules=["R4"],
+            config=config,
+        )
+        assert violations == []
+
+
+SCRAPE_SCAFFOLD = """
+from http.server import BaseHTTPRequestHandler
+
+class SimState:
+    def __init__(self):
+        self.counter = 0
+
+    def render(self):
+        return str(self.counter)
+
+class Handler(BaseHTTPRequestHandler):
+    state: SimState
+"""
+
+
+class TestR6ThreadBoundary:
+    def test_scrape_write_to_shared_sim_state(self, tmp_path):
+        """The seeded acceptance case: a scrape-thread request handler
+        mutating shared simulation state through a helper."""
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "httpd.py": SCRAPE_SCAFFOLD + (
+                    "    def do_GET(self):\n"
+                    "        self._bump()\n"
+                    "\n"
+                    "    def _bump(self):\n"
+                    "        self.state.counter = 1\n"
+                ),
+            },
+            rules=["R6"],
+        )
+        assert rules_of(violations) == ["R6"]
+        [v] = violations
+        assert "write to state.counter" in v.message
+        assert "request handler Handler._bump" in v.message
+
+    def test_read_only_render_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "httpd.py": SCRAPE_SCAFFOLD + (
+                    "    def do_GET(self):\n"
+                    "        body = self.state.render()\n"
+                    "        self.closed = True\n"
+                ),
+            },
+            rules=["R6"],
+        )
+        # self.closed on the per-request handler instance is private;
+        # the render call only reads.
+        assert violations == []
+
+    def test_mutating_metric_read_flagged_peek_passes(self, tmp_path):
+        scaffold = (
+            "from http.server import BaseHTTPRequestHandler\n"
+            "\n"
+            "class Gauge:\n"
+            "    def integral(self):\n"
+            "        return 0\n"
+            "    def peek_integral(self):\n"
+            "        return 0\n"
+            "\n"
+            "class Handler(BaseHTTPRequestHandler):\n"
+            "    g: Gauge\n"
+        )
+        _, bad = lint_tree(
+            tmp_path,
+            {
+                "bad/httpd.py": scaffold + (
+                    "    def do_GET(self):\n"
+                    "        return self.g.integral()\n"
+                ),
+                "good/httpd.py": scaffold.replace("Handler", "Handler2") + (
+                    "    def do_GET(self):\n"
+                    "        return self.g.peek_integral()\n"
+                ),
+            },
+            rules=["R6"],
+        )
+        assert len(bad) == 1
+        assert bad[0].file == "bad/httpd.py"
+        assert ".integral()" in bad[0].message
+        assert "peek_integral()" in bad[0].message
+
+    def test_lock_on_both_sides_of_publish_boundary(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "serve.py": (
+                    "from http.server import BaseHTTPRequestHandler\n"
+                    "import threading\n"
+                    "\n"
+                    "class Shared:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "\n"
+                    "def pump(shared: Shared):\n"
+                    "    with shared._lock:\n"
+                    "        yield 1\n"
+                    "\n"
+                    "class Handler(BaseHTTPRequestHandler):\n"
+                    "    s: Shared\n"
+                    "\n"
+                    "    def do_GET(self):\n"
+                    "        with self.s._lock:\n"
+                    "            pass\n"
+                ),
+            },
+            rules=["R6"],
+        )
+        assert rules_of(violations) == ["R6"]
+        assert "both sides of the publish boundary" in violations[0].message
+
+    def test_scrape_only_lock_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "serve.py": (
+                    "from http.server import BaseHTTPRequestHandler\n"
+                    "import threading\n"
+                    "\n"
+                    "_scrape_lock = threading.Lock()\n"
+                    "\n"
+                    "class Handler(BaseHTTPRequestHandler):\n"
+                    "    def do_GET(self):\n"
+                    "        with _scrape_lock:\n"
+                    "            pass\n"
+                ),
+            },
+            rules=["R6"],
+        )
+        assert violations == []
+
+
+SIGNAL_INSTALL = """
+import signal
+
+def install():
+    signal.signal(signal.SIGINT, on_int)
+"""
+
+
+class TestR7SignalSafety:
+    def test_flag_setting_handler_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "cli.py": SIGNAL_INSTALL + (
+                    "\n"
+                    "class Loop:\n"
+                    "    pass\n"
+                    "\n"
+                    "def on_int(signum, frame):\n"
+                    "    Loop.stop_requested = True\n"
+                ),
+            },
+            rules=["R7"],
+        )
+        assert violations == []
+
+    def test_os_write_is_the_blessed_io(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "cli.py": SIGNAL_INSTALL + (
+                    "import os\n"
+                    "\n"
+                    "def on_int(signum, frame):\n"
+                    "    os.write(2, b'stop\\n')\n"
+                ),
+            },
+            rules=["R7"],
+        )
+        assert violations == []
+
+    def test_lock_print_sort_and_logging_flagged(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "cli.py": SIGNAL_INSTALL + (
+                    "import threading\n"
+                    "\n"
+                    "LOCK = threading.Lock()\n"
+                    "log = None\n"
+                    "\n"
+                    "def on_int(signum, frame):\n"
+                    "    with LOCK:\n"
+                    "        print('stopping')\n"
+                    "    names = sorted(('a', 'b'))\n"
+                    "    log.warning('bye')\n"
+                ),
+            },
+            rules=["R7"],
+        )
+        assert rules_of(violations) == ["R7"]
+        kinds = " | ".join(v.message for v in violations)
+        assert "lock 'LOCK' acquired" in kinds
+        assert "print() call" in kinds
+        assert "sorted() call" in kinds
+        assert ".warning() call" in kinds
+
+    def test_reachable_helper_is_also_checked(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "cli.py": SIGNAL_INSTALL + (
+                    "\n"
+                    "def on_int(signum, frame):\n"
+                    "    drain()\n"
+                    "\n"
+                    "def drain():\n"
+                    "    rows = [x for x in range(3)]\n"
+                ),
+            },
+            rules=["R7"],
+        )
+        assert rules_of(violations) == ["R7"]
+        assert "signal handler on_int -> drain" in violations[0].message
+
+
+class TestR8ShardSafety:
+    def test_module_global_mutation_in_worker(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "sweep.py": (
+                    "RESULTS = []\n"
+                    "\n"
+                    "def run_sweep(fn, points):\n"
+                    "    pass\n"
+                    "\n"
+                    "def point(x):\n"
+                    "    RESULTS.append(x)\n"
+                    "    return x\n"
+                    "\n"
+                    "def drive():\n"
+                    "    run_sweep(point, [1])\n"
+                ),
+            },
+            rules=["R8"],
+        )
+        assert rules_of(violations) == ["R8"]
+        assert "RESULTS" in violations[0].message
+        assert "worker entry point" in violations[0].message
+
+    def test_worker_reading_global_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "sweep.py": (
+                    "DEFAULTS = {'rate': 1.0}\n"
+                    "\n"
+                    "def run_sweep(fn, points):\n"
+                    "    pass\n"
+                    "\n"
+                    "def point(x):\n"
+                    "    return x * DEFAULTS['rate']\n"
+                    "\n"
+                    "def drive():\n"
+                    "    run_sweep(point, [1])\n"
+                ),
+            },
+            rules=["R8"],
+        )
+        assert violations == []
+
+    def test_lambda_and_nested_submissions_flagged(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "sweep.py": (
+                    "def run_sweep(fn, points):\n"
+                    "    pass\n"
+                    "\n"
+                    "def drive(executor):\n"
+                    "    run_sweep(lambda p: p, [1])\n"
+                    "    def local(p):\n"
+                    "        return p\n"
+                    "    executor.submit(local, 2)\n"
+                ),
+            },
+            rules=["R8"],
+        )
+        assert len(violations) == 2
+        text = " | ".join(v.message for v in violations)
+        assert "lambda submitted" in text
+        assert "locally defined function 'local'" in text
+
+    def test_partial_of_module_function_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "sweep.py": (
+                    "import functools\n"
+                    "\n"
+                    "def run_sweep(fn, points):\n"
+                    "    pass\n"
+                    "\n"
+                    "def point(x, media=None):\n"
+                    "    return x\n"
+                    "\n"
+                    "def drive():\n"
+                    "    worker = functools.partial(point, media=3)\n"
+                    "    run_sweep(worker, [1])\n"
+                ),
+            },
+            rules=["R8"],
+        )
+        assert violations == []
+
+    def test_unordered_merge_iteration_flagged(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "merge.py": (
+                    "def merge_results(parts):\n"
+                    "    out = []\n"
+                    "    for key in set(parts):\n"
+                    "        out.append(key)\n"
+                    "    return out\n"
+                ),
+            },
+            rules=["R8"],
+        )
+        assert rules_of(violations) == ["R8"]
+        assert "merge merge_results" in violations[0].message
+
+    def test_sorted_merge_iteration_passes(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path,
+            {
+                "merge.py": (
+                    "def merge_results(parts):\n"
+                    "    out = []\n"
+                    "    for key in sorted(set(parts)):\n"
+                    "        out.append(key)\n"
+                    "    return out\n"
+                ),
+            },
+            rules=["R8"],
+        )
+        assert violations == []
+
+
+class TestFingerprintOccurrence:
+    DOUBLE = "import time\n\ndef f():\n    time.time()\n    time.time()\n"
+
+    def test_identical_violations_get_distinct_fingerprints(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path, {"a.py": self.DOUBLE}, rules=["R1"]
+        )
+        assert len(violations) == 2
+        assert violations[0].message == violations[1].message
+        assert violations[0].occurrence == 0
+        assert violations[1].occurrence == 1
+        assert violations[0].fingerprint != violations[1].fingerprint
+
+    def test_baseline_covers_both_occurrences(self, tmp_path):
+        _, violations = lint_tree(
+            tmp_path, {"a.py": self.DOUBLE}, rules=["R1"]
+        )
+        baseline = Baseline.from_violations(violations)
+        assert all(baseline.contains(v) for v in violations)
+
+    def test_legacy_v1_baseline_still_matches_first_occurrence(
+        self, tmp_path
+    ):
+        _, violations = lint_tree(
+            tmp_path, {"a.py": self.DOUBLE}, rules=["R1"]
+        )
+        first = violations[0]
+        legacy = {
+            "version": 1,
+            "suppressions": [
+                {
+                    "fingerprint": first.fingerprint,
+                    "rule": first.rule,
+                    "file": first.file,
+                    "message": first.message,
+                    "reason": "legacy entry",
+                }
+            ],
+        }
+        path = tmp_path / "legacy-baseline.json"
+        path.write_text(json.dumps(legacy))
+        baseline = Baseline.load(path)
+        assert baseline.contains(violations[0])
+        assert not baseline.contains(violations[1])
+
+
+class TestBaselinePruning:
+    def test_stale_entries_detected_and_pruned(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\n")
+        _, violations = lint_paths(tmp_path, rules=None)
+        baseline = Baseline.from_violations(violations)
+        baseline.entries.append(
+            {
+                "fingerprint": "deadbeef0000",
+                "rule": "R1",
+                "file": "gone.py",
+                "message": "a violation that no longer exists",
+                "reason": "stale",
+            }
+        )
+        stale = baseline.stale_entries(violations)
+        assert [e["fingerprint"] for e in stale] == ["deadbeef0000"]
+        pruned = baseline.pruned(violations)
+        assert len(pruned.entries) == len(baseline.entries) - 1
+        assert all(
+            e["fingerprint"] != "deadbeef0000" for e in pruned.entries
+        )
+
+    def test_cli_prune_rewrites_file(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("import random\n")
+        baseline_path = tmp_path / "lint-baseline.json"
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline_path),
+             "--write-baseline"]
+        ) == 0
+        doc = json.loads(baseline_path.read_text())
+        doc["suppressions"].append(
+            {"fingerprint": "deadbeef0000", "rule": "R1",
+             "file": "gone.py", "message": "gone", "reason": "stale"}
+        )
+        baseline_path.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline_path),
+             "--prune-baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned deadbeef0000" in out
+        reloaded = json.loads(baseline_path.read_text())
+        assert len(reloaded["suppressions"]) == 1
+        assert reloaded["version"] == 2
+
+    def test_stale_entry_warns_but_does_not_fail(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        baseline_path = tmp_path / "lint-baseline.json"
+        baseline_path.write_text(json.dumps({
+            "version": 2,
+            "suppressions": [
+                {"fingerprint": "deadbeef0000", "rule": "R1",
+                 "file": "gone.py", "message": "gone", "reason": "stale"}
+            ],
+        }))
+        code = lint_main(
+            [str(tmp_path), "--baseline", str(baseline_path)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "stale baseline entry deadbeef0000" in err
+        assert "--prune-baseline" in err
+
+    def test_prune_refuses_rule_subset(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        try:
+            lint_main([str(tmp_path), "--rules", "R1",
+                       "--prune-baseline"])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("expected argparse error")
+
+
+class TestChangedScope:
+    def test_changed_filters_out_untracked_scratch_tree(self, tmp_path):
+        """A scratch tree's files are not in this repo's git diff, so
+        --changed reports nothing while a full run fails — the flag
+        genuinely scopes by diff."""
+        (tmp_path / "a.py").write_text("import random\n")
+        full = lint_main([str(tmp_path), "--baseline", "none"])
+        scoped = lint_main(
+            [str(tmp_path), "--baseline", "none", "--changed"]
+        )
+        assert full == RULE_BITS["R1"]
+        assert scoped == 0
+
+
+class TestExitCodeBits:
+    def test_new_rule_bits_are_documented_powers(self):
+        assert RULE_BITS["R6"] == 64
+        assert RULE_BITS["R7"] == 128
+        assert RULE_BITS["R8"] == 256
+
+    def test_r6_exit_bit(self, tmp_path):
+        (tmp_path / "httpd.py").write_text(
+            SCRAPE_SCAFFOLD
+            + "    def do_GET(self):\n        self.state.counter = 1\n"
+        )
+        code = lint_main([str(tmp_path), "--baseline", "none"])
+        assert code & RULE_BITS["R6"]
