@@ -32,7 +32,10 @@ Every scenario accepts the observability flags:
 * ``--waterfall``        — print per-procedure per-link latency
   waterfalls over the Figure-3 stack;
 * ``--slo RULES``        — declarative SLO rules ("name: func(glob) OP
-  threshold", ';'-separated, or @file); violations exit nonzero.
+  threshold", ';'-separated, or @file); violations exit nonzero;
+* ``--faults PLAN``      — deterministic fault plan ("at 120 link
+  VMSC--GK down for 30", ';'-separated, @file, or JSON) injected into
+  the topology (call and sweep scenarios).
 """
 
 from __future__ import annotations
@@ -43,13 +46,15 @@ import sys
 from repro.obs import ObsSession
 
 
-def demo_call(obs: ObsSession, media: str = "events") -> None:
+def demo_call(obs: ObsSession, media: str = "events", faults=None) -> None:
     from repro.core import scenarios
     from repro.core.network import build_vgprs_network
     from repro.core.sweeps import apply_media
+    from repro.faults import apply_faults
 
     nw = build_vgprs_network()
     apply_media(nw.sim, media)
+    apply_faults(nw, faults)
     obs.watch(nw.sim, run="call")
     ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
     term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
@@ -163,7 +168,8 @@ def demo_flows(obs: ObsSession) -> None:
 
 
 def demo_sweep(
-    experiment: str, obs: ObsSession, jobs=None, media: str = "fluid"
+    experiment: str, obs: ObsSession, jobs=None, media: str = "fluid",
+    faults=None,
 ) -> None:
     """Run one of the parameterised experiments through the parallel
     sweep runner.  Results merge in input order, so ``--jobs N`` output
@@ -178,7 +184,8 @@ def demo_sweep(
     results = []
     if experiment == "setup-latency":
         points = sweep_grid(factor=(1.0, 2.0, 4.0, 8.0))
-        results = run_sweep(sweeps.setup_latency_point, points, jobs=jobs)
+        worker = functools.partial(sweeps.setup_latency_point, faults=faults)
+        results = run_sweep(worker, points, jobs=jobs)
         for result in results:
             p = result.value
             print(f"core x{p['factor']:<4.0f} MT setup "
@@ -189,7 +196,8 @@ def demo_sweep(
         points = sweep_grid(num_calls=(1, 2, 4, 6))
         # functools.partial of a module-level worker stays picklable, so
         # the media model fans out to worker processes unchanged.
-        worker = functools.partial(sweeps.voice_quality_point, media=media)
+        worker = functools.partial(sweeps.voice_quality_point, media=media,
+                                   faults=faults)
         results = run_sweep(worker, points, jobs=jobs)
         for result in results:
             v, t = result.value["vgprs"], result.value["tgtr"]
@@ -199,7 +207,8 @@ def demo_sweep(
                   f"jitter p95 {v['p95_jitter_ms']:.2f}/{t['p95_jitter_ms']:.2f} ms")
     elif experiment == "residency":
         points = sweep_grid(calls_per_hour=(0.0, 60.0, 240.0))
-        results = run_sweep(sweeps.residency_point, points, jobs=jobs)
+        worker = functools.partial(sweeps.residency_point, faults=faults)
+        results = run_sweep(worker, points, jobs=jobs)
         for result in results:
             cph = result.point.params["calls_per_hour"]
             p = result.value
@@ -324,11 +333,22 @@ def main(argv=None) -> int:
         help="SLO rules ('name: func(glob) OP threshold', ';'-separated) "
              "or @FILE to read them from a file; violations exit nonzero",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="fault plan ('at T link A--B down for D', ';'-separated, "
+             "or @FILE / JSON) injected into the topology; sweep workers "
+             "arm the same plan on every point (call and sweep scenarios)",
+    )
     args = parser.parse_args(argv)
     slo = args.slo
     if slo and slo.startswith("@"):
         with open(slo[1:], "r", encoding="utf-8") as fh:
             slo = fh.read()
+    faults = args.faults
+    if faults and faults.startswith("@"):
+        with open(faults[1:], "r", encoding="utf-8") as fh:
+            faults = fh.read()
     obs = ObsSession(
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
@@ -342,9 +362,9 @@ def main(argv=None) -> int:
     )
     if args.scenario == "sweep":
         demo_sweep(args.experiment, obs, jobs=args.jobs,
-                   media=args.media or "fluid")
+                   media=args.media or "fluid", faults=faults)
     elif args.scenario == "call":
-        demo_call(obs, media=args.media or "events")
+        demo_call(obs, media=args.media or "events", faults=faults)
     else:
         SCENARIOS[args.scenario](obs)
     return obs.finish()

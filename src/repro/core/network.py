@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import TopologyError
 from repro.identities import IMSI, E164Number, IPv4Address
 from repro.core.vmsc import Vmsc
 from repro.gprs.ggsn import Ggsn
@@ -26,6 +27,8 @@ from repro.h323.terminal import H323Terminal
 from repro.net.interfaces import Interface
 from repro.net.ip import IPCloud
 from repro.net.node import Network
+from repro.pstn.phone import PstnPhone
+from repro.pstn.switch import PstnSwitch
 from repro.sim.kernel import Simulator
 
 
@@ -93,6 +96,11 @@ class VgprsNetwork:
     btss: List[Bts] = field(default_factory=list)
     mss: Dict[str, MobileStation] = field(default_factory=dict)
     terminals: Dict[str, H323Terminal] = field(default_factory=dict)
+    #: Local exchange wired to the VMSC's ISUP trunk when the network is
+    #: built with ``with_pstn=True`` — the fallback path for calls the
+    #: H.323 side cannot carry during a gatekeeper outage.
+    pstn: Optional[PstnSwitch] = None
+    phones: Dict[str, PstnPhone] = field(default_factory=dict)
     _terminal_count: int = 0
 
     # ------------------------------------------------------------------
@@ -170,6 +178,25 @@ class VgprsNetwork:
         self.terminals[name] = terminal
         return terminal
 
+    def add_phone(
+        self, name: str, number: str, answer_delay: float = 1.0
+    ) -> PstnPhone:
+        """A fixed-line subscriber on the local exchange (requires
+        ``with_pstn=True``) — the far end of the GK-outage fallback
+        scenarios."""
+        if self.pstn is None:
+            raise TopologyError(
+                "add_phone needs build_vgprs_network(with_pstn=True)"
+            )
+        phone = PstnPhone(
+            self.sim, name, E164Number.parse(number), answer_delay=answer_delay
+        )
+        self.net.add(phone)
+        self.net.connect(phone, self.pstn, Interface.ISUP, self.latencies.isup)
+        self.pstn.add_local(phone.number, phone.name)
+        self.phones[name] = phone
+        return phone
+
 
 def build_vgprs_network(
     seed: int = 0,
@@ -184,13 +211,17 @@ def build_vgprs_network(
     gk_max_calls: Optional[int] = None,
     tch_capacity: int = 32,
     idle_deactivate_after: Optional[float] = None,
+    with_pstn: bool = False,
 ) -> VgprsNetwork:
     """Build the Figure 2(b) network.
 
     ``name_prefix`` namespaces node names so two vGPRS networks (e.g.
     home and visited PLMNs in the roaming scenarios) can share one
     simulator; pass the same ``sim``/``net``/``hlr`` to share the clock,
-    trace and home subscriber base.
+    trace and home subscriber base.  ``with_pstn=True`` additionally
+    wires a local exchange to the VMSC over an ISUP trunk so calls can
+    fall back to the circuit network during gatekeeper outages
+    (:meth:`VgprsNetwork.add_phone` provisions the far-end subscribers).
     """
     lat = latencies if latencies is not None else LatencyProfile()
     sim = sim if sim is not None else Simulator(seed=seed)
@@ -258,6 +289,14 @@ def build_vgprs_network(
         hlr=hlr,
         wire_fidelity=wire_fidelity,
     )
+
+    if with_pstn:
+        pstn = PstnSwitch(sim, f"{p}PSTN", country_code=country_code)
+        net.add(pstn)
+        net.connect(
+            vmsc, pstn, Interface.ISUP, lat.isup, wire_fidelity=wire_fidelity
+        )
+        network.pstn = pstn
 
     bsc = Bsc(sim, f"{p}BSC", tch_capacity=tch_capacity)
     net.add(bsc)

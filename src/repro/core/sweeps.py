@@ -16,6 +16,7 @@ from repro.core import scenarios
 from repro.core.baseline_3gtr import build_3gtr_network
 from repro.core.network import LatencyProfile, build_vgprs_network
 from repro.errors import SimulationError
+from repro.faults import apply_faults
 from repro.media import install_fluid
 from repro.obs.series import SeriesSampler
 
@@ -74,11 +75,14 @@ def _collect(
 
 
 def vgprs_mt(
-    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+    factor: float,
+    snapshots: Optional[List[Dict[str, Any]]] = None,
+    faults: Optional[str] = None,
 ) -> float:
     """MT setup-path delay (caller's Q.931 Setup -> called endpoint) in
     vGPRS, where the PDP context is already activated."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
+    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
     term = nw.add_terminal("TERM1", TERM1)
@@ -92,11 +96,14 @@ def vgprs_mt(
 
 
 def tgtr_mt(
-    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+    factor: float,
+    snapshots: Optional[List[Dict[str, Any]]] = None,
+    faults: Optional[str] = None,
 ) -> float:
     """MT setup-path delay in the 3G TR 23.923 baseline, which must
     re-activate the PDP context per call arrival."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
+    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
     term = nw.add_terminal("TERM1", TERM1)
@@ -111,11 +118,14 @@ def tgtr_mt(
 
 
 def vgprs_mo_admission(
-    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+    factor: float,
+    snapshots: Optional[List[Dict[str, Any]]] = None,
+    faults: Optional[str] = None,
 ) -> float:
     """MO side: time from A_Setup at the VMSC to the ACF returning —
     immediate in vGPRS because the signalling context exists."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
+    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
     term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
@@ -132,10 +142,13 @@ def vgprs_mo_admission(
 
 
 def tgtr_mo_admission(
-    factor: float, snapshots: Optional[List[Dict[str, Any]]] = None
+    factor: float,
+    snapshots: Optional[List[Dict[str, Any]]] = None,
+    faults: Optional[str] = None,
 ) -> float:
     """MO side in 3G TR: PDP activation precedes the ARQ."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
+    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
     term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
@@ -152,16 +165,19 @@ def tgtr_mo_admission(
     return acf.time - since
 
 
-def setup_latency_point(factor: float) -> Dict[str, Any]:
+def setup_latency_point(
+    factor: float, faults: Optional[str] = None
+) -> Dict[str, Any]:
     """One E8 sweep point: all four setup-latency measurements at the
-    given core-latency *factor*."""
+    given core-latency *factor*.  ``faults`` is a fault-plan text armed
+    (non-strictly) on every per-measurement topology."""
     snapshots: List[Dict[str, Any]] = []
     return {
         "factor": factor,
-        "vgprs_mt": vgprs_mt(factor, snapshots),
-        "tgtr_mt": tgtr_mt(factor, snapshots),
-        "vgprs_mo": vgprs_mo_admission(factor, snapshots),
-        "tgtr_mo": tgtr_mo_admission(factor, snapshots),
+        "vgprs_mt": vgprs_mt(factor, snapshots, faults),
+        "tgtr_mt": tgtr_mt(factor, snapshots, faults),
+        "vgprs_mo": vgprs_mo_admission(factor, snapshots, faults),
+        "tgtr_mo": tgtr_mo_admission(factor, snapshots, faults),
         "metrics": snapshots,
     }
 
@@ -189,11 +205,15 @@ def apply_media(sim, media: str) -> None:
 
 
 def vgprs_under_load(
-    num_calls: int, tch_capacity: int = 8, media: str = DEFAULT_MEDIA
+    num_calls: int,
+    tch_capacity: int = 8,
+    media: str = DEFAULT_MEDIA,
+    faults: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Voice-quality metrics with *num_calls* concurrent circuit calls."""
     nw = build_vgprs_network(tch_capacity=tch_capacity)
     apply_media(nw.sim, media)
+    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
     pairs = []
     for i in range(num_calls):
@@ -235,12 +255,16 @@ def vgprs_under_load(
 
 
 def tgtr_under_load(
-    num_calls: int, channel_bps: float = 40_000.0, media: str = DEFAULT_MEDIA
+    num_calls: int,
+    channel_bps: float = 40_000.0,
+    media: str = DEFAULT_MEDIA,
+    faults: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Voice-quality metrics with *num_calls* calls sharing the 3G TR
     packet channel."""
     nw = build_3gtr_network(packet_channel_bps=channel_bps)
     apply_media(nw.sim, media)
+    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
     pairs = []
     for i in range(num_calls):
@@ -282,12 +306,14 @@ def tgtr_under_load(
     }
 
 
-def voice_quality_point(num_calls: int, media: str = DEFAULT_MEDIA) -> Dict[str, Any]:
+def voice_quality_point(
+    num_calls: int, media: str = DEFAULT_MEDIA, faults: Optional[str] = None
+) -> Dict[str, Any]:
     """One E9 sweep point: both architectures at *num_calls* calls."""
     return {
         "calls": num_calls,
-        "vgprs": vgprs_under_load(num_calls, media=media),
-        "tgtr": tgtr_under_load(num_calls, media=media),
+        "vgprs": vgprs_under_load(num_calls, media=media, faults=faults),
+        "tgtr": tgtr_under_load(num_calls, media=media, faults=faults),
     }
 
 
@@ -295,7 +321,8 @@ def voice_quality_point(num_calls: int, media: str = DEFAULT_MEDIA) -> Dict[str,
 # E11 — PDP context residency vs. call rate
 # ----------------------------------------------------------------------
 def residency_point(
-    calls_per_hour: float, horizon: float = 60.0
+    calls_per_hour: float, horizon: float = 60.0,
+    faults: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Context-seconds at the SGSN over *horizon* simulated seconds with
     one subscriber making Poisson-ish periodic calls.  Returns a dict
@@ -305,6 +332,7 @@ def residency_point(
 
     def run(builder, is_vgprs):
         nw = builder()
+        apply_faults(nw, faults, strict=False)
         sampler = _sample(nw)
         if is_vgprs:
             ms = nw.add_ms("MS1", IMSI1, MSISDN1)

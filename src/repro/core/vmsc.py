@@ -33,9 +33,17 @@ from repro.gsm.msc_base import MscBase, RadioConn
 from repro.h323.codec import G711_ULAW, GSM_FR, Vocoder
 from repro.net.interfaces import Interface
 from repro.net.node import Node, handles
-from repro.net.transactions import Sequencer
+from repro.net.transactions import ReliableTransaction, Sequencer
 from repro.packets.base import Packet
 from repro.packets.bssap import ASetup, TchFrame
+from repro.packets.isup import (
+    IsupAcm,
+    IsupAnm,
+    IsupIam,
+    IsupRel,
+    IsupRlc,
+    PcmFrame,
+)
 from repro.packets.gmm import (
     ActivatePdpContextAccept,
     ActivatePdpContextReject,
@@ -92,6 +100,21 @@ class VmscCall:
     uplink_buffer: List[TchFrame] = field(default_factory=list)
     rtp_seq: int = 0
     span: Optional[object] = None         # repro.obs.spans.Span (MT leg)
+    admission_timer: Optional[Timer] = None
+
+
+@dataclass
+class FallbackCall:
+    """A call carried over the ISUP trunk because the H.323 path was
+    unavailable (gatekeeper outage): the PSTN fallback of the fault
+    scenarios.  Voice bridges PCM <-> TCH with no transcoding, exactly
+    like the classic MSC."""
+
+    cic: int
+    imsi: IMSI
+    state: str = "setup"                  # setup | alerting | in-call
+    placed_at: float = 0.0
+    connected_at: Optional[float] = None
 
 
 class Vmsc(MscBase):
@@ -137,6 +160,26 @@ class Vmsc(MscBase):
         #: re-registration) so aliases never age out while attached.
         self.gk_ttl = 3600
         self._keepalive_timers: Dict[IMSI, Timer] = {}
+        #: Recovery policy after a GK failure: re-register with
+        #: exponential backoff (first retry after ``gk_retry_base``
+        #: seconds, scaled by ``gk_retry_backoff`` per attempt, up to
+        #: ``gk_retry_max`` resends) so the MS re-homes automatically
+        #: when the gatekeeper returns.
+        self.gk_retry_base = 2.0
+        self.gk_retry_backoff = 2.0
+        self.gk_retry_max = 6
+        self._gk_retries: Dict[IMSI, ReliableTransaction] = {}
+        #: When the outage was detected per IMSI, so the RCF that ends it
+        #: can record the recovery latency (MTTR) histogram.
+        self._gk_outage_since: Dict[IMSI, float] = {}
+        #: H.225 gives no answer when the GK is unreachable; guard every
+        #: ARQ so calls fail over (or fail cleanly) instead of wedging.
+        self.admission_timeout = 4.0
+        # PSTN fallback trunk state, used only when an ISUP trunk is
+        # wired (build_vgprs_network(with_pstn=True)).
+        self._cic_seq = Sequencer(start=600000)
+        self._fallback_by_cic: Dict[int, FallbackCall] = {}
+        self._fallback_by_imsi: Dict[IMSI, FallbackCall] = {}
 
     # ------------------------------------------------------------------
     # Gb plumbing: H.323 on behalf of each MS
@@ -339,8 +382,53 @@ class Vmsc(MscBase):
         self.sim.metrics.counter(f"{self.name}.gk_registration_timeouts").inc()
         conn, ack = pending
         # Confirm the GSM-level registration; VoIP stays unavailable
-        # until a later location update succeeds end to end.
+        # until re-registration succeeds end to end.  The retry loop
+        # below keeps trying with backoff, so a transient GK outage
+        # heals without waiting for the next location update.
         self.confirm_location_update(conn, ack)
+        self._note_gk_outage(imsi)
+
+    def _note_gk_outage(self, imsi: IMSI) -> None:
+        """A GK failure was detected for this MS: stamp the outage start
+        (for the MTTR histogram) and start re-registering with backoff."""
+        self._gk_outage_since.setdefault(imsi, self.sim.now)
+        self._start_gk_retry(imsi)
+
+    def _start_gk_retry(self, imsi: IMSI) -> None:
+        entry = self.ms_table.get(imsi)
+        if entry is None or entry.msisdn is None or entry.ip is None:
+            return
+        txn = self._gk_retries.get(imsi)
+        if txn is not None and txn.state == "pending":
+            return
+        txn = ReliableTransaction(
+            self.sim,
+            f"gk-rereg:{imsi}",
+            lambda attempt, i=imsi: self._retry_register(i),
+            timeout=self.gk_retry_base,
+            backoff=self.gk_retry_backoff,
+            max_retries=self.gk_retry_max,
+            on_give_up=lambda i=imsi: self._gk_retry_gave_up(i),
+            counter_prefix=f"{self.name}.gk_rereg",
+        )
+        self._gk_retries[imsi] = txn
+        txn.start()
+
+    def _retry_register(self, imsi: IMSI) -> None:
+        entry = self.ms_table.get(imsi)
+        if entry is None or entry.ip is None or entry.msisdn is None:
+            # Detached (or lost its PDP address) mid-retry: stop quietly.
+            txn = self._gk_retries.pop(imsi, None)
+            if txn is not None:
+                txn.cancel()
+            return
+        self._register_with_gk(entry)
+
+    def _gk_retry_gave_up(self, imsi: IMSI) -> None:
+        # The entry stays VoIP-incapable; calls keep falling back to the
+        # PSTN (or fail cleanly) until a later location update retries.
+        self._gk_retries.pop(imsi, None)
+        self.sim.trace.note(self.name, "GK_REREG_GAVE_UP", imsi=str(imsi))
 
     def _on_rcf(self, entry: MsTableEntry, msg: RasRcf) -> None:
         # Step 1.5: "The VMSC then creates the MS MM and PDP contexts for
@@ -348,6 +436,21 @@ class Vmsc(MscBase):
         guard = self._lu_guards.get(entry.imsi)
         if guard is not None:
             guard.stop()
+        txn = self._gk_retries.pop(entry.imsi, None)
+        if txn is not None:
+            txn.complete()
+        since = self._gk_outage_since.pop(entry.imsi, None)
+        if since is not None:
+            # Re-homing complete: the MS is VoIP-capable again.  The
+            # histogram is the recovery-latency (MTTR) distribution the
+            # fault scenarios and serve-mode alerts gate on.
+            self.sim.metrics.histogram("fault.mttr.gk_registration").observe(
+                self.sim.now - since
+            )
+            self.sim.metrics.counter(f"{self.name}.gk_recoveries").inc()
+            self.sim.trace.note(
+                self.name, "GK_REREGISTERED", imsi=str(entry.imsi)
+            )
         entry.gk_registered = True
         self._arm_keepalive(entry)
         self.sim.trace.note(self.name, "MS_TABLE_ENTRY_CREATED", imsi=str(entry.imsi))
@@ -372,6 +475,14 @@ class Vmsc(MscBase):
         call = self._call_by_imsi.get(conn.imsi)
         if call is not None:
             self._release_call(call, cause=CAUSE_NORMAL_CLEARING)
+        fb = self._fallback_by_imsi.get(conn.imsi)
+        if fb is not None:
+            self._drop_fallback(fb)
+            self.send(
+                self._pstn_trunk(),
+                IsupRel(cic=fb.cic),
+                interface=Interface.ISUP,
+            )
         if entry.gk_registered and entry.msisdn is not None and entry.ip is not None:
             self._send_h323(
                 entry,
@@ -384,6 +495,10 @@ class Vmsc(MscBase):
         keepalive = self._keepalive_timers.get(conn.imsi)
         if keepalive is not None:
             keepalive.stop()
+        retry = self._gk_retries.pop(conn.imsi, None)
+        if retry is not None:
+            retry.cancel()
+        self._gk_outage_since.pop(conn.imsi, None)
         # Give the URQ a moment to ride the context out, then tear down.
         self.sim.schedule(0.1, self._detach_gprs, conn.imsi)
 
@@ -459,8 +574,11 @@ class Vmsc(MscBase):
         entry = self.ms_table.require(conn.imsi)
         self._cancel_idle_timer(conn.imsi)
         if not entry.gk_registered:
-            # VoIP never came up for this MS (core failure at
-            # registration); clear the call attempt cleanly.
+            # VoIP is down for this MS (GK outage or registration never
+            # completed).  Fall back to the circuit path when an ISUP
+            # trunk is wired; otherwise clear the attempt cleanly.
+            if self._start_pstn_fallback(conn, setup.called, entry.msisdn):
+                return
             self.sim.metrics.counter(f"{self.name}.calls_without_voip").inc()
             self.disconnect_ms(conn)
             return
@@ -508,11 +626,57 @@ class Vmsc(MscBase):
             dport=PORT_H225_RAS,
             sport=PORT_H225_RAS,
         )
+        self._arm_admission_guard(call)
+
+    def _arm_admission_guard(self, call: VmscCall) -> None:
+        call.admission_timer = Timer(
+            self.sim,
+            f"t-arq:{call.call_ref}",
+            self.admission_timeout,
+            lambda c=call: self._admission_expired(c),
+        )
+        call.admission_timer.start()
+
+    def _admission_expired(self, call: VmscCall) -> None:
+        if call.state != "admission" or (
+            self.calls.get((call.call_ref, call.imsi)) is not call
+        ):
+            return
+        self.sim.metrics.counter(f"{self.name}.admission_timeouts").inc()
+        self.sim.trace.note(
+            self.name,
+            "ADMISSION_TIMEOUT",
+            imsi=str(call.imsi),
+            call_ref=call.call_ref,
+        )
+        # No ACF/ARJ within the guard: the GK is unreachable.  Mark the
+        # MS VoIP-incapable (so later calls skip the wait), start the
+        # re-registration loop that will re-home it when the GK returns,
+        # and carry this call over the PSTN if a trunk exists.
+        entry = self.ms_table.get(call.imsi)
+        if entry is not None:
+            entry.gk_registered = False
+            self._note_gk_outage(call.imsi)
+        if call.direction == "mo":
+            conn = self.conns.get(call.imsi)
+            self._drop_call(call)
+            if conn is None:
+                return
+            if call.called is not None and self._start_pstn_fallback(
+                conn, call.called, call.calling
+            ):
+                return
+            self.sim.metrics.counter(f"{self.name}.calls_without_voip").inc()
+            self.disconnect_ms(conn)
+        else:
+            self._release_call(call, cause=CAUSE_RESOURCE_UNAVAILABLE)
 
     def _on_acf(self, entry: MsTableEntry, msg: RasAcf) -> None:
         call = self.calls.get((msg.call_ref, entry.imsi))
         if call is None:
             return
+        if call.admission_timer is not None:
+            call.admission_timer.stop()
         if call.direction == "mo" and call.state == "admission":
             if msg.dest_signal_address is None:
                 self._release_call(call, cause=CAUSE_NORMAL_CLEARING)
@@ -552,6 +716,8 @@ class Vmsc(MscBase):
         call = self.calls.get((msg.call_ref, entry.imsi))
         if call is None:
             return
+        if call.admission_timer is not None:
+            call.admission_timer.stop()
         self.sim.metrics.counter(f"{self.name}.admission_rejects").inc()
         if call.direction == "mo":
             conn = self.conn(call.imsi)
@@ -614,6 +780,7 @@ class Vmsc(MscBase):
             dport=PORT_H225_RAS,
             sport=PORT_H225_RAS,
         )
+        self._arm_admission_guard(call)
 
     def _mt_radio_ready(self, call: VmscCall, conn: RadioConn) -> None:
         # Step 4.5 tail: radio channel + security done; send the setup.
@@ -704,6 +871,15 @@ class Vmsc(MscBase):
     # Release: steps 3.1 - 3.4
     # ------------------------------------------------------------------
     def on_ms_disconnect(self, conn: RadioConn, cause: int) -> None:
+        fb = self._fallback_by_imsi.get(conn.imsi)
+        if fb is not None:
+            # Fallback leg: release the circuit; the RLC cleans up.
+            self.send(
+                self._pstn_trunk(),
+                IsupRel(cic=fb.cic, cause=cause),
+                interface=Interface.ISUP,
+            )
+            return
         call = self._call_by_imsi.get(conn.imsi)
         if call is None:
             return
@@ -779,6 +955,8 @@ class Vmsc(MscBase):
             self.disconnect_ms(conn, cause=cause)
 
     def _drop_call(self, call: VmscCall) -> None:
+        if call.admission_timer is not None:
+            call.admission_timer.stop()
         if call.span is not None:
             call.span.close(status="dropped")
         self.calls.pop((call.call_ref, call.imsi), None)
@@ -787,9 +965,105 @@ class Vmsc(MscBase):
             del self._call_by_imsi[call.imsi]
 
     # ------------------------------------------------------------------
+    # PSTN fallback: circuit path for calls during a GK outage
+    # ------------------------------------------------------------------
+    def _pstn_trunk(self) -> Optional[Node]:
+        links = self.links_on(Interface.ISUP)
+        return links[0].peer_of(self) if links else None
+
+    def _start_pstn_fallback(
+        self,
+        conn: RadioConn,
+        called: Optional[E164Number],
+        calling: Optional[E164Number],
+    ) -> bool:
+        """Seize an ISUP circuit for an MO call the H.323 path cannot
+        carry.  Returns ``False`` (caller clears the attempt) when no
+        trunk is wired, the number is missing, or the MS already has a
+        fallback leg."""
+        peer = self._pstn_trunk()
+        if peer is None or called is None or conn.imsi in self._fallback_by_imsi:
+            return False
+        cic = self._cic_seq.next()
+        fb = FallbackCall(cic=cic, imsi=conn.imsi, placed_at=self.sim.now)
+        self._fallback_by_cic[cic] = fb
+        self._fallback_by_imsi[conn.imsi] = fb
+        self.sim.metrics.counter(f"{self.name}.pstn_fallback_calls").inc()
+        self.sim.trace.note(
+            self.name, "PSTN_FALLBACK", imsi=str(conn.imsi), called=str(called)
+        )
+        self.send(
+            peer,
+            IsupIam(cic=cic, called=called, calling=calling),
+            interface=Interface.ISUP,
+        )
+        return True
+
+    def _drop_fallback(self, fb: FallbackCall) -> None:
+        self._fallback_by_cic.pop(fb.cic, None)
+        current = self._fallback_by_imsi.get(fb.imsi)
+        if current is fb:
+            del self._fallback_by_imsi[fb.imsi]
+
+    @handles(IsupAcm)
+    def on_isup_acm(self, msg: IsupAcm, src: Node, interface: str) -> None:
+        fb = self._fallback_by_cic.get(msg.cic)
+        if fb is None:
+            return
+        fb.state = "alerting"
+        conn = self.conns.get(fb.imsi)
+        if conn is not None:
+            self.send_alerting_to_ms(conn)
+
+    def on_isup_anm(self, msg: IsupAnm, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_isup_anm(msg, src, interface)
+            return
+        fb = self._fallback_by_cic.get(msg.cic)
+        if fb is None:
+            return
+        fb.state = "in-call"
+        fb.connected_at = self.sim.now
+        conn = self.conns.get(fb.imsi)
+        if conn is not None:
+            self.send_connect_to_ms(conn)
+
+    def on_isup_rel(self, msg: IsupRel, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_isup_rel(msg, src, interface)
+            return
+        self.send(src, IsupRlc(cic=msg.cic), interface=Interface.ISUP)
+        fb = self._fallback_by_cic.get(msg.cic)
+        if fb is None:
+            return
+        self._drop_fallback(fb)
+        conn = self.conns.get(fb.imsi)
+        if conn is not None and conn.state not in ("idle", "paging"):
+            self.disconnect_ms(conn, cause=msg.cause)
+
+    def on_isup_rlc(self, msg: IsupRlc, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_isup_rlc(msg, src, interface)
+            return
+        fb = self._fallback_by_cic.get(msg.cic)
+        if fb is not None:
+            self._drop_fallback(fb)
+
+    # ------------------------------------------------------------------
     # Voice path: TCH <-> vocoder/PCU <-> RTP over the voice PDP context
     # ------------------------------------------------------------------
     def on_uplink_voice(self, conn: RadioConn, frame: TchFrame) -> None:
+        fb = self._fallback_by_imsi.get(conn.imsi)
+        if fb is not None:
+            if fb.state == "in-call":
+                self.send(
+                    self._pstn_trunk(),
+                    PcmFrame(
+                        cic=fb.cic, seq=frame.seq, gen_time_us=frame.gen_time_us
+                    ),
+                    interface=Interface.ISUP,
+                )
+            return
         call = self._call_by_imsi.get(conn.imsi)
         if call is None or call.remote_media is None:
             self.sim.metrics.counter(f"{self.name}.voice_no_call").inc()
@@ -822,6 +1096,24 @@ class Vmsc(MscBase):
             False,
             NSAPI_VOICE,
         )
+
+    def on_pcm_frame(self, frame: PcmFrame, src: Node, interface: str) -> None:
+        if interface == Interface.E:
+            super().on_pcm_frame(frame, src, interface)
+            return
+        fb = self._fallback_by_cic.get(frame.cic)
+        if fb is None:
+            return
+        conn = self.conns.get(fb.imsi)
+        if conn is None:
+            return
+        tch = TchFrame(
+            ti=conn.ti or 0,
+            imsi=conn.imsi,
+            seq=frame.seq,
+            gen_time_us=frame.gen_time_us,
+        )
+        self.send_voice_to_ms(conn, tch)
 
     def _on_rtp(self, entry: MsTableEntry, packet: RtpPacket) -> None:
         call = self._call_by_imsi.get(entry.imsi)
@@ -885,3 +1177,6 @@ class Vmsc(MscBase):
     # ------------------------------------------------------------------
     def call_for(self, imsi: IMSI) -> Optional[VmscCall]:
         return self._call_by_imsi.get(imsi)
+
+    def fallback_for(self, imsi: IMSI) -> Optional[FallbackCall]:
+        return self._fallback_by_imsi.get(imsi)

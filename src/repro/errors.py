@@ -34,6 +34,11 @@ class AddressError(ReproError):
     """An identity (IMSI, MSISDN, IP address, ...) is malformed."""
 
 
+class FaultPlanError(ReproError):
+    """A fault plan could not be parsed, or references a link/node the
+    target topology does not have."""
+
+
 class TopologyError(ReproError):
     """The network topology is inconsistent (unknown node, duplicate link,
     message sent on an unconnected interface)."""

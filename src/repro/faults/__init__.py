@@ -1,0 +1,27 @@
+"""Deterministic fault injection (``repro.faults``).
+
+Fault schedules are first-class scenario data: a :class:`FaultPlan`
+(text/JSON grammar) applied by a :class:`FaultInjector` flips links,
+crashes nodes and impairs channels as ordinary seeded simulator events.
+See ``README.md`` ("Fault injection") for the grammar and the recovery
+counters the protocol layers emit.
+"""
+
+from repro.faults.injector import FaultInjector, apply_faults
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    LinkImpairmentFault,
+    LinkStateFault,
+    NodeCrashFault,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkImpairmentFault",
+    "LinkStateFault",
+    "NodeCrashFault",
+    "apply_faults",
+]

@@ -1,0 +1,273 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is scenario *data*: an immutable, time-ordered list
+of fault events parsed from a small line grammar (or the equivalent JSON
+document), applied to a topology by :class:`repro.faults.injector
+.FaultInjector`.  Keeping the plan declarative means the same text can
+drive a batch run, every worker of a sweep, and a live serve session —
+and travel inside a conformance-suite scenario file (ROADMAP item 3).
+
+Grammar, one event per line (``#`` comments; ``;`` also separates
+events so a whole plan fits in one shell argument)::
+
+    at 120 link VMSC--GK down for 30
+    at 150 link VMSC--GK up
+    at 200 node SGSN crash restart_after 15
+    from 60 until 90 link BSC--VMSC loss 0.05 jitter 0.002
+
+The JSON form is a list (or ``{"faults": [...]}``) of objects with a
+``kind`` of ``link`` / ``node`` / ``impair`` and the same field names::
+
+    [{"kind": "link", "at": 120, "link": "VMSC--GK", "action": "down",
+      "for": 30},
+     {"kind": "node", "at": 200, "node": "SGSN", "restart_after": 15},
+     {"kind": "impair", "from": 60, "until": 90, "link": "BSC--VMSC",
+      "loss": 0.05, "jitter": 0.002}]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import FaultPlanError
+
+
+@dataclass(frozen=True)
+class LinkStateFault:
+    """Take the ``a``--``b`` link down (or bring it back up) at ``at``;
+    ``duration`` auto-restores a downed link after that many seconds."""
+
+    at: float
+    a: str
+    b: str
+    action: str  # "down" | "up"
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class NodeCrashFault:
+    """Crash ``node`` at ``at`` — all its links drop and its volatile
+    state is lost — and restart it ``restart_after`` seconds later
+    (``None`` leaves it dead)."""
+
+    at: float
+    node: str
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkImpairmentFault:
+    """Seeded random loss/jitter on the ``a``--``b`` link from ``start``
+    until ``until`` (``None`` impairs it for the rest of the run)."""
+
+    start: float
+    a: str
+    b: str
+    loss: float = 0.0
+    jitter: float = 0.0
+    until: Optional[float] = None
+
+
+FaultEvent = Union[LinkStateFault, NodeCrashFault, LinkImpairmentFault]
+
+
+def _parse_time(token: str, line: str) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise FaultPlanError(f"bad time {token!r} in fault line {line!r}") from None
+    if value < 0:
+        raise FaultPlanError(f"negative time {token!r} in fault line {line!r}")
+    return value
+
+
+def _split_link(token: str, line: str) -> Tuple[str, str]:
+    parts = token.split("--")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise FaultPlanError(
+            f"bad link name {token!r} in fault line {line!r} (want A--B)"
+        )
+    return parts[0], parts[1]
+
+
+def _parse_at_line(tokens: List[str], line: str) -> FaultEvent:
+    # at T link A--B down [for D] | at T link A--B up
+    # at T node NAME crash [restart_after D]
+    if len(tokens) < 4:
+        raise FaultPlanError(f"truncated fault line {line!r}")
+    at = _parse_time(tokens[1], line)
+    if tokens[2] == "link":
+        a, b = _split_link(tokens[3], line)
+        rest = tokens[4:]
+        if rest[:1] == ["up"] and len(rest) == 1:
+            return LinkStateFault(at=at, a=a, b=b, action="up")
+        if rest[:1] == ["down"]:
+            if len(rest) == 1:
+                return LinkStateFault(at=at, a=a, b=b, action="down")
+            if len(rest) == 3 and rest[1] == "for":
+                duration = _parse_time(rest[2], line)
+                if duration <= 0:
+                    raise FaultPlanError(f"non-positive duration in {line!r}")
+                return LinkStateFault(
+                    at=at, a=a, b=b, action="down", duration=duration
+                )
+        raise FaultPlanError(f"bad link action in fault line {line!r}")
+    if tokens[2] == "node":
+        node = tokens[3]
+        rest = tokens[4:]
+        if rest[:1] != ["crash"]:
+            raise FaultPlanError(f"bad node action in fault line {line!r}")
+        if len(rest) == 1:
+            return NodeCrashFault(at=at, node=node)
+        if len(rest) == 3 and rest[1] == "restart_after":
+            delay = _parse_time(rest[2], line)
+            if delay <= 0:
+                raise FaultPlanError(f"non-positive restart_after in {line!r}")
+            return NodeCrashFault(at=at, node=node, restart_after=delay)
+        raise FaultPlanError(f"bad node action in fault line {line!r}")
+    raise FaultPlanError(f"unknown fault target {tokens[2]!r} in {line!r}")
+
+
+def _parse_from_line(tokens: List[str], line: str) -> FaultEvent:
+    # from T [until T2] link A--B loss P [jitter J]  (either order; at
+    # least one of loss/jitter must be present)
+    start = _parse_time(tokens[1], line)
+    rest = tokens[2:]
+    until: Optional[float] = None
+    if rest[:1] == ["until"]:
+        if len(rest) < 2:
+            raise FaultPlanError(f"truncated fault line {line!r}")
+        until = _parse_time(rest[1], line)
+        if until <= start:
+            raise FaultPlanError(f"until <= from in fault line {line!r}")
+        rest = rest[2:]
+    if rest[:1] != ["link"] or len(rest) < 4:
+        raise FaultPlanError(f"bad impairment line {line!r}")
+    a, b = _split_link(rest[1], line)
+    params = {"loss": 0.0, "jitter": 0.0}
+    pairs = rest[2:]
+    if len(pairs) % 2 != 0:
+        raise FaultPlanError(f"dangling impairment parameter in {line!r}")
+    for key, value in zip(pairs[0::2], pairs[1::2]):
+        if key not in params:
+            raise FaultPlanError(f"unknown impairment {key!r} in {line!r}")
+        params[key] = _parse_time(value, line)
+    if params["loss"] > 1.0:
+        raise FaultPlanError(f"loss probability > 1 in {line!r}")
+    if params["loss"] == 0.0 and params["jitter"] == 0.0:
+        raise FaultPlanError(f"impairment with neither loss nor jitter: {line!r}")
+    return LinkImpairmentFault(
+        start=start, a=a, b=b, loss=params["loss"], jitter=params["jitter"],
+        until=until,
+    )
+
+
+def _event_from_json(obj: Dict[str, Any]) -> FaultEvent:
+    kind = obj.get("kind")
+    try:
+        if kind == "link":
+            a, b = _split_link(str(obj["link"]), repr(obj))
+            return LinkStateFault(
+                at=float(obj["at"]), a=a, b=b,
+                action=str(obj.get("action", "down")),
+                duration=(
+                    float(obj["for"]) if obj.get("for") is not None else None
+                ),
+            )
+        if kind == "node":
+            return NodeCrashFault(
+                at=float(obj["at"]), node=str(obj["node"]),
+                restart_after=(
+                    float(obj["restart_after"])
+                    if obj.get("restart_after") is not None
+                    else None
+                ),
+            )
+        if kind == "impair":
+            a, b = _split_link(str(obj["link"]), repr(obj))
+            return LinkImpairmentFault(
+                start=float(obj["from"]), a=a, b=b,
+                loss=float(obj.get("loss", 0.0)),
+                jitter=float(obj.get("jitter", 0.0)),
+                until=(
+                    float(obj["until"]) if obj.get("until") is not None else None
+                ),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FaultPlanError(f"bad fault object {obj!r}: {exc}") from None
+    raise FaultPlanError(f"unknown fault kind {kind!r} in {obj!r}")
+
+
+def _validate(event: FaultEvent) -> FaultEvent:
+    if isinstance(event, LinkStateFault):
+        if event.action not in ("down", "up"):
+            raise FaultPlanError(f"bad link action {event.action!r}")
+        if event.duration is not None and (
+            event.action != "down" or event.duration <= 0
+        ):
+            raise FaultPlanError(f"bad duration on {event!r}")
+    elif isinstance(event, LinkImpairmentFault):
+        if not (0.0 <= event.loss <= 1.0):
+            raise FaultPlanError(f"loss out of [0, 1] on {event!r}")
+        if event.jitter < 0.0:
+            raise FaultPlanError(f"negative jitter on {event!r}")
+        if event.until is not None and event.until <= event.start:
+            raise FaultPlanError(f"until <= from on {event!r}")
+    return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-ordered fault schedule."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the line grammar or a JSON document (auto-detected)."""
+        stripped = text.strip()
+        if not stripped:
+            return cls()
+        if stripped[0] in "[{":
+            try:
+                doc = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise FaultPlanError(f"bad fault-plan JSON: {exc}") from None
+            if isinstance(doc, dict):
+                doc = doc.get("faults", [])
+            if not isinstance(doc, list):
+                raise FaultPlanError("fault-plan JSON must be a list of events")
+            return cls.of(*[_event_from_json(obj) for obj in doc])
+        events: List[FaultEvent] = []
+        for raw in stripped.replace(";", "\n").splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if tokens[0] == "at":
+                events.append(_parse_at_line(tokens, line))
+            elif tokens[0] == "from":
+                events.append(_parse_from_line(tokens, line))
+            else:
+                raise FaultPlanError(
+                    f"fault line must start with 'at' or 'from': {line!r}"
+                )
+        return cls.of(*events)
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultPlan":
+        """Build a plan from event objects, validated and time-sorted
+        (stable, so same-time events keep authoring order)."""
+        ordered = sorted(
+            (_validate(e) for e in events),
+            key=lambda e: e.start if isinstance(e, LinkImpairmentFault) else e.at,
+        )
+        return cls(events=tuple(ordered))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

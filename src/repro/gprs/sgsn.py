@@ -116,6 +116,22 @@ class Sgsn(Node):
         self._rau_pending: Dict[IMSI, dict] = {}
 
     # ------------------------------------------------------------------
+    # Fault injection: volatile state loss on crash
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """A crashed SGSN restarts empty: every MM and PDP context is
+        gone, and the peers (VMSC, GGSN) only find out when their next
+        procedure fails — which is the recovery behaviour the fault
+        scenarios measure."""
+        lost = len(self.mm_contexts) + len(self.pdp_contexts)
+        self.mm_contexts.clear()
+        self.pdp_contexts.clear()
+        self._gtp_pending.clear()
+        self._rau_pending.clear()
+        self._context_gauge.set(0)
+        self.sim.metrics.counter(f"{self.name}.crash_contexts_lost").inc(lost)
+
+    # ------------------------------------------------------------------
     # Attach / detach
     # ------------------------------------------------------------------
     @handles(GprsAttachRequest)

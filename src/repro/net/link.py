@@ -22,6 +22,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.packets.base import Packet
 
 
+class LinkImpairment:
+    """Seeded random loss/jitter installed on a link by the fault
+    injector (``repro.faults``).
+
+    Draws come from a dedicated per-link RNG stream so impairing one
+    link never perturbs any other consumer's randomness; lost frames are
+    counted (``link.<iface>.dropped_loss``) but not traced — loss under
+    load would otherwise swamp the trace.
+    """
+
+    __slots__ = ("loss", "jitter", "rng", "drops")
+
+    def __init__(self, loss: float, jitter: float, rng, drops) -> None:
+        self.loss = loss
+        self.jitter = jitter
+        self.rng = rng
+        self.drops = drops
+
+
 class Link:
     """A bidirectional link between nodes *a* and *b*.
 
@@ -58,12 +77,16 @@ class Link:
         self.bit_rate = bit_rate
         self.wire_fidelity = wire_fidelity
         self.up = True
+        #: Optional :class:`LinkImpairment`; ``None`` keeps the hot path
+        #: at a single attribute load (same pattern as ``sim.hops``).
+        self.impairment: Optional[LinkImpairment] = None
         self.tx_count = 0
         self.tx_bytes = 0
         # Per-transmit counters, resolved once: three registry lookups
         # per message otherwise show up in soak profiles.
         metrics = sim.metrics
         self._ctr_iface = metrics.counter(f"msgs.iface.{interface}")
+        self._ctr_drop_down = metrics.counter(f"link.{interface}.dropped_down")
         self._ctr_tx = {
             a.name: metrics.counter(f"msgs.tx.{a.name}"),
             b.name: metrics.counter(f"msgs.tx.{b.name}"),
@@ -90,7 +113,22 @@ class Link:
         else:
             raise TopologyError(f"{src.name!r} is not an endpoint of {self!r}")
         if not self.up:
-            self.sim.metrics.counter(f"link_drops.{self.interface}").inc()
+            # A downed link must not vanish packets silently: count the
+            # drop and leave a trace entry so failure tests can assert on
+            # exactly what was lost.
+            self._ctr_drop_down.inc()
+            trace = self.sim.trace
+            if trace.enabled:
+                name = packet.flow_name()
+                if name not in trace.quiet_names:
+                    trace.record(
+                        "drop", src.name, dst.name, self.interface, name,
+                        reason="link_down",
+                    )
+            return
+        imp = self.impairment
+        if imp is not None and imp.loss > 0.0 and imp.rng.random() < imp.loss:
+            imp.drops.inc()
             return
         delay = self.latency
         payload = packet
@@ -104,6 +142,8 @@ class Link:
                 # length bugs still surface on every hop) but field
                 # values materialise only when the receiver reads them.
                 payload = type(packet).parse(wire, lazy=True)
+        if imp is not None and imp.jitter > 0.0:
+            delay += imp.rng.random() * imp.jitter
         self.tx_count += 1
         self._ctr_iface.inc()
         self._ctr_tx[src.name].inc()

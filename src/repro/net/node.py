@@ -79,6 +79,10 @@ class Node:
     def links_on(self, interface: str) -> List[Link]:
         return self._links.get(interface, [])
 
+    def all_links(self) -> List[Link]:
+        """Every link attached to this node, in attach order."""
+        return [link for links in self._links.values() for link in links]
+
     def link_to(self, peer: Union["Node", str], interface: Optional[str] = None) -> Link:
         """Find the link toward *peer*, optionally constrained to an
         interface name.  Raises :class:`TopologyError` if absent."""
@@ -145,6 +149,18 @@ class Node:
                 return
         cache[ptype] = None
         self.on_unhandled(packet, src, interface)
+
+    def on_crash(self) -> None:
+        """Fault-injection hook: the node lost power.  The injector has
+        already flipped the node's links down; subclasses discard the
+        volatile state a real restart would lose (the SGSN drops its
+        MM/PDP contexts, for example).  Default: stateless node."""
+
+    def on_restart(self) -> None:
+        """Fault-injection hook: the node came back (links restored by
+        the injector just before this call).  Default: nothing —
+        recovery is the *peers'* job (retransmission, re-registration),
+        which is exactly what the fault scenarios measure."""
 
     def on_unhandled(self, packet, src: "Node", interface: str) -> None:
         """Default: count and trace-note unhandled packets.

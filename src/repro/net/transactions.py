@@ -9,9 +9,10 @@ concurrent transactions.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ProtocolError
+from repro.sim.timers import Timer
 
 
 class Transactions:
@@ -52,6 +53,97 @@ class Transactions:
 
     def __len__(self) -> int:
         return len(self._pending)
+
+
+class ReliableTransaction:
+    """One request retried with exponential backoff until answered.
+
+    ``send(attempt)`` transmits the request (attempt numbers start at 1);
+    if :meth:`complete` is not called within the timeout the request is
+    resent with the timeout scaled by ``backoff`` each try, up to
+    ``max_retries`` resends, then ``on_give_up()`` runs.  Everything is
+    driven by a :class:`repro.sim.timers.Timer`, so retry schedules are
+    part of the deterministic event stream.
+
+    Counters under ``counter_prefix`` (default ``txn.<name>``):
+    ``.retries`` per resend and ``.giveups`` on abandonment.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        name: str,
+        send: Callable[[int], None],
+        timeout: float = 2.0,
+        backoff: float = 2.0,
+        max_retries: int = 5,
+        on_give_up: Optional[Callable[[], None]] = None,
+        counter_prefix: Optional[str] = None,
+    ) -> None:
+        if timeout <= 0 or backoff < 1.0 or max_retries < 0:
+            raise ProtocolError(
+                f"bad retry policy for {name!r}: timeout={timeout!r} "
+                f"backoff={backoff!r} max_retries={max_retries!r}"
+            )
+        self.sim = sim
+        self.name = name
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self.state = "idle"  # idle | pending | done | failed
+        self.attempts = 0
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._send = send
+        self._on_give_up = on_give_up
+        prefix = counter_prefix if counter_prefix is not None else f"txn.{name}"
+        self._retries_ctr = sim.metrics.counter(f"{prefix}.retries")
+        self._giveups_ctr = sim.metrics.counter(f"{prefix}.giveups")
+        self._timer = Timer(sim, f"txn:{name}", timeout, self._expired)
+
+    def start(self) -> None:
+        """(Re)issue the request and arm the first timeout."""
+        self.state = "pending"
+        self.started_at = self.sim.now
+        self.completed_at = None
+        self.attempts = 0
+        self._attempt()
+
+    def _attempt(self) -> None:
+        self.attempts += 1
+        self._send(self.attempts)
+        self._timer.start(self.timeout * self.backoff ** (self.attempts - 1))
+
+    def _expired(self) -> None:
+        if self.state != "pending":
+            return
+        if self.attempts > self.max_retries:
+            self.state = "failed"
+            self._giveups_ctr.inc()
+            if self._on_give_up is not None:
+                self._on_give_up()
+            return
+        self._retries_ctr.inc()
+        self._attempt()
+
+    def complete(self) -> Optional[float]:
+        """The response arrived: stop retrying.  Returns the elapsed
+        time since :meth:`start`, or ``None`` if nothing was pending
+        (late/duplicate responses are legitimate and ignored)."""
+        if self.state != "pending":
+            return None
+        self.state = "done"
+        self.completed_at = self.sim.now
+        self._timer.stop()
+        assert self.started_at is not None
+        return self.completed_at - self.started_at
+
+    def cancel(self) -> None:
+        """Abandon without counting a give-up (e.g. the subscriber
+        detached and the answer no longer matters)."""
+        if self.state == "pending":
+            self.state = "idle"
+            self._timer.stop()
 
 
 class Sequencer:

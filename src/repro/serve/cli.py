@@ -106,6 +106,12 @@ def make_parser() -> argparse.ArgumentParser:
     topo.add_argument("--media", choices=("events", "fluid"),
                       default="fluid",
                       help="voice media model when --talk (default: fluid)")
+    topo.add_argument("--faults", metavar="PLAN",
+                      help="fault plan ('at T link A--B down for D', "
+                           "';'-separated, @FILE, or JSON) injected into "
+                           "the live topology; sim-time scheduled, so the "
+                           "paced run and its unpaced twin see identical "
+                           "faults")
 
     live = parser.add_argument_group("endpoint and alerting")
     live.add_argument("--host", default="127.0.0.1",
@@ -215,6 +221,14 @@ def build_serve_run(
         pairs = build_population(nw, args.pairs)
     for ms, _peer in pairs:
         scenarios.register_ms(nw, ms)
+
+    fault_text = _read_rules(getattr(args, "faults", None))
+    if fault_text:
+        from repro.faults import apply_faults
+
+        # Registration advanced sim time past 0; the injector clamps
+        # already-past plan times to "now", so short plans still fire.
+        apply_faults(nw, fault_text)
 
     profile = build_profile(args)
     workload = OpenLoopWorkload(

@@ -1,11 +1,14 @@
 """Failure-injection tests: core elements break mid-procedure and the
 system must degrade gracefully (no crashes, no stuck states, counters
-tell the story)."""
+tell the story).  Faults are injected through the declarative
+:mod:`repro.faults` plans, so every scenario here is expressible on the
+command line as ``--faults "..."`` too."""
 
 import pytest
 
 from repro.core import scenarios
 from repro.core.network import build_vgprs_network
+from repro.faults import apply_faults
 from repro.gprs.ggsn import Ggsn
 
 IMSI1 = "466920000000001"
@@ -18,7 +21,7 @@ class TestGatekeeperUnreachable:
         nw = build_vgprs_network(seed=61)
         ms = nw.add_ms("MS1", IMSI1, MSISDN1)
         # Sever the gatekeeper from the cloud before anything registers.
-        nw.gk.link_to(nw.cloud).up = False
+        apply_faults(nw, "at 0 link GK--IPNET down")
         return nw, ms
 
     def test_gsm_registration_still_completes(self):
@@ -94,15 +97,19 @@ class TestLinkFailuresMidCall:
         nw.sim.run(until=0.5)
         scenarios.register_ms(nw, ms)
         scenarios.call_ms_to_terminal(nw, ms, term)
-        link = nw.vmsc.link_to(nw.sgsn)
-        link.up = False
+        t = nw.sim.now
+        apply_faults(nw, f"at {t} link VMSC--SGSN down for 1.5")
         ms.start_talking(duration=0.5)
-        nw.sim.run(until=nw.sim.now + 1.0)
+        nw.sim.run(until=t + 1.0)
         assert term.frames_received == 0  # media lost
-        drops = nw.sim.metrics.counters("link_drops")
-        assert drops.get("link_drops.Gb", 0) > 0
-        # Radio-side release still works (the A/B interfaces are intact).
-        link.up = True
+        drops = nw.sim.metrics.counters("link.Gb.dropped_down")
+        assert drops.get("link.Gb.dropped_down", 0) > 0
+        # Radio-side release still works once the plan restores the link
+        # (the A/B interfaces were intact throughout).
+        nw.sim.run(until=t + 1.6)
+        assert nw.sim.metrics.counters("fault.link_up") == {
+            "fault.link_up": 1
+        }
         ms.hangup()
         assert nw.sim.run_until_true(lambda: ms.state == "idle", timeout=10)
 
@@ -113,7 +120,7 @@ class TestLinkFailuresMidCall:
         nw.sim.run(until=0.5)
         scenarios.register_ms(nw, ms)
         # MS vanishes from coverage.
-        ms.link_to(nw.btss[0]).up = False
+        apply_faults(nw, f"at {nw.sim.now} link MS1--BTS1 down")
         ref = term.place_call(ms.msisdn)
         nw.sim.run(until=nw.sim.now + 20)
         # Page timer expired, the caller was released.
@@ -129,25 +136,157 @@ class TestRecovery:
         nw = build_vgprs_network(seed=66)
         ms = nw.add_ms("MS1", IMSI1, MSISDN1)
         term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
-        gk_link = nw.gk.link_to(nw.cloud)
-        gk_link.up = False
+        apply_faults(nw, "at 0 link GK--IPNET down for 15")
         nw.sim.run(until=0.5)
         ms.power_on()
         nw.sim.run_until_true(lambda: ms.registered, timeout=30)
         assert not nw.vmsc.ms_table.get(ms.imsi).gk_registered
-        # The gatekeeper comes back; a fresh location update (e.g. MS
-        # movement) re-runs steps 1.3-1.5 and restores VoIP service.
-        gk_link.up = True
+        # The gatekeeper comes back at t=15; the VMSC's backed-off
+        # re-registration loop re-homes the MS without waiting for a
+        # fresh location update.
+        nw.sim.run(until=15.5)
         term.register()
-        nw.sim.run(until=nw.sim.now + 1.0)
-        ms.move_to(nw.btss[0].name, lai="LAI-886-1")
         assert nw.sim.run_until_true(
-            lambda: nw.vmsc.ms_table.get(ms.imsi).gk_registered
-            and ms.state == "idle",
-            timeout=30,
+            lambda: nw.vmsc.ms_table.get(ms.imsi).gk_registered,
+            timeout=60,
         )
+        assert nw.sim.metrics.counters("VMSC.gk_recoveries") == {
+            "VMSC.gk_recoveries": 1
+        }
+        mttr = nw.sim.metrics.get_histogram("fault.mttr.gk_registration")
+        assert mttr is not None and mttr.count == 1
         outcome = scenarios.call_ms_to_terminal(nw, ms, term)
         assert outcome.connected_at is not None
+
+
+class TestGkOutageRecoveryMatrix:
+    """GK outage starting at three phases of service × outage that heals
+    or persists.  Every cell must leave the system unwedged (MS idle, no
+    stuck VMSC call state, no unhandled messages); a healed outage must
+    additionally re-home the MS automatically."""
+
+    def build(self, seed):
+        nw = build_vgprs_network(seed=seed)
+        ms = nw.add_ms("MS1", IMSI1, MSISDN1)
+        term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
+        nw.sim.run(until=0.5)
+        return nw, ms, term
+
+    def assert_clean(self, nw, ms):
+        assert ms.state == "idle"
+        assert nw.vmsc.calls == {}
+        assert nw.sim.metrics.counters("unhandled") == {}
+
+    def place_failing_call(self, nw, ms):
+        """A call attempt during the outage: admission times out and the
+        call is released cleanly (no PSTN trunk here, so no fallback)."""
+        before = nw.sim.metrics.counters("VMSC.calls_without_voip").get(
+            "VMSC.calls_without_voip", 0
+        )
+        ms.place_call(TERM1)
+        assert nw.sim.run_until_true(lambda: ms.state == "idle", timeout=20)
+        nw.sim.run(until=nw.sim.now + 6.0)  # let any admission guard fire
+        after = nw.sim.metrics.counters("VMSC.calls_without_voip").get(
+            "VMSC.calls_without_voip", 0
+        )
+        assert after == before + 1
+
+    @pytest.mark.parametrize("recovers", [True, False])
+    def test_outage_before_registration(self, recovers):
+        nw, ms, term = self.build(seed=81 if recovers else 82)
+        plan = "at 0 link GK--IPNET down"
+        if recovers:
+            plan += " for 20"
+        apply_faults(nw, plan)
+        ms.power_on()
+        assert nw.sim.run_until_true(lambda: ms.registered, timeout=30)
+        assert nw.sim.metrics.counters("VMSC.gk_registration_timeouts") == {
+            "VMSC.gk_registration_timeouts": 1
+        }
+        if recovers:
+            assert nw.sim.run_until_true(
+                lambda: nw.vmsc.ms_table.get(ms.imsi).gk_registered,
+                timeout=60,
+            )
+            assert nw.sim.metrics.counters("VMSC.gk_recoveries") == {
+                "VMSC.gk_recoveries": 1
+            }
+            term.register()
+            nw.sim.run(until=nw.sim.now + 1.0)
+            outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+            assert outcome.connected_at is not None
+            scenarios.hangup_from_ms(nw, ms)
+        else:
+            # Retries back off then give up; the MS stays GSM-only and
+            # call attempts keep failing cleanly.
+            nw.sim.run(until=300.0)
+            assert nw.sim.metrics.counters("VMSC.gk_rereg.giveups") == {
+                "VMSC.gk_rereg.giveups": 1
+            }
+            assert not nw.vmsc.ms_table.get(ms.imsi).gk_registered
+            self.place_failing_call(nw, ms)
+        self.assert_clean(nw, ms)
+
+    @pytest.mark.parametrize("recovers", [True, False])
+    def test_outage_mid_setup(self, recovers):
+        nw, ms, term = self.build(seed=83 if recovers else 84)
+        scenarios.register_ms(nw, ms)
+        t = nw.sim.now
+        plan = f"at {t} link GK--IPNET down"
+        if recovers:
+            plan += " for 12"
+        apply_faults(nw, plan)
+        nw.sim.run(until=t + 0.1)
+        # The ARQ for this call is lost; the admission guard detects the
+        # outage and releases the call cleanly.
+        self.place_failing_call(nw, ms)
+        assert nw.sim.metrics.counters("VMSC.admission_timeouts") == {
+            "VMSC.admission_timeouts": 1
+        }
+        if recovers:
+            assert nw.sim.run_until_true(
+                lambda: nw.vmsc.ms_table.get(ms.imsi).gk_registered,
+                timeout=60,
+            )
+            outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+            assert outcome.connected_at is not None
+            scenarios.hangup_from_ms(nw, ms)
+        else:
+            nw.sim.run(until=nw.sim.now + 10.0)
+            assert not nw.vmsc.ms_table.get(ms.imsi).gk_registered
+            self.place_failing_call(nw, ms)
+        self.assert_clean(nw, ms)
+
+    @pytest.mark.parametrize("recovers", [True, False])
+    def test_outage_mid_call(self, recovers):
+        nw, ms, term = self.build(seed=85 if recovers else 86)
+        scenarios.register_ms(nw, ms)
+        scenarios.call_ms_to_terminal(nw, ms, term)
+        t = nw.sim.now
+        plan = f"at {t} link GK--IPNET down"
+        if recovers:
+            plan += " for 8"
+        apply_faults(nw, plan)
+        # The established call does not traverse the gatekeeper: media
+        # keeps flowing and release works (the DRQ to the GK is
+        # fire-and-forget).
+        ms.start_talking(duration=0.5)
+        nw.sim.run(until=t + 1.0)
+        assert term.frames_received > 0
+        scenarios.hangup_from_ms(nw, ms)
+        if recovers:
+            nw.sim.run(until=t + 9.0)
+            outcome = scenarios.call_ms_to_terminal(nw, ms, term)
+            assert outcome.connected_at is not None
+            scenarios.hangup_from_ms(nw, ms)
+        else:
+            # The next call attempt discovers the outage via the
+            # admission guard and fails cleanly.
+            self.place_failing_call(nw, ms)
+            assert nw.sim.metrics.counters("VMSC.admission_timeouts") == {
+                "VMSC.admission_timeouts": 1
+            }
+        self.assert_clean(nw, ms)
 
 
 class TestRadioCongestion:

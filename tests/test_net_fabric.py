@@ -150,7 +150,9 @@ class TestLinkBehaviour:
         a.send(b, Ping(n=1))
         sim.run()
         assert b.pings == []
-        assert sim.metrics.counters("link_drops") == {"link_drops.test": 1}
+        assert sim.metrics.counters("link.test.dropped_down") == {
+            "link.test.dropped_down": 1
+        }
 
     def test_wire_fidelity_reparses(self):
         sim = Simulator()
