@@ -236,6 +236,62 @@ def test_micro_soak_with_series(benchmark):
     assert len(sampler.buckets) >= 100
 
 
+def _traced_soak():
+    """The workload soak with tracing *enabled* (bounded window, the
+    monitoring configuration) — the baseline the flight-recorder pair
+    shares, since the recorder rides the trace sink and measuring it
+    against a trace-off soak would charge it for tracing itself."""
+    nw = build_vgprs_network(seed=7, wire_fidelity=False)
+    nw.sim.trace.set_limit(8192)
+    pairs = build_population(nw, size=20, answer_delay=1.5)
+    nw.sim.run(until=0.5)
+    for ms, _ in pairs:
+        scenarios.register_ms(nw, ms)
+    wl = CallWorkload(nw, pairs, call_rate=0.5, hold_range=(2.0, 6.0),
+                      talk=False)
+    return nw, wl
+
+
+def test_micro_soak_traced(benchmark):
+    """120 simulated seconds of the workload soak with a bounded trace
+    window armed — the flight-recorder pair's baseline."""
+
+    def run_soak():
+        nw, wl = _traced_soak()
+        wl.start()
+        nw.sim.run(until=nw.sim.now + 120.0)
+        wl.stop()
+        return wl.stats
+
+    stats = benchmark.pedantic(run_soak, rounds=5, iterations=1)
+    assert stats.connected > 100
+    assert stats.completion_ratio > 0.9
+
+
+def test_micro_soak_flight_recorder(benchmark):
+    """The traced soak with a :class:`FlightRecorder` armed (rings
+    filling from the trace sink and span closures; no incident ever
+    triggers).  Paired with ``test_micro_soak_traced`` by
+    ``check_overhead.py``: the recorder budget bounds the cost of the
+    always-on rings over an identical traced run."""
+    from repro.obs.recorder import FlightRecorder
+
+    def run_soak():
+        nw, wl = _traced_soak()
+        recorder = FlightRecorder(nw.sim, run="bench").arm()
+        wl.start()
+        nw.sim.run(until=nw.sim.now + 120.0)
+        wl.stop()
+        recorder.flush()
+        return wl.stats, recorder
+
+    stats, recorder = benchmark.pedantic(run_soak, rounds=5, iterations=1)
+    assert stats.connected > 100
+    assert stats.completion_ratio > 0.9
+    assert len(recorder.entries) > 0
+    assert not recorder.bundles  # nothing triggered: pure ring cost
+
+
 def _open_loop_soak():
     """The serve-mode soak shape: 20 pairs under open-loop Poisson
     arrivals matching the plain soak's offered load (0.5 calls/s per

@@ -133,6 +133,14 @@ def summarise(raw: dict, baselines: Dict[str, float]) -> dict:
         out["derived"]["series_sampler_overhead_x"] = (
             with_series["min_s"] / plain["min_s"]
         )
+    with_recorder = out["benchmarks"].get("test_micro_soak_flight_recorder")
+    traced = out["benchmarks"].get("test_micro_soak_traced")
+    if with_recorder and traced:
+        # The recorder rides the trace sink, so its honest baseline is
+        # the traced soak, not the trace-off one.
+        out["derived"]["flight_recorder_overhead_x"] = (
+            with_recorder["min_s"] / traced["min_s"]
+        )
     return out
 
 

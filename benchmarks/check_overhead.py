@@ -42,6 +42,11 @@ VOICE_SOAK_SIM_SECONDS = 600.0
 #: machine-independent).
 PACING_PAIR = ("test_micro_soak_served", "test_micro_soak_openloop")
 
+#: (recorded, traced) soak pair: the always-on flight recorder rides
+#: the trace sink, so its cost is measured against the *traced* soak —
+#: fresh-vs-fresh like the series and pacing pairs.
+RECORDER_PAIR = ("test_micro_soak_flight_recorder", "test_micro_soak_traced")
+
 
 def check(fresh: dict, baseline: dict, tolerance: float) -> list:
     failures = []
@@ -109,6 +114,29 @@ def check_pacing(fresh: dict, tolerance: float) -> list:
     return []
 
 
+def check_recorder(fresh: dict, tolerance: float) -> list:
+    """Guard the flight recorder's soak overhead: the recorder-armed
+    traced soak against the plain traced soak from the *same* fresh run
+    (fresh-vs-fresh; ring appends are O(1) and capture never triggers,
+    so this bounds the always-on cost)."""
+    fresh_by_name = {b["name"]: b["stats"] for b in fresh.get("benchmarks", [])}
+    recorded, plain = RECORDER_PAIR
+    a = fresh_by_name.get(recorded)
+    b = fresh_by_name.get(plain)
+    if a is None or b is None:
+        print("recorder overhead: skipped (traced soak pair not in input)")
+        return []
+    ratio = a["min"] / b["min"]
+    verdict = "ok" if ratio <= tolerance else "REGRESSION"
+    print(
+        f"flight recorder overhead: traced {b['min']:.5f}s, recorded "
+        f"{a['min']:.5f}s ({ratio:.2f}x, budget {tolerance:.2f}x) {verdict}"
+    )
+    if ratio > tolerance:
+        return [("flight_recorder_overhead", ratio)]
+    return []
+
+
 def check_soak_throughput(fresh: dict, baseline: dict, tolerance: float) -> list:
     """Guard the headline soak throughput: the fresh voice-soak run,
     converted to simulated-seconds-per-wall-second, must not fall more
@@ -164,6 +192,14 @@ def main(argv=None) -> int:
              "quantum — measured ~1.25x — hence the default: 1.40)",
     )
     parser.add_argument(
+        "--recorder-tolerance",
+        type=float,
+        default=1.15,
+        help="allowed recorder-armed/traced soak min-time ratio "
+             "(fresh-vs-fresh; the recorder's deque appends ride the "
+             "already-armed trace sink — default: 1.15)",
+    )
+    parser.add_argument(
         "--soak-tolerance",
         type=float,
         default=1.10,
@@ -180,6 +216,7 @@ def main(argv=None) -> int:
     failures = check(fresh, baseline, args.tolerance)
     failures += check_series(fresh, args.series_tolerance)
     failures += check_pacing(fresh, args.pacing_tolerance)
+    failures += check_recorder(fresh, args.recorder_tolerance)
     failures += check_soak_throughput(fresh, baseline, args.soak_tolerance)
     if failures:
         names = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)

@@ -14,8 +14,11 @@ Scenarios:
   see ``python -m repro lint --help``;
 * ``serve``          — run the simulation as a live service: wall-clock
   pacing, open-loop Poisson load, a Prometheus scrape endpoint
-  (``/metrics``, ``/status``, ``/alerts``) and live alert lifecycles;
-  see ``python -m repro serve --help``.
+  (``/metrics``, ``/status``, ``/alerts``, ``/incidents``) and live
+  alert lifecycles; see ``python -m repro serve --help``;
+* ``analyze``        — post-mortem blast-radius analysis of incident
+  bundles captured by the always-on flight recorder; see
+  ``python -m repro analyze --help``.
 
 Every scenario accepts the observability flags:
 
@@ -35,7 +38,10 @@ Every scenario accepts the observability flags:
   threshold", ';'-separated, or @file); violations exit nonzero;
 * ``--faults PLAN``      — deterministic fault plan ("at 120 link
   VMSC--GK down for 30", ';'-separated, @file, or JSON) injected into
-  the topology (call and sweep scenarios).
+  the topology (call and sweep scenarios);
+* ``--incident-dir DIR`` — write flight-recorder incident bundles
+  (captured around faults, alert trips, and nonzero exits) to DIR,
+  ready for ``python -m repro analyze DIR``.
 """
 
 from __future__ import annotations
@@ -54,8 +60,10 @@ def demo_call(obs: ObsSession, media: str = "events", faults=None) -> None:
 
     nw = build_vgprs_network()
     apply_media(nw.sim, media)
-    apply_faults(nw, faults)
+    # Watch before arming faults so the always-on flight recorder sees
+    # the FAULT_PLAN_ARMED note and captures around the fault window.
     obs.watch(nw.sim, run="call")
+    apply_faults(nw, faults)
     ms = nw.add_ms("MS1", "466920000000001", "+886935000001")
     term = nw.add_terminal("TERM1", "+886222000001", answer_delay=0.6)
     nw.sim.run(until=0.5)
@@ -225,6 +233,7 @@ def demo_sweep(
     for result in results:
         obs.extra_snapshots.extend(result.snapshots())
         obs.extra_series.extend(result.series())
+        obs.extra_incidents.extend(result.incidents())
 
 
 SCENARIOS = {
@@ -250,6 +259,11 @@ def main(argv=None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["analyze"]:
+        # Post-mortem analysis likewise owns its flag set.
+        from repro.obs.analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="vGPRS reproduction demos",
@@ -340,6 +354,13 @@ def main(argv=None) -> int:
              "or @FILE / JSON) injected into the topology; sweep workers "
              "arm the same plan on every point (call and sweep scenarios)",
     )
+    parser.add_argument(
+        "--incident-dir",
+        metavar="DIR",
+        help="write flight-recorder incident bundles (captured around "
+             "faults, alert trips, and nonzero exits) to DIR for "
+             "'python -m repro analyze'",
+    )
     args = parser.parse_args(argv)
     slo = args.slo
     if slo and slo.startswith("@"):
@@ -359,6 +380,7 @@ def main(argv=None) -> int:
         timeline_out=args.timeline_out,
         waterfall=args.waterfall,
         slo=slo,
+        incident_dir=args.incident_dir,
     )
     if args.scenario == "sweep":
         demo_sweep(args.experiment, obs, jobs=args.jobs,

@@ -18,6 +18,7 @@ from repro.core.network import LatencyProfile, build_vgprs_network
 from repro.errors import SimulationError
 from repro.faults import apply_faults
 from repro.media import install_fluid
+from repro.obs.recorder import FlightRecorder
 from repro.obs.series import SeriesSampler
 
 IMSI1 = "466920000000001"
@@ -41,6 +42,20 @@ def _finish_series(sampler: SeriesSampler) -> Dict[str, Any]:
     return sampler.to_dict()
 
 
+def _record(nw, sampler: SeriesSampler, run: str = "sweep") -> FlightRecorder:
+    """Arm a flight recorder on a worker's network.  Armed *before*
+    ``apply_faults`` so the recorder sees FAULT_PLAN_ARMED and captures
+    incident bundles around the fault window."""
+    recorder = FlightRecorder(nw.sim, run=run).arm()
+    recorder.attach_sampler(sampler)
+    return recorder
+
+
+def _finish_recorder(recorder: FlightRecorder) -> List[Dict[str, Any]]:
+    recorder.flush()
+    return list(recorder.bundles)
+
+
 # ----------------------------------------------------------------------
 # E8 — call-setup latency vs. packet-core latency factor
 # ----------------------------------------------------------------------
@@ -61,17 +76,21 @@ def _collect(
     snapshots: Optional[List[Dict[str, Any]]],
     nw,
     sampler: Optional[SeriesSampler] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> None:
     """Append the network's metrics snapshot — and its sampler's time
-    series — when a collector is given (sweep workers run in their own
-    processes; only artefacts embedded in the result value can reach
-    ``--metrics-out``/``--series-out``).  Snapshot and series dicts
-    share the list; ``find_snapshots``/``find_series`` tell them apart
-    by shape."""
+    series and its recorder's incident bundles — when a collector is
+    given (sweep workers run in their own processes; only artefacts
+    embedded in the result value can reach ``--metrics-out``/
+    ``--series-out``/``--incident-dir``).  Snapshot, series and bundle
+    dicts share the list; ``find_snapshots``/``find_series``/
+    ``find_incidents`` tell them apart by shape."""
     if snapshots is not None:
         snapshots.append(nw.sim.metrics.snapshot())
         if sampler is not None:
             snapshots.append(_finish_series(sampler))
+        if recorder is not None:
+            snapshots.extend(_finish_recorder(recorder))
 
 
 def vgprs_mt(
@@ -82,8 +101,9 @@ def vgprs_mt(
     """MT setup-path delay (caller's Q.931 Setup -> called endpoint) in
     vGPRS, where the PDP context is already activated."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
-    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
+    recorder = _record(nw, sampler)
+    apply_faults(nw, faults, strict=False)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
     term = nw.add_terminal("TERM1", TERM1)
     nw.sim.run(until=0.5)
@@ -91,7 +111,7 @@ def vgprs_mt(
     nw.sim.run(until=nw.sim.now + 6.0)  # idle; vGPRS keeps the context
     nw.sim.trace.clear()
     delay = _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
-    _collect(snapshots, nw, sampler)
+    _collect(snapshots, nw, sampler, recorder)
     return delay
 
 
@@ -103,8 +123,9 @@ def tgtr_mt(
     """MT setup-path delay in the 3G TR 23.923 baseline, which must
     re-activate the PDP context per call arrival."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
-    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
+    recorder = _record(nw, sampler)
+    apply_faults(nw, faults, strict=False)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1, answer_delay=5.0)
     term = nw.add_terminal("TERM1", TERM1)
     nw.sim.run(until=0.5)
@@ -113,7 +134,7 @@ def tgtr_mt(
     nw.sim.run(until=nw.sim.now + 6.0)  # idle; 3G TR tore the context down
     nw.sim.trace.clear()
     delay = _setup_path_delay(nw, lambda: term.place_call(ms.msisdn))
-    _collect(snapshots, nw, sampler)
+    _collect(snapshots, nw, sampler, recorder)
     return delay
 
 
@@ -125,8 +146,9 @@ def vgprs_mo_admission(
     """MO side: time from A_Setup at the VMSC to the ACF returning —
     immediate in vGPRS because the signalling context exists."""
     nw = build_vgprs_network(latencies=LatencyProfile().scaled_core(factor))
-    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
+    recorder = _record(nw, sampler)
+    apply_faults(nw, faults, strict=False)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
     term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
     nw.sim.run(until=0.5)
@@ -137,7 +159,7 @@ def vgprs_mo_admission(
     trace = nw.sim.trace
     a_setup = trace.messages(name="A_Setup", since=since)[0]
     acf = trace.messages(name="RAS_ACF", dst="VMSC", since=since)[0]
-    _collect(snapshots, nw, sampler)
+    _collect(snapshots, nw, sampler, recorder)
     return acf.time - a_setup.time
 
 
@@ -148,8 +170,9 @@ def tgtr_mo_admission(
 ) -> float:
     """MO side in 3G TR: PDP activation precedes the ARQ."""
     nw = build_3gtr_network(latencies=LatencyProfile().scaled_core(factor))
-    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
+    recorder = _record(nw, sampler)
+    apply_faults(nw, faults, strict=False)
     ms = nw.add_ms("MS1", IMSI1, MSISDN1)
     term = nw.add_terminal("TERM1", TERM1, answer_delay=0.3)
     nw.sim.run(until=0.5)
@@ -161,7 +184,7 @@ def tgtr_mo_admission(
     trace = nw.sim.trace
     assert nw.sim.run_until_true(lambda: ms.state == "in-call", timeout=60)
     acf = trace.messages(name="RAS_ACF", since=since)[0]
-    _collect(snapshots, nw, sampler)
+    _collect(snapshots, nw, sampler, recorder)
     return acf.time - since
 
 
@@ -213,8 +236,9 @@ def vgprs_under_load(
     """Voice-quality metrics with *num_calls* concurrent circuit calls."""
     nw = build_vgprs_network(tch_capacity=tch_capacity)
     apply_media(nw.sim, media)
-    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
+    recorder = _record(nw, sampler)
+    apply_faults(nw, faults, strict=False)
     pairs = []
     for i in range(num_calls):
         ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}")
@@ -251,6 +275,7 @@ def vgprs_under_load(
         # this is the only way their metrics reach --metrics-out.
         "metrics": nw.sim.metrics.snapshot(),
         "series": _finish_series(sampler),
+        "incidents": _finish_recorder(recorder),
     }
 
 
@@ -264,8 +289,9 @@ def tgtr_under_load(
     packet channel."""
     nw = build_3gtr_network(packet_channel_bps=channel_bps)
     apply_media(nw.sim, media)
-    apply_faults(nw, faults, strict=False)
     sampler = _sample(nw)
+    recorder = _record(nw, sampler)
+    apply_faults(nw, faults, strict=False)
     pairs = []
     for i in range(num_calls):
         ms = nw.add_ms(f"MS{i}", f"46692000000100{i}", f"+88693500010{i}",
@@ -303,6 +329,7 @@ def tgtr_under_load(
         "within_budget": min(within) if within else 0.0,
         "metrics": nw.sim.metrics.snapshot(),
         "series": _finish_series(sampler),
+        "incidents": _finish_recorder(recorder),
     }
 
 
@@ -332,8 +359,9 @@ def residency_point(
 
     def run(builder, is_vgprs):
         nw = builder()
-        apply_faults(nw, faults, strict=False)
         sampler = _sample(nw)
+        recorder = _record(nw, sampler)
+        apply_faults(nw, faults, strict=False)
         if is_vgprs:
             ms = nw.add_ms("MS1", IMSI1, MSISDN1)
             term = nw.add_terminal("TERM1", TERM1, answer_delay=0.2)
@@ -375,11 +403,11 @@ def residency_point(
             "SGSN.pdp_activations", 0
         ) - activations0
         residency = nw.sgsn.context_residency() - base_residency
-        return residency, activations, nw.sim.metrics.snapshot(), \
-            _finish_series(sampler)
+        return (residency, activations, nw.sim.metrics.snapshot(),
+                _finish_series(sampler), _finish_recorder(recorder))
 
-    v_res, v_act, v_snap, v_series = run(build_vgprs_network, True)
-    t_res, t_act, t_snap, t_series = run(build_3gtr_network, False)
+    v_res, v_act, v_snap, v_series, v_inc = run(build_vgprs_network, True)
+    t_res, t_act, t_snap, t_series, t_inc = run(build_3gtr_network, False)
     return {
         "vgprs_residency": v_res,
         "vgprs_activations": v_act,
@@ -387,4 +415,5 @@ def residency_point(
         "tgtr_activations": t_act,
         "metrics": [v_snap, t_snap],
         "series": [v_series, t_series],
+        "incidents": v_inc + t_inc,
     }

@@ -28,6 +28,25 @@ from repro.net.node import Network, Node
 from repro.sim.kernel import Simulator
 
 
+#: Counter families every armed injector pre-registers, so scrapes and
+#: alert rules see stable names from t=0 instead of counters popping
+#: into existence at the first fault.
+FAULT_COUNTERS = (
+    "fault.link_down",
+    "fault.link_up",
+    "fault.node_crash",
+    "fault.node_restart",
+    "fault.impair_on",
+    "fault.impair_off",
+    "fault.unresolved",
+)
+
+#: Recovery-latency histogram families pre-registered at arm time; the
+#: MTTR names SLO rules and ``repro analyze`` report on must exist (at
+#: count 0) before the first recovery completes.
+FAULT_HISTOGRAMS = ("fault.mttr.gk_registration",)
+
+
 class FaultInjector:
     """Schedules a plan's link flips, crashes and impairments.
 
@@ -73,6 +92,19 @@ class FaultInjector:
         if self.armed:
             raise FaultPlanError("fault injector already armed")
         self.armed = True
+        for name in FAULT_COUNTERS:
+            self.sim.metrics.counter(name)
+        for name in FAULT_HISTOGRAMS:
+            self.sim.metrics.histogram(name)
+        # The armed plan rides the trace so passive observers (the
+        # flight recorder) can embed it in incident bundles without a
+        # side channel to the injector.
+        self.sim.trace.note(
+            "FAULTS",
+            "FAULT_PLAN_ARMED",
+            events=self.plan.to_json_events(),
+            n_events=len(self.plan),
+        )
         now = self.sim.now
         for event in self.plan.events:
             try:

@@ -73,6 +73,29 @@ class LinkImpairmentFault:
 FaultEvent = Union[LinkStateFault, NodeCrashFault, LinkImpairmentFault]
 
 
+def event_to_json(event: FaultEvent) -> Dict[str, Any]:
+    """Serialize one event back to the JSON-grammar object form, so an
+    armed plan can travel inside trace notes and incident bundles and
+    round-trip through :meth:`FaultPlan.parse`."""
+    obj: Dict[str, Any]
+    if isinstance(event, LinkStateFault):
+        obj = {"kind": "link", "at": event.at,
+               "link": f"{event.a}--{event.b}", "action": event.action}
+        if event.duration is not None:
+            obj["for"] = event.duration
+    elif isinstance(event, NodeCrashFault):
+        obj = {"kind": "node", "at": event.at, "node": event.node}
+        if event.restart_after is not None:
+            obj["restart_after"] = event.restart_after
+    else:
+        obj = {"kind": "impair", "from": event.start,
+               "link": f"{event.a}--{event.b}",
+               "loss": event.loss, "jitter": event.jitter}
+        if event.until is not None:
+            obj["until"] = event.until
+    return obj
+
+
 def _parse_time(token: str, line: str) -> float:
     try:
         value = float(token)
@@ -255,6 +278,11 @@ class FaultPlan:
                     f"fault line must start with 'at' or 'from': {line!r}"
                 )
         return cls.of(*events)
+
+    def to_json_events(self) -> List[Dict[str, Any]]:
+        """The plan as a list of JSON-grammar event objects (parseable
+        back with :meth:`parse`)."""
+        return [event_to_json(event) for event in self.events]
 
     @classmethod
     def of(cls, *events: FaultEvent) -> "FaultPlan":

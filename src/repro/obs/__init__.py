@@ -17,6 +17,10 @@ Layers on the :mod:`repro.sim` primitives (``TraceRecorder``,
   spans and link hops;
 * :mod:`repro.obs.slo` — declarative SLO rules evaluated over series
   windows, with deterministic violation collection;
+* :mod:`repro.obs.recorder` — always-on bounded flight recorder and
+  incident bundle capture;
+* :mod:`repro.obs.analyze` — ``python -m repro analyze``: post-mortem
+  blast-radius reports over incident bundles;
 * :mod:`repro.obs.session` — the ``python -m repro`` flag plumbing.
 
 Nothing here imports :mod:`repro.sim.kernel` (the kernel imports the
@@ -26,14 +30,21 @@ span tracker and profiler), so the dependency arrow stays one-way.
 from repro.obs.export import (
     export_trace_jsonl,
     find_snapshots,
+    is_incident,
     is_snapshot,
     merge_snapshots,
     render_span_tree,
 )
 from repro.obs.heartbeat import Heartbeat
-from repro.obs.hops import HopRecorder, HopSegment, render_waterfall
+from repro.obs.hops import HopRecorder, HopSegment, render_bar, render_waterfall
 from repro.obs.profiler import KernelProfiler
 from repro.obs.prom import render_prometheus, sanitize_name
+from repro.obs.recorder import (
+    FlightRecorder,
+    find_incidents,
+    merge_incidents,
+    plain_value,
+)
 from repro.obs.series import (
     SeriesSampler,
     find_series,
@@ -54,6 +65,7 @@ from repro.obs.timeline import export_runs_timeline, export_timeline
 
 __all__ = [
     "CORRELATION_FIELDS",
+    "FlightRecorder",
     "Heartbeat",
     "HopRecorder",
     "HopSegment",
@@ -69,13 +81,18 @@ __all__ = [
     "export_runs_timeline",
     "export_timeline",
     "export_trace_jsonl",
+    "find_incidents",
     "find_series",
     "find_snapshots",
+    "is_incident",
     "is_series",
     "is_snapshot",
+    "merge_incidents",
     "merge_series",
     "merge_snapshots",
     "parse_slo_rules",
+    "plain_value",
+    "render_bar",
     "render_prometheus",
     "render_slo_report",
     "render_span_tree",

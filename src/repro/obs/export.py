@@ -26,6 +26,13 @@ from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
 #: sweep results (:func:`find_snapshots`).
 _SNAPSHOT_KEYS = frozenset({"sim_time", "counters", "gauges", "histograms"})
 
+#: Keys whose presence marks a dict as an incident bundle
+#: (:class:`repro.obs.recorder.FlightRecorder`).  Defined here (not in
+#: the recorder module) so the snapshot and series walks can skip
+#: bundles without an import cycle — a bundle embeds its own metrics
+#: snapshot, which must not double-count into ``--metrics-out``.
+_INCIDENT_KEYS = frozenset({"incident", "triggers", "window", "entries"})
+
 
 # ----------------------------------------------------------------------
 # JSONL trace export
@@ -131,12 +138,22 @@ def is_snapshot(value: Any) -> bool:
     return isinstance(value, dict) and _SNAPSHOT_KEYS.issubset(value.keys())
 
 
+def is_incident(value: Any) -> bool:
+    """True when *value* looks like a flight-recorder incident bundle
+    (:meth:`repro.obs.recorder.FlightRecorder` output)."""
+    return isinstance(value, dict) and _INCIDENT_KEYS.issubset(value.keys())
+
+
 def find_snapshots(value: Any) -> List[Dict[str, Any]]:
     """Recursively collect metric snapshots from an arbitrary sweep
     result value, walking dicts in sorted-key order and sequences in
-    index order so the collection is deterministic."""
+    index order so the collection is deterministic.  Incident bundles
+    are opaque leaves: the snapshot a bundle embeds describes that
+    incident, not the run's exportable totals."""
     found: List[Dict[str, Any]] = []
-    if is_snapshot(value):
+    if is_incident(value):
+        pass
+    elif is_snapshot(value):
         found.append(value)
     elif isinstance(value, dict):
         for key in sorted(value, key=str):

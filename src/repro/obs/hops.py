@@ -176,6 +176,21 @@ def waterfall_rows(span: Any, hops: HopRecorder) -> List[Dict[str, Any]]:
     return rows
 
 
+def render_bar(share: float, width: int = 32, offset: float = 0.0) -> str:
+    """Fixed-width ASCII bar: ``offset`` share of leading dots, a
+    ``share``-wide ``#`` fill (at least one cell when nonzero), dots to
+    the end.  The waterfall's bar primitive, reused by the incident
+    timeline (:mod:`repro.obs.analyze`)."""
+    offset = min(max(offset, 0.0), 1.0)
+    share = min(max(share, 0.0), 1.0 - offset)
+    lead = int(round(offset * width))
+    filled = int(round(share * width))
+    if share > 0:
+        filled = max(filled, 1)
+    filled = min(filled, width - lead)
+    return "." * lead + "#" * filled + "." * (width - lead - filled)
+
+
 def render_waterfall(span: Any, hops: HopRecorder, width: int = 32) -> str:
     """ASCII latency waterfall for one procedure span.
 
@@ -195,9 +210,7 @@ def render_waterfall(span: Any, hops: HopRecorder, width: int = 32) -> str:
         return "\n".join(lines)
     name_w = max(len(r["interface"]) for r in rows)
     for row in rows:
-        filled = int(round(row["share"] * width))
-        filled = min(max(filled, 1 if row["time"] > 0 else 0), width)
-        bar = "#" * filled + "." * (width - filled)
+        bar = render_bar(row["share"], width)
         lines.append(
             f"  {row['interface']:<{name_w}}  {bar}  "
             f"{row['time']:.3f}s  {row['share']:4.0%}  ({row['hops']} hops)"

@@ -35,7 +35,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.obs.export import _merge_histograms
+from repro.obs.export import _merge_histograms, is_incident
 
 #: Keys whose presence marks a dict as a serialised series when
 #: scanning sweep results (:func:`find_series`).
@@ -229,9 +229,12 @@ def find_series(value: Any) -> List[Dict[str, Any]]:
     """Recursively collect serialised series from an arbitrary sweep
     result value; the walk order matches
     :func:`repro.obs.export.find_snapshots` (sorted dict keys, sequence
-    index order), so collection is deterministic."""
+    index order), so collection is deterministic.  Incident bundles are
+    opaque leaves, mirroring the snapshot walk."""
     found: List[Dict[str, Any]] = []
-    if is_series(value):
+    if is_incident(value):
+        pass
+    elif is_series(value):
         found.append(value)
     elif isinstance(value, dict):
         for key in sorted(value, key=str):

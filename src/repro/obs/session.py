@@ -11,12 +11,14 @@ is built, and writes every artefact at the end.  Kept in the library
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.export import export_trace_jsonl, merge_snapshots
 from repro.obs.heartbeat import Heartbeat
 from repro.obs.hops import HopRecorder, render_waterfall
 from repro.obs.prom import render_prometheus
+from repro.obs.recorder import FlightRecorder, merge_incidents
 from repro.obs.series import SeriesSampler, merge_series
 from repro.obs.slo import (
     SloRule,
@@ -46,6 +48,7 @@ class ObsSession:
         waterfall: bool = False,
         slo: Optional[str] = None,
         force_series: bool = False,
+        incident_dir: Optional[str] = None,
     ) -> None:
         self.trace_out = trace_out
         self.metrics_out = metrics_out
@@ -58,6 +61,10 @@ class ObsSession:
         #: Arm a series sampler even without --series-out/--slo; serve
         #: mode needs the bucket cadence for its alert lifecycle.
         self.force_series = force_series
+        #: Directory incident bundles are written to at finish (the
+        #: flight recorder itself is always on — capture is free until
+        #: something triggers).
+        self.incident_dir = incident_dir
         #: Appended to each heartbeat line (serve mode: workload stats).
         self.heartbeat_extra: Optional[Callable[[], str]] = None
         #: Parsed SLO rules (grammar errors surface before any sim runs).
@@ -68,17 +75,20 @@ class ObsSession:
         self._heartbeats: List[Heartbeat] = []
         self._samplers: List[Tuple[str, SeriesSampler]] = []
         self._watchdogs: List[Tuple[str, SloWatchdog]] = []
+        self._recorders: List[Tuple[str, FlightRecorder]] = []
         #: Extra metric snapshots merged into --metrics-out (sweeps).
         self.extra_snapshots: List[Dict[str, Any]] = []
         #: Extra serialised series merged into --series-out (sweeps).
         self.extra_series: List[Dict[str, Any]] = []
+        #: Extra incident bundles merged into --incident-dir (sweeps).
+        self.extra_incidents: List[Dict[str, Any]] = []
 
     @property
     def active(self) -> bool:
         return bool(
             self.trace_out or self.metrics_out or self.profile
             or self.heartbeat or self.series_out or self.timeline_out
-            or self.waterfall or self.slo_rules
+            or self.waterfall or self.slo_rules or self.incident_dir
         )
 
     @property
@@ -95,6 +105,10 @@ class ObsSession:
         if any(existing is sim for _, existing in self._sims):
             return
         self._sims.append((run, sim))
+        # The flight recorder is always on: bounded rings, O(1) appends,
+        # no events scheduled — capture costs nothing until triggered.
+        recorder = FlightRecorder(sim, run=run).arm()
+        self._recorders.append((run, recorder))
         if self.profile:
             sim.enable_profiler()
         if self.heartbeat:
@@ -109,6 +123,7 @@ class ObsSession:
             if self.slo_rules:
                 dog = SloWatchdog(self.slo_rules).attach(sampler)
                 self._watchdogs.append((run, dog))
+            recorder.attach_sampler(sampler)
             sampler.start()
             self._samplers.append((run, sampler))
         if self._wants_hops and sim.hops is None:
@@ -120,6 +135,14 @@ class ObsSession:
         for _, sampler in self._samplers:
             if sampler.sim is sim:
                 return sampler
+        return None
+
+    def recorder_for(self, sim: Any) -> Optional[FlightRecorder]:
+        """The flight recorder :meth:`watch` armed on *sim* — serve mode
+        wires it to the alert manager and the run loop."""
+        for _, recorder in self._recorders:
+            if recorder.sim is sim:
+                return recorder
         return None
 
     def finish(self, echo: Callable[[str], None] = print) -> int:
@@ -190,6 +213,36 @@ class ObsSession:
             echo(render_slo_report(results, title="SLO [sweep]"))
             if any(not r.ok for r in results):
                 self.exit_code = 1
+        if self.exit_code:
+            # A nonzero exit is itself an incident: capture the tail of
+            # every watched run so the failure is explainable post hoc.
+            for _run, recorder in self._recorders:
+                recorder.capture_now(f"exit:{self.exit_code}")
+        for _run, recorder in self._recorders:
+            recorder.flush()
+        if self.incident_dir:
+            bundles = merge_incidents(
+                [b for _, rec in self._recorders for b in rec.bundles]
+                + list(self.extra_incidents)
+            )
+            os.makedirs(self.incident_dir, exist_ok=True)
+            for bundle in bundles:
+                path = os.path.join(
+                    self.incident_dir,
+                    f"incident-{bundle['incident']:03d}.json",
+                )
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(bundle, fh, indent=1, sort_keys=True,
+                              default=str)
+                    fh.write("\n")
+            echo(
+                f"{len(bundles)} incident bundle(s) written to "
+                f"{self.incident_dir} (analyze with "
+                f"'python -m repro analyze {self.incident_dir}')"
+                if bundles else
+                f"no incidents captured; nothing written to "
+                f"{self.incident_dir}"
+            )
         if self.profile:
             for run, sim in self._sims:
                 profiler = sim.profiler

@@ -160,6 +160,10 @@ class SpanTracker:
         #: Retention bound; when exceeded, the oldest *closed* half is
         #: discarded in one batch, mirroring TraceRecorder.set_limit.
         self.max_spans: Optional[int] = None
+        #: Called with each span as it closes (after deregistration);
+        #: the flight recorder hooks in here.  Kept as a plain attribute
+        #: so the no-observer close costs one attribute load.
+        self.on_close: Optional[Callable[[Span], None]] = None
         self._seq = 0
         # (field, str(value)) -> open spans registered under that key,
         # in open order; the innermost match is the last element.
@@ -228,6 +232,9 @@ class SpanTracker:
                 pass
             if not bucket:
                 del self._open_by_key[(field, value)]
+        hook = self.on_close
+        if hook is not None:
+            hook(span)
 
     def _trim(self) -> None:
         keep = self.max_spans // 2

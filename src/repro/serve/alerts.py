@@ -88,6 +88,9 @@ class AlertManager:
         self.transitions: List[Dict[str, Any]] = []
         #: Total transitions, including ones past the recording bound.
         self.transition_count = 0
+        #: Called with each transition entry (the flight recorder hooks
+        #: in here; a plain attribute, like ``TraceRecorder.sink``).
+        self.on_transition: Optional[Callable[[Dict[str, Any]], None]] = None
         self._dog: Optional[SloWatchdog] = None
 
     def attach(self, sampler: Any) -> "AlertManager":
@@ -154,6 +157,9 @@ class AlertManager:
         self.transition_count += 1
         if len(self.transitions) < MAX_TRANSITIONS:
             self.transitions.append(entry)
+        hook = self.on_transition
+        if hook is not None:
+            hook(entry)
         if self.log is not None:
             self.log(
                 f"[alert] t={t:.3f} {alert.rule.name}: "

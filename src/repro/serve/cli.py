@@ -3,8 +3,8 @@
 Builds a GSM/vGPRS topology, pre-registers a population, then drives an
 open-loop Poisson workload (:class:`repro.core.workload
 .OpenLoopWorkload`) through the paced run loop while a stdlib HTTP
-endpoint serves ``/metrics``, ``/status`` and ``/alerts`` from published
-snapshots.  SIGINT/SIGTERM drain gracefully: admission stops, active
+endpoint serves ``/metrics``, ``/status``, ``/alerts`` and
+``/incidents`` from published snapshots.  SIGINT/SIGTERM drain gracefully: admission stops, active
 calls complete, artefacts flush, and the exit code carries the verdict:
 
 * ``0`` — clean run, no alert ever fired, all ``--slo`` rules pass;
@@ -154,6 +154,11 @@ def make_parser() -> argparse.ArgumentParser:
                      help="SLO rules judged with batch (sticky-fail) "
                           "semantics at shutdown, alongside the live "
                           "--alert lifecycle")
+    obs.add_argument("--incident-dir", metavar="DIR",
+                     help="write flight-recorder incident bundles "
+                          "(captured when an alert leaves ok, a fault "
+                          "fires, or the exit code is nonzero) to DIR "
+                          "for 'python -m repro analyze'")
     return parser
 
 
@@ -222,14 +227,6 @@ def build_serve_run(
     for ms, _peer in pairs:
         scenarios.register_ms(nw, ms)
 
-    fault_text = _read_rules(getattr(args, "faults", None))
-    if fault_text:
-        from repro.faults import apply_faults
-
-        # Registration advanced sim time past 0; the injector clamps
-        # already-past plan times to "now", so short plans still fire.
-        apply_faults(nw, fault_text)
-
     profile = build_profile(args)
     workload = OpenLoopWorkload(
         nw=nw,
@@ -252,9 +249,22 @@ def build_serve_run(
         timeline_out=args.timeline_out,
         slo=_read_rules(args.slo),
         force_series=True,
+        incident_dir=getattr(args, "incident_dir", None),
     )
     obs.heartbeat_extra = workload.progress_line
     obs.watch(nw.sim, run="serve")
+    recorder = obs.recorder_for(nw.sim)
+    assert recorder is not None  # watch() always arms one
+
+    fault_text = _read_rules(getattr(args, "faults", None))
+    if fault_text:
+        from repro.faults import apply_faults
+
+        # Armed after watch() so the recorder sees FAULT_PLAN_ARMED and
+        # can embed the plan in incident bundles.  Registration advanced
+        # sim time past 0; the injector clamps already-past plan times
+        # to "now", so short plans still fire.
+        apply_faults(nw, fault_text)
 
     alerts: Optional[AlertManager] = None
     alert_text = _read_rules(args.alert)
@@ -267,6 +277,7 @@ def build_serve_run(
             clear_windows=args.alert_clear,
             log=echo,
         ).attach(sampler)
+        recorder.attach_alerts(alerts)
 
     state = ServeState()
     loop = ServeLoop(
@@ -275,6 +286,7 @@ def build_serve_run(
         pacer=Pacer(rate=args.rate),
         state=state,
         alerts=alerts,
+        recorder=recorder,
         duration=args.duration,
         quantum=args.quantum,
         drain_timeout=args.drain_timeout,
@@ -317,7 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ).start()
         host, port = server.address
         echo(f"serving telemetry on http://{host}:{port}/ "
-             "(/metrics /status /alerts)")
+             "(/metrics /status /alerts /incidents)")
     signal.signal(signal.SIGINT, run.loop.request_stop)
     signal.signal(signal.SIGTERM, run.loop.request_stop)
     try:

@@ -4,9 +4,10 @@ Three read-only routes, all rendered from the
 :class:`~repro.serve.state.ServeState` view the simulation thread last
 published:
 
-* ``/metrics`` — Prometheus text exposition (scrapeable mid-run);
-* ``/status``  — JSON heartbeat: sim time, wall lag, event rate, phase;
-* ``/alerts``  — JSON alert lifecycle states plus recent transitions.
+* ``/metrics``   — Prometheus text exposition (scrapeable mid-run);
+* ``/status``    — JSON heartbeat: sim time, wall lag, event rate, phase;
+* ``/alerts``    — JSON alert lifecycle states plus recent transitions;
+* ``/incidents`` — JSON summaries of captured incident bundles.
 
 Handlers never touch the simulator, its registry, or the workload — the
 view is plain data published atomically per pacing slice — so a scrape
@@ -26,9 +27,10 @@ PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _INDEX = """\
 repro serve telemetry
-  /metrics  Prometheus text exposition of the latest snapshot
-  /status   JSON heartbeat (sim time, wall lag, event rate, phase)
-  /alerts   JSON alert lifecycle states and recent transitions
+  /metrics    Prometheus text exposition of the latest snapshot
+  /status     JSON heartbeat (sim time, wall lag, event rate, phase)
+  /alerts     JSON alert lifecycle states and recent transitions
+  /incidents  JSON summaries of captured incident bundles
 """
 
 
@@ -51,6 +53,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, "application/json", state.status_json())
         elif path == "/alerts":
             self._reply(200, "application/json", state.alerts_json())
+        elif path == "/incidents":
+            self._reply(200, "application/json", state.incidents_json())
         elif path == "/":
             self._reply(200, "text/plain; charset=utf-8", _INDEX)
         else:

@@ -42,6 +42,7 @@ class ServeLoop:
         pacer: Pacer,
         state: Optional[ServeState] = None,
         alerts: Optional[AlertManager] = None,
+        recorder: Optional[Any] = None,
         duration: Optional[float] = None,
         quantum: float = 0.25,
         drain_timeout: float = 60.0,
@@ -58,6 +59,9 @@ class ServeLoop:
         self.pacer = pacer
         self.state = state if state is not None else ServeState()
         self.alerts = alerts
+        #: Flight recorder armed on ``sim`` (duck-typed: anything with
+        #: ``flush``/``bundles``/``last_trigger``/``to_payload``).
+        self.recorder = recorder
         self.duration = duration
         self.quantum = quantum
         self.drain_timeout = drain_timeout
@@ -98,6 +102,10 @@ class ServeLoop:
         self.workload.stop()
         self.drained = self.workload.active == 0
         self.phase = "stopped"
+        if self.recorder is not None:
+            # Drain is over: finalize any in-flight incident capture so
+            # the final published view (and /incidents) includes it.
+            self.recorder.flush()
         self._publish()
         return self
 
@@ -143,5 +151,10 @@ class ServeLoop:
             "open_spans": len(sim.spans.open_spans()),
             "workload": self.workload.progress_line(),
         }
+        incidents = None
+        if self.recorder is not None:
+            status["incidents_captured"] = len(self.recorder.bundles)
+            status["last_incident"] = self.recorder.last_trigger()
+            incidents = self.recorder.to_payload()
         alerts = self.alerts.to_payload() if self.alerts is not None else None
-        self.state.publish(sim.metrics.snapshot(), status, alerts)
+        self.state.publish(sim.metrics.snapshot(), status, alerts, incidents)

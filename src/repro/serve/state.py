@@ -29,6 +29,8 @@ class ServeState:
             "snapshot": None,
             "status": {"phase": "starting"},
             "alerts": {"alerts": [], "transitions": []},
+            "incidents": {"captured": 0, "dropped": 0,
+                          "capturing": False, "incidents": []},
         }
 
     def publish(
@@ -36,6 +38,7 @@ class ServeState:
         snapshot: Dict[str, Any],
         status: Dict[str, Any],
         alerts: Optional[Dict[str, Any]] = None,
+        incidents: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Swap in a freshly built view (simulation thread only)."""
         view = {
@@ -43,6 +46,8 @@ class ServeState:
             "status": status,
             "alerts": alerts if alerts is not None
             else self._view["alerts"],
+            "incidents": incidents if incidents is not None
+            else self._view["incidents"],
         }
         self._view = view
 
@@ -64,3 +69,6 @@ class ServeState:
 
     def alerts_json(self) -> str:
         return json.dumps(self._view["alerts"], sort_keys=True) + "\n"
+
+    def incidents_json(self) -> str:
+        return json.dumps(self._view["incidents"], sort_keys=True) + "\n"

@@ -92,6 +92,14 @@ class SweepResult:
 
         return find_series(self.value)
 
+    def incidents(self) -> List[Dict[str, Any]]:
+        """Flight-recorder incident bundles embedded anywhere in
+        ``value`` (see :func:`repro.obs.recorder.find_incidents`) —
+        merged into ``--incident-dir`` with deterministic numbering."""
+        from repro.obs.recorder import find_incidents
+
+        return find_incidents(self.value)
+
 
 def sweep_grid(**axes: Sequence[Any]) -> List[SweepPoint]:
     """Cartesian product of the given axes as :class:`SweepPoint` list.

@@ -134,7 +134,8 @@ class TestInjector:
         }
         notes = [e.message for e in nw.sim.trace.entries
                  if e.kind == "note" and e.src == "FAULTS"]
-        assert notes == ["FAULT_LINK_DOWN", "FAULT_LINK_UP"]
+        assert notes == ["FAULT_PLAN_ARMED", "FAULT_LINK_DOWN",
+                         "FAULT_LINK_UP"]
 
     def test_flips_are_idempotent(self):
         nw = _quiet_network()
@@ -461,9 +462,12 @@ class TestDeterminism:
         armed = _outage_scenario(
             31, "from 55 until 56 link VMSC--VLR loss 0.5"
         )
+        from repro.faults.injector import FAULT_COUNTERS
+
         counters_base = dict(base[0]["counters"])
         counters_armed = dict(armed[0]["counters"])
-        for key in ("fault.impair_on", "fault.impair_off",
-                    "link.B.dropped_loss"):
+        # Arming pre-registers the fault.* families (at zero) so scrapes
+        # see stable names; strip them before comparing draws.
+        for key in FAULT_COUNTERS + ("link.B.dropped_loss",):
             counters_armed.pop(key, None)
         assert counters_base == counters_armed

@@ -176,6 +176,8 @@ class TestEndpoint:
                       "gauges": {}, "histograms": {}},
             status={"phase": "serving", "sim_time": 1.5},
             alerts={"alerts": [], "transitions": [], "transition_count": 0},
+            incidents={"captured": 1, "dropped": 0, "capturing": False,
+                       "incidents": [{"incident": 1, "run": "serve"}]},
         )
         server = TelemetryServer(state, port=0).start()
         try:
@@ -194,6 +196,10 @@ class TestEndpoint:
             assert json.loads(body)["phase"] == "serving"
             status, body = get("/alerts")
             assert json.loads(body)["alerts"] == []
+            status, body = get("/incidents")
+            incidents = json.loads(body)
+            assert incidents["captured"] == 1
+            assert incidents["incidents"][0]["incident"] == 1
             status, _ = get("/")
             assert status == 200
             with pytest.raises(urllib.error.HTTPError) as err:
@@ -281,6 +287,41 @@ class TestServeIntegration:
             assert run.loop.drained
         finally:
             server.stop()
+
+    def test_incident_capture_endpoint_and_bundle_files(self, tmp_path):
+        inc_dir = tmp_path / "incidents"
+        run, echoes = run_pipeline([
+            "--rate", "0", "--quantum", "0.5",
+            "--faults", "at 12 link GK--IPNET down for 4",
+            "--incident-dir", str(inc_dir),
+        ])
+        recorder = run.loop.recorder
+        assert recorder is not None and len(recorder.bundles) >= 1
+        reasons = [t["reason"]
+                   for t in recorder.bundles[0]["triggers"]]
+        assert "fault:FAULT_LINK_DOWN:GK--IPNET" in reasons
+        # /status carries the capture count and last trigger...
+        status = json.loads(run.state.status_json())
+        assert status["incidents_captured"] == len(recorder.bundles)
+        assert status["last_incident"] == recorder.last_trigger()
+        # ...and /incidents serves the published summary payload.
+        server = TelemetryServer(run.state, port=0).start()
+        try:
+            host, port = server.address
+            url = f"http://{host}:{port}/incidents"
+            with urllib.request.urlopen(url, timeout=5) as rsp:
+                payload = json.loads(rsp.read().decode())
+        finally:
+            server.stop()
+        assert payload["captured"] == len(recorder.bundles)
+        assert not payload["capturing"]  # drain flushed the capture
+        # finish writes one bundle file per incident for repro analyze.
+        finish_serve_run(run, echo=echoes.append)
+        files = sorted(inc_dir.glob("incident-*.json"))
+        assert len(files) == len(recorder.bundles)
+        bundle = json.loads(files[0].read_text())
+        assert bundle["incident"] == 1
+        assert bundle["fault_plan"][0]["link"] == "GK--IPNET"
 
     def test_sigterm_drains_gracefully(self):
         env = dict(os.environ)
